@@ -1,0 +1,45 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one table or figure of the paper via the
+corresponding :mod:`repro.eval` driver, times it with pytest-benchmark, and
+writes the rendered rows/series to ``results/<experiment>.txt`` so the
+reproduction output survives the run.
+
+Environment:
+    CLANK_BENCH_QUICK=1  — use small workloads (smoke mode).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.settings import EvalSettings
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings():
+    base = EvalSettings(seed=1)
+    if os.environ.get("CLANK_BENCH_QUICK"):
+        base = base.quick()
+    return base
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer (experiment
+    drivers are deterministic and far too slow to repeat)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,47 @@
+"""Ablation benches for the design decisions DESIGN.md calls out:
+the compiler's analysis depth, the Progress Watchdog's adaptive halving,
+and the Address Prefix Buffer geometry."""
+
+from repro.eval import ablation_apb, ablation_compiler, ablation_progress
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_compiler(benchmark, settings, save_result):
+    rows = run_once(benchmark, lambda: ablation_compiler.run(settings))
+    save_result("ablation_compiler", ablation_compiler.render(rows))
+    avg = lambda v: sum(r.checkpoint_overhead[v] for r in rows) / len(rows)
+    # Marking monotonically helps on average; epoch marking covers more.
+    assert avg("whole-program") <= avg("none") + 1e-9
+    cov = lambda v: sum(r.coverage[v] for r in rows) / len(rows)
+    assert cov("epoch") > cov("whole-program")
+
+
+def test_ablation_progress(benchmark, settings, save_result):
+    rows = run_once(benchmark, lambda: ablation_progress.run(settings))
+    save_result("ablation_progress", ablation_progress.render(rows))
+    worst = rows[-1]
+    # All-runt supply: only the adaptive design makes forward progress.
+    assert worst.overhead["off"] is None
+    assert worst.overhead["adaptive"] is not None
+
+
+def test_ablation_apb(benchmark, settings, save_result):
+    rows = run_once(benchmark, lambda: ablation_apb.run(settings))
+    save_result("ablation_apb", ablation_apb.render(rows))
+    # Wider low-bit fields trade storage for fewer prefix fills.
+    assert rows[0].buffer_bits < rows[-1].buffer_bits
+    assert rows[0].avg_checkpoint_overhead >= rows[-1].avg_checkpoint_overhead
+
+
+def test_ablation_undo(benchmark, settings, save_result):
+    from repro.eval import ablation_undo
+
+    rows = run_once(benchmark, lambda: ablation_undo.run(settings))
+    save_result("ablation_undo", ablation_undo.render(rows))
+    # Undo logging trades run-time NV writes for longer sections: it must
+    # reduce checkpoint counts on violation-dense benchmarks.
+    by_name = {r.benchmark: r for r in rows}
+    assert by_name["rc4"].undo_checkpoints < by_name["rc4"].clank_checkpoints
+    # But it appends log entries that Clank's volatile WBB never pays for.
+    assert sum(r.undo_entries for r in rows) > 0

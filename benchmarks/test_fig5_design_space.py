@@ -1,0 +1,24 @@
+"""Figure 5: design-space Pareto frontiers for the five Clank families."""
+
+from repro.eval import fig5
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5(benchmark, settings, save_result):
+    data = run_once(benchmark, lambda: fig5.run(settings))
+    save_result("fig5", fig5.render(data))
+    # Shape checks mirroring the paper's Figure 5:
+    # 1. every family's frontier is a decreasing staircase;
+    for family in fig5.FAMILIES:
+        values = [v for _, v, _ in data.frontiers[family]]
+        assert values == sorted(values, reverse=True)
+    # 2. each added buffer type reaches a lower best-case overhead:
+    best = {f: min(v for _, v, _ in data.frontiers[f]) for f in fig5.FAMILIES}
+    assert best["R+W"] <= best["R"]
+    assert best["R+W+B"] <= best["R+W"]
+    assert best["R+W+B+A"] <= best["R+W+B"] + 0.01
+    # 3. the compiler (+C) helps at equal hardware:
+    assert best["R+W+B+A+C"] <= best["R+W+B+A"] + 0.005
+    # 4. the single-RF-entry point (30 bits) anchors the R frontier.
+    assert data.frontiers["R"][0][0] == 30

@@ -1,0 +1,24 @@
+"""Figure 6: Pareto frontiers per checkpoint-policy optimization setting."""
+
+from repro.eval import fig6
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6(benchmark, settings, save_result):
+    data = run_once(benchmark, lambda: fig6.run(settings))
+    save_result("fig6", fig6.render(data))
+    frontiers = data.frontiers
+    # Shape checks mirroring the paper's Figure 6:
+    # 1. 'profiled' (the per-benchmark best of all 32 settings) is the
+    #    lower envelope: at matching costs it beats 'none' and 'all'.
+    prof = {c: v for c, v, _ in frontiers["profiled"]}
+    for label in ("none", "all"):
+        other = {c: v for c, v, _ in frontiers[label]}
+        common = set(prof) & set(other)
+        assert common
+        assert all(prof[c] <= other[c] + 1e-9 for c in common)
+    # 2. every single-optimization frontier is itself a valid staircase.
+    for label, frontier in frontiers.items():
+        values = [v for _, v, _ in frontier]
+        assert values == sorted(values, reverse=True), label

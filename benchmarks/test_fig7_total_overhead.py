@@ -1,0 +1,24 @@
+"""Figure 7: per-benchmark total run-time overhead decomposition."""
+
+from repro.eval import fig7
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7(benchmark, settings, save_result):
+    data = run_once(benchmark, lambda: fig7.run(settings))
+    save_result("fig7", fig7.render(data))
+    assert len(data.bars) == 23 * 5
+    averages = dict(data.averages())
+    # Shape checks mirroring the paper's Figure 7:
+    # 1. the full configuration (+C+WDT) has the lowest average total;
+    assert averages["16,8,4,4+C+WDT"] == min(averages.values())
+    # 2. the sole-detector configuration is the worst on average;
+    assert averages["16,0,0,0"] == max(averages.values())
+    # 3. the tiny benchmarks complete within a single power cycle (the
+    #    paper's asterisks) — power-on time exceeds their running time;
+    by_bench = data.by_benchmark()
+    for tiny in ("limits", "overflow", "randmath", "vcflags"):
+        assert all(b.single_cycle for b in by_bench[tiny]), tiny
+    # 4. long benchmarks genuinely span power cycles.
+    assert not all(b.single_cycle for b in by_bench["fft"])

@@ -1,0 +1,28 @@
+"""Figure 8: Performance Watchdog sweep — checkpoint vs re-execution."""
+
+from repro.eval import fig8
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8(benchmark, settings, save_result):
+    data = run_once(benchmark, lambda: fig8.run(settings))
+    save_result("fig8", fig8.render(data))
+    points = data.points
+    best = data.best()
+    # Shape checks mirroring the paper's Figure 8:
+    # 1. checkpoint overhead decays as the watchdog value grows;
+    assert points[0].checkpoint > points[-1].checkpoint
+    # 2. re-execution overhead grows (overhead inversion);
+    assert points[-1].reexec > points[0].reexec
+    # 3. the combined curve is U-shaped: both ends exceed the minimum;
+    assert points[0].combined > best.combined
+    assert points[-1].combined >= best.combined
+    # 4. the empirical optimum brackets the analytic P* = sqrt(2CT)
+    #    within the sweep's resolution (one grid step either side).
+    values = [p.watchdog for p in points]
+    idx = values.index(best.watchdog)
+    lo = values[max(0, idx - 2)]
+    hi = values[min(len(values) - 1, idx + 2)]
+    assert lo <= data.analytic_optimum * 4
+    assert hi >= data.analytic_optimum / 4

@@ -1,0 +1,64 @@
+"""Cross-validation: live full-system ISS vs the trace-driven policy
+simulator (the paper validates its simulators against the FPGA build the
+same way, Section 6).
+
+The same binary runs (a) live — Clank on the CPU's data bus, register
+checkpoints, real restarts — and (b) as an ISS-extracted trace replayed by
+the policy simulator.  The two engines are independent implementations of
+the same architecture, so their checkpoint behaviour must agree closely.
+"""
+
+from repro.core.config import ClankConfig
+from repro.isa.assembler import assemble
+from repro.isa.live import LiveClankSystem, verify_against_continuous
+from repro.isa.programs import DEMO_PROGRAMS
+from repro.isa.trace_extract import extract_trace
+from repro.power.schedules import ContinuousPower
+from repro.sim.simulator import simulate
+
+from benchmarks.conftest import run_once
+
+CONFIG = (8, 4, 2, 0)
+
+
+def test_live_vs_policy_simulator(benchmark, settings, save_result):
+    def crossvalidate():
+        rows = []
+        for name, src in sorted(DEMO_PROGRAMS.items()):
+            program = assemble(src)
+            live = LiveClankSystem(
+                program, ClankConfig.from_tuple(CONFIG), ContinuousPower()
+            ).run()
+            verify_against_continuous(program, live)
+            trace = extract_trace(program, name=name)
+            trace.validate()
+            sim = simulate(
+                trace,
+                ClankConfig.from_tuple(CONFIG),
+                ContinuousPower(),
+                verify=True,
+            )
+            live_program_ckpts = sum(
+                v for k, v in live.checkpoints.items() if k != "final"
+            )
+            sim_program_ckpts = sum(
+                v for k, v in sim.checkpoints_by_cause.items() if k != "final"
+            )
+            rows.append((name, live_program_ckpts, sim_program_ckpts,
+                         live.instructions, len(trace)))
+        return rows
+
+    rows = run_once(benchmark, crossvalidate)
+    lines = ["Cross-validation: live ISS vs policy simulator "
+             f"(config {','.join(map(str, CONFIG))}, continuous power)"]
+    lines.append(f"{'program':14s} {'live ckpts':>11s} {'sim ckpts':>10s} "
+                 f"{'instrs':>8s} {'accesses':>9s}")
+    for name, live_c, sim_c, instrs, accs in rows:
+        lines.append(f"{name:14s} {live_c:11d} {sim_c:10d} {instrs:8d} {accs:9d}")
+    save_result("live_crossvalidation", "\n".join(lines))
+
+    for name, live_c, sim_c, _, _ in rows:
+        # Independent engines, same architecture: checkpoint counts agree
+        # exactly or within the small slack of instruction-vs-access
+        # granularity effects.
+        assert abs(live_c - sim_c) <= max(2, 0.15 * max(live_c, sim_c)), name

@@ -1,0 +1,18 @@
+"""Table 1: benchmark running time, size, and Clank code-size increase."""
+
+from repro.eval import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, settings, save_result):
+    rows = run_once(benchmark, lambda: table1.run(settings))
+    save_result("table1", table1.render(rows))
+    assert len(rows) == 23
+    # Shape checks mirroring the paper's Table 1:
+    by_name = {r.name: r for r in rows}
+    # Tiny benchmarks have the largest relative code-size increase.
+    assert by_name["randmath"].size_increase > by_name["sha"].size_increase
+    assert by_name["regress"].size_increase > by_name["patricia"].size_increase
+    # All additions are a small constant, so big binaries see < 10%.
+    assert by_name["sha"].size_increase < 0.10

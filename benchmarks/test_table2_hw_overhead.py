@@ -1,0 +1,22 @@
+"""Table 2: hardware overheads vs average software run-time overhead."""
+
+from repro.eval import table2
+
+from benchmarks.conftest import run_once
+
+
+def test_table2(benchmark, settings, save_result):
+    rows = run_once(benchmark, lambda: table2.run(settings))
+    save_result("table2", table2.render(rows))
+    # Shape checks mirroring the paper's Table 2:
+    # 1. hardware stays under ~4% area / ~3% power for every composition;
+    for r in rows:
+        assert r.lut < 6.0 and r.power < 3.0
+    # 2. software overhead decreases monotonically down the table
+    #    (16,0,0,0 is worst; +C+WDT is best);
+    sw = [r.avg_software for r in rows]
+    assert sw[0] == max(sw)
+    assert sw[-1] == min(sw)
+    # 3. the best row is in the single-digit regime the paper reports
+    #    (5.98% published; anything < 15% preserves the claim's shape).
+    assert sw[-1] < 15.0

@@ -1,0 +1,57 @@
+"""Batteryless sensor node: mixed volatility vs wholly non-volatile memory.
+
+The motivating deployment of the paper's Section 7.6: a DINO-class device
+with volatile SRAM for the stack and non-volatile memory for long-lived
+data, running an activity-recognition workload (the DS benchmark) on
+harvested power.  The example compares, at several buffer budgets:
+
+* Clank on a wholly non-volatile device,
+* Clank on the mixed-volatility device (stack untracked, saved with each
+  checkpoint via the stack-depth register), and
+* the DINO task/versioning model,
+
+reproducing Table 4's finding that Clank performs *better* with some
+volatility.
+
+Run:  python examples/intermittent_sensor.py
+"""
+
+from repro import ClankConfig, default_power_schedule, get_workload, simulate
+from repro.baselines import DinoBaseline
+
+
+def main() -> None:
+    trace = get_workload("ds").build()
+    volatile = (trace.memory_map.word_range("stack"),)
+    print(f"sensor workload: ds — {len(trace)} accesses, "
+          f"{trace.total_cycles} cycles; stack segment is volatile SRAM\n")
+
+    dino = DinoBaseline().run(trace, default_power_schedule(seed=4))
+    print(f"DINO (tasks + data versioning): total x{dino.total_overhead:.3f} "
+          f"({dino.checkpoints} task commits)\n")
+
+    print(f"{'config':>10s} {'bits':>5s} {'wholly-NV':>10s} {'mixed':>10s}")
+    for spec in [(1, 0, 0, 0), (1, 0, 1, 1), (16, 4, 4, 2)]:
+        config = ClankConfig.from_tuple(spec)
+        row = [config.label(), str(config.buffer_bits)]
+        for vol in (None, volatile):
+            result = simulate(
+                trace,
+                config,
+                default_power_schedule(seed=4),
+                progress_watchdog="auto",
+                perf_watchdog="auto",
+                volatile_ranges=vol,
+                verify=True,
+            )
+            assert result.verified
+            row.append(f"{result.run_time_overhead:.1%}")
+        print(f"{row[0]:>10s} {row[1]:>5s} {row[2]:>10s} {row[3]:>10s}")
+
+    print("\nClank with some volatility beats wholly non-volatile at every "
+          "budget: untracked stack traffic means fewer checkpoints, and the "
+          "stack-depth register keeps the added checkpoint size small.")
+
+
+if __name__ == "__main__":
+    main()

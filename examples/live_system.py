@@ -1,0 +1,47 @@
+"""Live full-system demo: a real program surviving real power failures.
+
+Assembles a Thumb program (bitwise CRC-16 over a string), runs it on the
+ISS with Clank attached to the data bus under aggressively short power-on
+times, and shows the recovery machinery working: double-buffered register
+checkpoints, Write-back Buffer flushes, Progress-Watchdog rescues — then
+verifies the final memory and output stream against an uninterrupted run.
+
+Run:  python examples/live_system.py
+"""
+
+from repro import ClankConfig, ExponentialPower
+from repro.isa import LiveClankSystem, assemble
+from repro.isa.live import run_continuous, verify_against_continuous
+from repro.isa.programs import CRC16, expected_crc16
+
+
+def main() -> None:
+    program = assemble(CRC16)
+    oracle_mem, oracle_outputs, oracle_cycles = run_continuous(program)
+    print(f"program: crc16 ({len(program.instructions)} instructions, "
+          f"{oracle_cycles} cycles uninterrupted)")
+    print(f"oracle result: {oracle_mem.read_word(program.symbols['result'] >> 2):#06x} "
+          f"(expected {expected_crc16():#06x})\n")
+
+    for mean_on in (3000, 1200, 600):
+        system = LiveClankSystem(
+            program,
+            ClankConfig.from_tuple((8, 4, 2, 0)),
+            ExponentialPower(mean_on, seed=11),
+            progress_watchdog=400,
+        )
+        result = system.run()
+        verify_against_continuous(program, result)
+        got = result.final_memory.read_word(program.symbols["result"] >> 2)
+        print(f"mean on-time {mean_on:5d} cycles: "
+              f"{result.power_cycles:3d} power failures, "
+              f"{result.instructions:5d} instructions executed incl. "
+              f"re-execution, checkpoints {result.checkpoints}")
+        print(f"  result {got:#06x} — verified identical to the oracle, "
+              f"outputs {result.outputs}")
+    print("\nEvery run recovered through register checkpoints in "
+          "non-volatile memory and re-execution of idempotent sections.")
+
+
+if __name__ == "__main__":
+    main()

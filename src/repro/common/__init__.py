@@ -1,0 +1,52 @@
+"""Shared substrate: constants, errors, and small helpers used everywhere.
+
+The conventions fixed here mirror the paper's target platform, an ARM
+Cortex-M0+ with a 32-bit data word and word-granularity idempotency
+tracking (Clank, ISCA 2017, Section 3.1.1, footnote 2).
+"""
+
+from repro.common.constants import (
+    WORD_BYTES,
+    WORD_BITS,
+    ADDRESS_BITS,
+    WORD_ADDRESS_BITS,
+    DEFAULT_CLOCK_HZ,
+    DEFAULT_AVG_ON_MS,
+)
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    MemoryError_,
+    TraceError,
+    VerificationError,
+    SimulationError,
+)
+from repro.common.words import (
+    word_index,
+    word_align_down,
+    is_word_aligned,
+    mask_value,
+    sign_extend,
+    to_u32,
+)
+
+__all__ = [
+    "WORD_BYTES",
+    "WORD_BITS",
+    "ADDRESS_BITS",
+    "WORD_ADDRESS_BITS",
+    "DEFAULT_CLOCK_HZ",
+    "DEFAULT_AVG_ON_MS",
+    "ReproError",
+    "ConfigError",
+    "MemoryError_",
+    "TraceError",
+    "VerificationError",
+    "SimulationError",
+    "word_index",
+    "word_align_down",
+    "is_word_aligned",
+    "mask_value",
+    "sign_extend",
+    "to_u32",
+]

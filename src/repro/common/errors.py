@@ -1,0 +1,34 @@
+"""Exception hierarchy for the Clank reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware or policy configuration was supplied."""
+
+
+class MemoryError_(ReproError):
+    """A memory-subsystem violation (misaligned or out-of-range access).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed memory-access trace."""
+
+
+class VerificationError(ReproError):
+    """Idempotency was violated: re-execution diverged from the oracle.
+
+    Raised by the dynamic verifier (the reproduction of the paper's
+    reference-monitor check that runs on every experimental trial) and by
+    the bounded model checker when a property fails.
+    """
+
+
+class SimulationError(ReproError):
+    """The intermittent simulator reached an impossible state (e.g. no
+    forward progress is possible even with the Progress Watchdog)."""

@@ -1,0 +1,59 @@
+"""Word and integer helpers shared by the memory system and the ISS."""
+
+from repro.common.constants import WORD_BYTES
+
+_U32_MASK = 0xFFFF_FFFF
+
+
+def word_index(byte_addr: int) -> int:
+    """Word address of a byte address (Clank tracks words, not bytes)."""
+    return byte_addr >> 2
+
+
+def word_align_down(byte_addr: int) -> int:
+    """Round a byte address down to its containing word boundary."""
+    return byte_addr & ~(WORD_BYTES - 1)
+
+
+def is_word_aligned(byte_addr: int) -> bool:
+    """True if the address is word aligned."""
+    return (byte_addr & (WORD_BYTES - 1)) == 0
+
+
+def mask_value(value: int, size: int) -> int:
+    """Truncate ``value`` to ``size`` bytes (1, 2, or 4)."""
+    if size == 4:
+        return value & _U32_MASK
+    if size == 2:
+        return value & 0xFFFF
+    if size == 1:
+        return value & 0xFF
+    raise ValueError(f"unsupported access size: {size}")
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` wide to a Python int."""
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_u32(value: int) -> int:
+    """Wrap a Python int to an unsigned 32-bit value."""
+    return value & _U32_MASK
+
+
+def insert_bytes(word: int, value: int, offset: int, size: int) -> int:
+    """Insert ``size`` bytes of ``value`` into ``word`` at byte ``offset``.
+
+    Used to model sub-word stores on a word-organized memory.
+    """
+    value = mask_value(value, size)
+    shift = offset * 8
+    keep_mask = _U32_MASK ^ (((1 << (size * 8)) - 1) << shift)
+    return (word & keep_mask) | (value << shift)
+
+
+def extract_bytes(word: int, offset: int, size: int) -> int:
+    """Extract ``size`` bytes from ``word`` at byte ``offset``."""
+    shift = offset * 8
+    return (word >> shift) & ((1 << (size * 8)) - 1)

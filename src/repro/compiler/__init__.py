@@ -1,0 +1,35 @@
+"""The Clank compiler component (Section 4).
+
+The compiler (a) inserts the checkpoint and start-up routines and reserves
+the non-volatile memory they need, and (b) bridges the semantic gap by
+marking memory accesses that are *Program Idempotent* — guaranteed never to
+affect idempotency under any re-execution or control flow — so the hardware
+can ignore them (Section 4.3).
+
+The paper's Program-Idempotence analysis is profile-driven ("easy to
+implement by profiling execution"); this package implements exactly that
+profile over the same memory-access logs the policy simulator consumes.
+"""
+
+from repro.compiler.program_idempotence import (
+    profile_program_idempotent,
+    ignorable_access_count,
+)
+from repro.compiler.codesize import code_size_increase, CodeSizeReport
+from repro.compiler.epoch_analysis import (
+    EpochPlan,
+    compile_with_epochs,
+    epoch_program_idempotence,
+    plan_boundaries,
+)
+
+__all__ = [
+    "profile_program_idempotent",
+    "ignorable_access_count",
+    "code_size_increase",
+    "CodeSizeReport",
+    "EpochPlan",
+    "compile_with_epochs",
+    "epoch_program_idempotence",
+    "plan_boundaries",
+]

@@ -1,0 +1,58 @@
+"""Binary size impact of the Clank compiler (Table 1, last column).
+
+Clank's binary differs from an unmodified build only by the checkpoint and
+start-up routines, the reserved checkpoint slots/scratchpad, and the
+watchdog bookkeeping variables (Section 2) — a small constant, which is why
+Table 1 shows large relative increases only for tiny benchmarks.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.config import ClankConfig
+from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class CodeSizeReport:
+    """Size impact of Clank on one program binary.
+
+    Attributes:
+        base_bytes: Unmodified binary size.
+        added_bytes: Bytes Clank's compiler adds (routines + reserved NV).
+        increase: ``added_bytes / base_bytes``.
+    """
+
+    base_bytes: int
+    added_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Binary size with Clank support linked in."""
+        return self.base_bytes + self.added_bytes
+
+    @property
+    def increase(self) -> float:
+        """Fractional size increase (Table 1 reports this as a percent)."""
+        return self.added_bytes / self.base_bytes if self.base_bytes else 0.0
+
+
+def code_size_increase(
+    base_bytes: int,
+    config: ClankConfig,
+    watchdogs: bool = True,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> CodeSizeReport:
+    """Size impact of a Clank configuration on a binary of ``base_bytes``.
+
+    Args:
+        base_bytes: Size of the unmodified binary.
+        config: Buffer composition (the Write-back scratchpad scales with
+            the WBB entry count).
+        watchdogs: Include both watchdog timers' routines and variables
+            (the Table 1 configuration includes them).
+        cost_model: Supplies the reserved-memory model.
+    """
+    added = cost_model.reserved_bytes(
+        wbb_entries=config.wbb_entries, watchdogs=watchdogs
+    )
+    return CodeSizeReport(base_bytes=base_bytes, added_bytes=added)

@@ -1,0 +1,51 @@
+"""Program-Idempotence profiling (Section 4.3).
+
+A memory access is Program Idempotent when no possible re-execution can make
+it participate in an idempotency violation.  The profile-level criterion the
+paper uses: the address's whole-program access pattern is ``W*->R*`` — zero
+or more writes followed only by reads, i.e. never a write after a read.
+Read-only locations (e.g. text-segment tables) and write-once data both
+qualify.
+
+Output addresses are excluded: writes outside physical memory must still
+flow through the output-commit machinery (Section 3.3) even when their
+access pattern looks idempotent.
+"""
+
+from typing import FrozenSet, Set
+
+from repro.trace.access import READ
+from repro.trace.trace import Trace
+
+
+def profile_program_idempotent(trace: Trace) -> FrozenSet[int]:
+    """Word addresses whose accesses the hardware may ignore.
+
+    Args:
+        trace: A complete profiling run of the program.
+
+    Returns:
+        The set of word addresses with a ``W*->R*`` whole-program access
+        pattern, excluding output (MMIO/unmapped) addresses.
+    """
+    read_seen: Set[int] = set()
+    disqualified: Set[int] = set()
+    touched: Set[int] = set()
+    mmap = trace.memory_map
+    for acc in trace.accesses:
+        w = acc.waddr
+        touched.add(w)
+        if acc.kind == READ:
+            read_seen.add(w)
+        else:
+            if w in read_seen:
+                disqualified.add(w)  # a write after a read: not W*->R*
+            if mmap.is_output(w << 2):
+                disqualified.add(w)
+    return frozenset(touched - disqualified)
+
+
+def ignorable_access_count(trace: Trace, pi_words: FrozenSet[int]) -> int:
+    """How many of the trace's accesses the marking removes from the
+    hardware's view — the buffer-pressure relief the compiler buys."""
+    return sum(1 for acc in trace.accesses if acc.waddr in pi_words)

@@ -1,0 +1,40 @@
+"""Clank hardware model: buffers, idempotency detector, and watchdogs.
+
+This package is the paper's primary contribution (Section 3): a set of
+hardware buffers and memory-access monitors that dynamically maintain
+idempotency, decomposing execution into restartable sections connected by
+lightweight checkpoints.
+"""
+
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.core.buffers import (
+    AddressPrefixBuffer,
+    ReadFirstBuffer,
+    WriteBackBuffer,
+    WriteFirstBuffer,
+)
+from repro.core.detector import (
+    IdempotencyDetector,
+    PROCEED,
+    PROCEED_WBB,
+    CHECKPOINT,
+    Decision,
+)
+from repro.core.watchdogs import PerformanceWatchdog, ProgressWatchdog, optimal_watchdog_value
+
+__all__ = [
+    "ClankConfig",
+    "PolicyOptimizations",
+    "ReadFirstBuffer",
+    "WriteFirstBuffer",
+    "WriteBackBuffer",
+    "AddressPrefixBuffer",
+    "IdempotencyDetector",
+    "PROCEED",
+    "PROCEED_WBB",
+    "CHECKPOINT",
+    "Decision",
+    "PerformanceWatchdog",
+    "ProgressWatchdog",
+    "optimal_watchdog_value",
+]

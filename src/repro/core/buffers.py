@@ -1,0 +1,194 @@
+"""The four Clank hardware buffers (Figure 3).
+
+Each buffer is fully associative in hardware; here each is a thin wrapper
+over a set/dict with explicit capacity.  When the Address Prefix Buffer is
+configured, an address can only be inserted into a buffer if its prefix is
+(or can be) resident in the APB — the shared-prefix constraint is enforced by
+the detector, which owns one APB shared by all buffers.
+"""
+
+from typing import Dict, Iterator, Optional, Set
+
+from repro.common.errors import ConfigError
+
+
+class _AddressSetBuffer:
+    """Common machinery of the Read-first and Write-first buffers."""
+
+    __slots__ = ("capacity", "_addrs")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ConfigError("buffer capacity must be >= 0")
+        self.capacity = capacity
+        self._addrs: Set[int] = set()
+
+    def __contains__(self, waddr: int) -> bool:
+        return waddr in self._addrs
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._addrs)
+
+    @property
+    def full(self) -> bool:
+        """True if no further address can be inserted."""
+        return len(self._addrs) >= self.capacity
+
+    def insert(self, waddr: int) -> bool:
+        """Insert ``waddr``; returns False if the buffer is full."""
+        if waddr in self._addrs:
+            return True
+        if len(self._addrs) >= self.capacity:
+            return False
+        self._addrs.add(waddr)
+        return True
+
+    def discard(self, waddr: int) -> None:
+        """Remove ``waddr`` if present (remove-duplicates, Section 3.2.2)."""
+        self._addrs.discard(waddr)
+
+    def clear(self) -> None:
+        """Empty the buffer (checkpoint phase 2 / power loss)."""
+        self._addrs.clear()
+
+
+class ReadFirstBuffer(_AddressSetBuffer):
+    """Addresses whose first access this section was a read.
+
+    The only component required to track idempotency (Section 3.1.1,
+    footnote 1): a write to an address held here is an idempotency
+    violation.
+    """
+
+
+class WriteFirstBuffer(_AddressSetBuffer):
+    """Addresses whose first access this section was a write.
+
+    Entries exist only to suppress *false* violation detections; losing one
+    is safe but pessimistic (Section 3.2.3).
+    """
+
+
+class WriteBackBuffer:
+    """Volatile redo-log of idempotency-violating writes (Section 3.1.2).
+
+    Holds address/value tuples that would violate idempotency if written to
+    non-volatile memory.  Because the buffer is volatile, its contents
+    vanish on power loss — free rollback via redo logging.  At checkpoint
+    time the contents are flushed (double-buffered) into non-volatile
+    memory.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ConfigError("buffer capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: Dict[int, int] = {}
+
+    def __contains__(self, waddr: int) -> bool:
+        return waddr in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True if a new address cannot be buffered."""
+        return len(self._entries) >= self.capacity
+
+    def get(self, waddr: int) -> Optional[int]:
+        """Buffered value for ``waddr``, or None."""
+        return self._entries.get(waddr)
+
+    def put(self, waddr: int, value: int) -> bool:
+        """Buffer (or update) the value for ``waddr``.
+
+        Returns False when the address is new and the buffer is full — the
+        overflow that triggers a checkpoint.
+        """
+        if waddr in self._entries:
+            self._entries[waddr] = value
+            return True
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries[waddr] = value
+        return True
+
+    def drain(self) -> Dict[int, int]:
+        """Remove and return all entries (checkpoint flush)."""
+        entries = self._entries
+        self._entries = {}
+        return entries
+
+    def clear(self) -> None:
+        """Drop all entries without flushing (power loss)."""
+        self._entries.clear()
+
+    def items(self):
+        """Iterate over (word address, value) pairs."""
+        return self._entries.items()
+
+
+class AddressPrefixBuffer:
+    """De-duplicated upper address bits shared by all buffers (Section 3.1.3).
+
+    Buffer entries store only the low ``prefix_low_bits`` of a word address
+    plus a small tag naming an APB entry; the APB holds the prefix once.
+    Prefixes are only reclaimed at a section reset — hardware cannot cheaply
+    evict a prefix other entries may reference — so a full APB is one more
+    source of checkpoint-inducing full conditions.
+    """
+
+    __slots__ = ("capacity", "prefix_low_bits", "_prefixes")
+
+    def __init__(self, capacity: int, prefix_low_bits: int = 6):
+        if capacity < 0:
+            raise ConfigError("buffer capacity must be >= 0")
+        self.capacity = capacity
+        self.prefix_low_bits = prefix_low_bits
+        self._prefixes: Set[int] = set()
+
+    @property
+    def enabled(self) -> bool:
+        """False when the configuration has no APB (full addresses are
+        stored in each buffer entry and no prefix constraint applies)."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def prefix_of(self, waddr: int) -> int:
+        """The APB-resident portion of a word address."""
+        return waddr >> self.prefix_low_bits
+
+    def admit(self, waddr: int) -> bool:
+        """Ensure the prefix of ``waddr`` is resident.
+
+        Returns True if resident (possibly newly inserted); False when the
+        APB is full and the prefix is absent — a full condition.
+        No-op (always True) when the APB is disabled.
+        """
+        if self.capacity == 0:
+            return True
+        prefix = waddr >> self.prefix_low_bits
+        if prefix in self._prefixes:
+            return True
+        if len(self._prefixes) >= self.capacity:
+            return False
+        self._prefixes.add(prefix)
+        return True
+
+    def holds(self, waddr: int) -> bool:
+        """True if the prefix of ``waddr`` is resident (or APB disabled)."""
+        if self.capacity == 0:
+            return True
+        return (waddr >> self.prefix_low_bits) in self._prefixes
+
+    def clear(self) -> None:
+        """Empty the buffer (checkpoint phase 2 / power loss)."""
+        self._prefixes.clear()

@@ -1,0 +1,229 @@
+"""Hardware configuration and checkpoint-policy optimization settings.
+
+A Clank configuration is written ``R,W,WB,AP`` in the paper (Table 2): the
+number of Read-first, Write-first, Write-back, and Address-Prefix buffer
+entries.  The Read-first Buffer is the only required component (Section 7.1);
+everything else trades hardware for fewer checkpoints.
+"""
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.common.constants import WORD_ADDRESS_BITS
+from repro.common.errors import ConfigError
+
+#: Names of the five checkpoint-policy optimizations (Section 3.2), in paper
+#: order.
+OPTIMIZATION_NAMES = (
+    "ignore_false_writes",
+    "remove_duplicates",
+    "no_wf_overflow",
+    "ignore_text",
+    "latest_checkpoint",
+)
+
+
+@dataclass(frozen=True)
+class PolicyOptimizations:
+    """The five independent policy optimizations of Section 3.2.
+
+    Each reduces checkpoint pressure while preserving correctness; the 32
+    combinations are the "policy optimization settings" swept in Section 7.2.
+
+    Attributes:
+        ignore_false_writes: Ignore writes that do not change the stored
+            value for violation-detection purposes (3.2.1).
+        remove_duplicates: When a violation is absorbed by the Write-back
+            Buffer, evict the address from the Read-first Buffer — the WBB
+            entry now owns it (3.2.2).
+        no_wf_overflow: Never checkpoint on Write-first Buffer overflow;
+            let the write pass untracked and accept possible false
+            violations later (3.2.3).
+        ignore_text: Do not track reads of text-segment addresses; force a
+            checkpoint on any text-segment write (3.2.4).
+        latest_checkpoint: On a read-side buffer fill, stop tracking, let
+            reads pass, and checkpoint only immediately before the next
+            write (3.2.5).
+    """
+
+    ignore_false_writes: bool = False
+    remove_duplicates: bool = False
+    no_wf_overflow: bool = False
+    ignore_text: bool = False
+    latest_checkpoint: bool = False
+
+    @classmethod
+    def none(cls) -> "PolicyOptimizations":
+        """All optimizations disabled."""
+        return cls()
+
+    @classmethod
+    def all(cls) -> "PolicyOptimizations":
+        """All optimizations enabled."""
+        return cls(True, True, True, True, True)
+
+    @classmethod
+    def only(cls, name: str) -> "PolicyOptimizations":
+        """Exactly one optimization enabled, by name."""
+        if name not in OPTIMIZATION_NAMES:
+            raise ConfigError(f"unknown optimization {name!r}")
+        return cls(**{name: True})
+
+    @classmethod
+    def all_settings(cls) -> List["PolicyOptimizations"]:
+        """All 32 settings, in a deterministic order (Section 7.1 sweeps
+        "over 32 policy optimization settings")."""
+        settings = []
+        for bits in itertools.product((False, True), repeat=len(OPTIMIZATION_NAMES)):
+            settings.append(cls(**dict(zip(OPTIMIZATION_NAMES, bits))))
+        return settings
+
+    def enabled_names(self) -> Tuple[str, ...]:
+        """Names of the enabled optimizations."""
+        return tuple(n for n in OPTIMIZATION_NAMES if getattr(self, n))
+
+    def label(self) -> str:
+        """Compact label for tables, e.g. ``"none"`` or ``"ifw+ltc"``."""
+        names = self.enabled_names()
+        if not names:
+            return "none"
+        if len(names) == len(OPTIMIZATION_NAMES):
+            return "all"
+        abbrev = {
+            "ignore_false_writes": "ifw",
+            "remove_duplicates": "rmd",
+            "no_wf_overflow": "nwf",
+            "ignore_text": "itx",
+            "latest_checkpoint": "ltc",
+        }
+        return "+".join(abbrev[n] for n in names)
+
+
+@dataclass(frozen=True)
+class ClankConfig:
+    """A Clank hardware buffer composition.
+
+    Attributes:
+        rf_entries: Read-first Buffer entries (>= 1; the only required
+            component).
+        wf_entries: Write-first Buffer entries (0 disables it).
+        wbb_entries: Write-back Buffer entries (0 disables it).
+        apb_entries: Address Prefix Buffer entries (0 disables it; when
+            enabled, every buffer entry stores ``prefix_low_bits`` low
+            address bits plus a tag into the APB).
+        prefix_low_bits: Low word-address bits kept in each entry when the
+            APB is enabled (the paper's built configuration uses 6).
+        optimizations: Checkpoint-policy optimization setting.
+    """
+
+    rf_entries: int = 1
+    wf_entries: int = 0
+    wbb_entries: int = 0
+    apb_entries: int = 0
+    prefix_low_bits: int = 6
+    optimizations: PolicyOptimizations = field(default_factory=PolicyOptimizations.all)
+
+    def __post_init__(self) -> None:
+        if self.rf_entries < 1:
+            raise ConfigError("the Read-first Buffer is required (rf_entries >= 1)")
+        for name in ("wf_entries", "wbb_entries", "apb_entries"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        if not (1 <= self.prefix_low_bits < WORD_ADDRESS_BITS):
+            raise ConfigError("prefix_low_bits out of range")
+
+    # ------------------------------------------------------------------ #
+    # Bit accounting (the x-axis of Figures 5 and 6).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tag_bits(self) -> int:
+        """Bits of the APB tag stored in each buffer entry."""
+        if self.apb_entries == 0:
+            return 0
+        return max(1, (self.apb_entries - 1).bit_length())
+
+    @property
+    def entry_addr_bits(self) -> int:
+        """Bits of address (+tag) stored per RF/WF entry.
+
+        30 bits for a full word address without the APB; ``prefix_low_bits``
+        plus the tag with it (Section 3.1.3: 6 + 2 = 8 vs 30).
+        """
+        if self.apb_entries == 0:
+            return WORD_ADDRESS_BITS
+        return self.prefix_low_bits + self.tag_bits
+
+    @property
+    def apb_entry_bits(self) -> int:
+        """Bits per APB entry (the de-duplicated address prefix)."""
+        if self.apb_entries == 0:
+            return 0
+        return WORD_ADDRESS_BITS - self.prefix_low_bits
+
+    @property
+    def buffer_bits(self) -> int:
+        """Total buffer storage bits of this configuration.
+
+        Write-back entries carry a 32-bit data value alongside the address;
+        the ``temp value`` slot of Figure 3 (used by ignore-false-writes to
+        remember first-read values) co-opts the same storage, so it is
+        counted once.  A single Read-first entry is 30 bits — the dashed
+        vertical line of Figures 5-6 and the "30" row of Table 4.
+        """
+        entry = self.entry_addr_bits
+        bits = self.rf_entries * entry
+        bits += self.wf_entries * entry
+        bits += self.wbb_entries * (entry + 32)
+        bits += self.apb_entries * self.apb_entry_bits
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors.
+    # ------------------------------------------------------------------ #
+
+    def with_optimizations(self, opts: PolicyOptimizations) -> "ClankConfig":
+        """This configuration with a different policy setting."""
+        return replace(self, optimizations=opts)
+
+    @classmethod
+    def from_tuple(
+        cls,
+        spec: Tuple[int, int, int, int],
+        optimizations: PolicyOptimizations = None,
+    ) -> "ClankConfig":
+        """Build from the paper's ``R, W, WB, AP`` notation (Table 2)."""
+        r, w, wb, ap = spec
+        return cls(
+            rf_entries=r,
+            wf_entries=w,
+            wbb_entries=wb,
+            apb_entries=ap,
+            optimizations=optimizations or PolicyOptimizations.all(),
+        )
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"16,8,4,4"``."""
+        return f"{self.rf_entries},{self.wf_entries},{self.wbb_entries},{self.apb_entries}"
+
+    @classmethod
+    def infinite(cls) -> "ClankConfig":
+        """A near-infinite configuration (Section 7.4's experiment)."""
+        big = 1 << 20
+        return cls(rf_entries=big, wf_entries=big, wbb_entries=big, apb_entries=0)
+
+
+#: The four globally Pareto-optimal compositions of Table 2, plus the
+#: fifth row's compiler+watchdog variant reuses the last one.
+TABLE2_CONFIGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (16, 0, 0, 0),
+    (8, 8, 0, 0),
+    (8, 4, 2, 0),
+    (16, 8, 4, 4),
+)
+
+
+def table2_configs() -> List[ClankConfig]:
+    """The Table 2 buffer compositions with all optimizations enabled."""
+    return [ClankConfig.from_tuple(spec) for spec in TABLE2_CONFIGS]

@@ -1,0 +1,220 @@
+"""Idempotency detection and buffer-management logic (Sections 3.1-3.2).
+
+The detector observes every (non-ignored) memory access and decides whether
+it may proceed, must be absorbed by the Write-back Buffer, or requires a
+checkpoint first.  A write to a read-dominated address is an idempotency
+violation; a full tracking buffer is treated the same way (Section 3.1.1).
+
+Decisions returned to the caller (the intermittent simulator or the live
+ISS attachment):
+
+* ``PROCEED`` — the access goes through; writes commit directly to
+  non-volatile memory (the address is write-dominated, untracked-but-safe,
+  or a value-preserving "false write").
+* ``PROCEED_WBB`` — the write was captured by the volatile Write-back
+  Buffer; non-volatile memory keeps the original value.
+* ``CHECKPOINT`` — a checkpoint must be taken *before* this access; after
+  the buffers reset, re-issue the access (it will then proceed).
+* ``CHECKPOINT_THEN_WRITE`` — text-segment write under ignore-TEXT: take a
+  checkpoint, then commit the write directly without re-consulting the
+  detector (re-issuing would checkpoint forever).
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.buffers import (
+    AddressPrefixBuffer,
+    ReadFirstBuffer,
+    WriteBackBuffer,
+    WriteFirstBuffer,
+)
+from repro.core.config import ClankConfig
+
+PROCEED = 0
+PROCEED_WBB = 1
+CHECKPOINT = 2
+CHECKPOINT_THEN_WRITE = 3
+
+#: A detector decision: (action, checkpoint cause or None).
+Decision = Tuple[int, Optional[str]]
+
+_PROCEED: Decision = (PROCEED, None)
+_PROCEED_WBB: Decision = (PROCEED_WBB, None)
+
+
+class IdempotencyDetector:
+    """Clank's detector + management logic over the four buffers.
+
+    Args:
+        config: Buffer composition and policy-optimization setting.
+        text_word_range: Half-open word-address range of the text segment;
+            required only when ``ignore_text`` is enabled.
+    """
+
+    def __init__(
+        self,
+        config: ClankConfig,
+        text_word_range: Optional[Tuple[int, int]] = None,
+    ):
+        self.config = config
+        self.opts = config.optimizations
+        self.rf = ReadFirstBuffer(config.rf_entries)
+        self.wf = WriteFirstBuffer(config.wf_entries)
+        self.wbb = WriteBackBuffer(config.wbb_entries)
+        self.apb = AddressPrefixBuffer(config.apb_entries, config.prefix_low_bits)
+        if self.opts.ignore_text and text_word_range is None:
+            text_word_range = (0, 0)
+        self._text_lo, self._text_hi = text_word_range or (0, 0)
+        self._ignore_text = self.opts.ignore_text
+        #: Latest-checkpoint mode: tracking stopped after a read-side fill;
+        #: reads pass untracked, the next write checkpoints (Section 3.2.5).
+        self.untracked = False
+
+    # ------------------------------------------------------------------ #
+    # Access handling.
+    # ------------------------------------------------------------------ #
+
+    def on_read(self, waddr: int) -> Decision:
+        """Decide a read of word ``waddr``."""
+        if self.untracked:
+            return _PROCEED
+        if self._ignore_text and self._text_lo <= waddr < self._text_hi:
+            return _PROCEED
+        if waddr in self.wbb or waddr in self.rf or waddr in self.wf:
+            return _PROCEED
+        # A fresh read-dominated address must enter the Read-first Buffer.
+        if self.rf.full:
+            return self._read_side_full("rf_full")
+        if not self.apb.admit(waddr):
+            return self._read_side_full("apb_full")
+        self.rf.insert(waddr)
+        return _PROCEED
+
+    def on_write(self, waddr: int, new_value: int, cur_value: int) -> Decision:
+        """Decide a write of word value ``new_value`` to ``waddr``.
+
+        Args:
+            waddr: Target word address.
+            new_value: Word value the write produces.
+            cur_value: Word value the program currently observes there (the
+                Write-back Buffer overlay over non-volatile memory) — used by
+                the ignore-false-writes optimization.
+        """
+        if self.untracked:
+            if self.opts.ignore_false_writes and new_value == cur_value:
+                return _PROCEED
+            return (CHECKPOINT, "latest_write")
+        if self._ignore_text and self._text_lo <= waddr < self._text_hi:
+            # Every text write checkpoints (self-modifying code, 3.2.4);
+            # the write then commits directly: after the checkpoint it is
+            # the first access to the address, hence write-dominated.
+            return (CHECKPOINT_THEN_WRITE, "text_write")
+        if waddr in self.wbb:
+            # Address owned by the Write-back Buffer; update in place.
+            self.wbb.put(waddr, new_value)
+            return _PROCEED_WBB
+        if waddr in self.wf:
+            return _PROCEED
+        if waddr in self.rf:
+            # Idempotency violation: write to a read-dominated address.
+            if self.opts.ignore_false_writes and new_value == cur_value:
+                return _PROCEED
+            if self.wbb.capacity == 0:
+                return (CHECKPOINT, "violation")
+            # The address is in the RF buffer, so its prefix is already
+            # resident in the APB; only WBB capacity can fail here.
+            if not self.wbb.put(waddr, new_value):
+                return (CHECKPOINT, "wbb_full")
+            if self.opts.remove_duplicates:
+                self.rf.discard(waddr)
+            return _PROCEED_WBB
+        # Fresh address: write-dominated.
+        if self.wf.capacity == 0:
+            # No Write-first Buffer configured: the write is untracked.
+            # Safe but pessimistic — a later read then write of this address
+            # will look like a violation.
+            return _PROCEED
+        if self.wf.full:
+            if self.opts.no_wf_overflow:
+                return _PROCEED
+            return (CHECKPOINT, "wf_full")
+        if not self.apb.admit(waddr):
+            if self.opts.no_wf_overflow:
+                return _PROCEED
+            return (CHECKPOINT, "apb_full")
+        self.wf.insert(waddr)
+        return _PROCEED
+
+    def _read_side_full(self, cause: str) -> Decision:
+        """A read could not be tracked: either defer via latest-checkpoint
+        (stop tracking, checkpoint before the next write) or checkpoint
+        now."""
+        if self.opts.latest_checkpoint:
+            self.untracked = True
+            return _PROCEED
+        return (CHECKPOINT, cause)
+
+    # ------------------------------------------------------------------ #
+    # View and lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def wbb_value(self, waddr: int) -> Optional[int]:
+        """Buffered (newest) value for ``waddr``, or None if not buffered.
+
+        The program's view of memory is the WBB overlaid on non-volatile
+        memory.
+        """
+        return self.wbb.get(waddr)
+
+    def reset_section(self) -> Dict[int, int]:
+        """Checkpoint phase 2: reset all buffers for the next idempotent
+        section, returning the Write-back Buffer contents that the
+        checkpoint routine must flush to non-volatile memory."""
+        flushed = self.wbb.drain()
+        self.rf.clear()
+        self.wf.clear()
+        self.apb.clear()
+        self.untracked = False
+        return flushed
+
+    def power_fail(self) -> None:
+        """Power loss: all buffers are volatile and simply vanish; buffered
+        idempotency-violating writes roll back for free (Section 3.1.2)."""
+        self.rf.clear()
+        self.wf.clear()
+        self.wbb.clear()
+        self.apb.clear()
+        self.untracked = False
+
+    def snapshot(self) -> Tuple:
+        """Copy of the complete volatile detector state.
+
+        Used by the bounded model checker to fork execution at every
+        possible power-failure point while driving this real implementation
+        (not a re-implementation of its logic).
+        """
+        return (
+            frozenset(self.rf),
+            frozenset(self.wf),
+            tuple(sorted(self.wbb.items())),
+            frozenset(self.apb._prefixes),
+            self.untracked,
+        )
+
+    def restore(self, state: Tuple) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        rf, wf, wbb_items, prefixes, untracked = state
+        self.rf._addrs = set(rf)
+        self.wf._addrs = set(wf)
+        self.wbb._entries = dict(wbb_items)
+        self.apb._prefixes = set(prefixes)
+        self.untracked = untracked
+
+    def occupancy(self) -> Dict[str, int]:
+        """Current entry counts, for diagnostics and tests."""
+        return {
+            "rf": len(self.rf),
+            "wf": len(self.wf),
+            "wbb": len(self.wbb),
+            "apb": len(self.apb),
+        }

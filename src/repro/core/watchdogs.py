@@ -1,0 +1,164 @@
+"""Clank's two watchdog timers (Section 3.1.4).
+
+The *Progress Watchdog* guarantees forward progress across runt power cycles
+by breaking overly long idempotent sections with superfluous checkpoints; it
+is enabled adaptively by the start-up routine and halves its period each
+power cycle that makes no progress.
+
+The *Performance Watchdog* bounds the cycles between checkpoints so that
+checkpoint overhead and re-execution overhead balance — the paper's fix for
+*overhead inversion*, where Clank's sections grow so long that re-execution
+dominates total overhead (Section 7.4).
+"""
+
+import math
+
+from repro.common.errors import ConfigError
+
+
+class PerformanceWatchdog:
+    """Fixed-period watchdog that forces a checkpoint every ``load_value``
+    cycles.  Always enabled when configured; the checkpoint routine reloads
+    it on every checkpoint.
+
+    Args:
+        load_value: Cycles between forced checkpoints; 0 disables the timer.
+    """
+
+    __slots__ = ("load_value", "_remaining")
+
+    def __init__(self, load_value: int = 0):
+        if load_value < 0:
+            raise ConfigError("load_value must be >= 0")
+        self.load_value = load_value
+        self._remaining = load_value
+
+    @property
+    def enabled(self) -> bool:
+        """True when the timer is configured."""
+        return self.load_value > 0
+
+    def reload(self) -> None:
+        """Reset the countdown (done by every checkpoint routine)."""
+        self._remaining = self.load_value
+
+    def advance(self, cycles: int) -> bool:
+        """Count down ``cycles``; True if the timer expired in this span."""
+        if self.load_value == 0:
+            return False
+        self._remaining -= cycles
+        return self._remaining <= 0
+
+    @property
+    def remaining(self) -> int:
+        """Cycles until expiry (may be <= 0 right when expired)."""
+        return self._remaining
+
+
+class ProgressWatchdog:
+    """Adaptive watchdog guaranteeing forward progress (Section 3.1.4).
+
+    State split exactly as in the paper: the *load value* and the
+    made-a-checkpoint flag live in non-volatile memory and survive power
+    cycles; the enable bit and countdown are volatile.
+
+    Driven by the start-up and checkpoint routines:
+
+    * :meth:`on_restart` implements the restart-routine steps — if a
+      checkpoint happened last power cycle the watchdog stays disabled;
+      otherwise it is enabled with the stored load value halved (or the
+      default if none is stored).
+    * :meth:`on_checkpoint` implements the first-checkpoint bookkeeping —
+      disable the watchdog, zero the stored load value, and record that this
+      power cycle made progress.
+
+    Args:
+        default_load: Initial period when first enabled; 0 disables the
+            watchdog entirely (for configurations without it).
+        adaptive: Halve the stored load value across checkpoint-free power
+            cycles (the paper's design).  ``False`` keeps a fixed period —
+            an ablation of the halving mechanism.
+    """
+
+    __slots__ = (
+        "default_load",
+        "adaptive",
+        "nv_load_value",
+        "nv_no_checkpoint",
+        "enabled",
+        "_remaining",
+    )
+
+    def __init__(self, default_load: int = 0, adaptive: bool = True):
+        if default_load < 0:
+            raise ConfigError("default_load must be >= 0")
+        self.default_load = default_load
+        self.adaptive = adaptive
+        # Non-volatile state.
+        self.nv_load_value = 0
+        self.nv_no_checkpoint = False  # the paper's 0/1 variable
+        # Volatile state.
+        self.enabled = False
+        self._remaining = 0
+
+    @property
+    def configured(self) -> bool:
+        """True when the device has a Progress Watchdog at all."""
+        return self.default_load > 0
+
+    def on_restart(self) -> None:
+        """Start-up routine steps 2-4 (Section 4.2)."""
+        self.enabled = False
+        if not self.configured:
+            return
+        if not self.nv_no_checkpoint:
+            # A checkpoint happened last power cycle: leave disabled, but
+            # arm the flag so a checkpoint-free cycle enables us next time.
+            self.nv_no_checkpoint = True
+            return
+        # No forward progress last power cycle.
+        if self.nv_load_value > 0 and self.adaptive:
+            # Still none even with the watchdog on: halve the period.
+            self.nv_load_value = max(1, self.nv_load_value // 2)
+        elif self.nv_load_value == 0:
+            self.nv_load_value = self.default_load
+        self.enabled = True
+        self._remaining = self.nv_load_value
+
+    def on_checkpoint(self) -> None:
+        """First-checkpoint-of-the-power-cycle bookkeeping."""
+        if not self.configured:
+            return
+        self.enabled = False
+        self.nv_load_value = 0
+        self.nv_no_checkpoint = False
+
+    def advance(self, cycles: int) -> bool:
+        """Count down ``cycles``; True if the watchdog fired."""
+        if not self.enabled:
+            return False
+        self._remaining -= cycles
+        return self._remaining <= 0
+
+    @property
+    def remaining(self) -> int:
+        """Cycles until expiry while enabled."""
+        return self._remaining
+
+
+def optimal_watchdog_value(
+    avg_on_cycles: float, checkpoint_cycles: float
+) -> int:
+    """The Performance Watchdog load value minimizing total overhead.
+
+    In the ideal case of no program-induced checkpoints (Section 7.4), with
+    average power-on time ``T``, checkpoint cost ``C``, and watchdog period
+    ``P``: checkpoint overhead is ``C/P`` and expected re-execution per
+    power cycle is ``P/2``, i.e. re-execution overhead ``P/(2T)``.  Total
+    overhead ``C/P + P/(2T)`` is minimized at ``P* = sqrt(2·C·T)``, where
+    the two components are equal — the balance the paper observes in
+    Figure 8.
+    """
+    if avg_on_cycles <= 0 or checkpoint_cycles <= 0:
+        raise ConfigError("avg_on_cycles and checkpoint_cycles must be > 0")
+    return max(1, int(round(math.sqrt(2.0 * checkpoint_cycles * avg_on_cycles))))

@@ -1,0 +1,22 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes ``run(settings) -> data`` and ``render(data) -> str``;
+``python -m repro.eval <experiment>`` runs one from the command line, and
+the pytest-benchmark harness under ``benchmarks/`` wraps the same drivers.
+
+Experiments:
+
+* :mod:`repro.eval.table1` — benchmark running time / size / Clank size increase.
+* :mod:`repro.eval.fig5` — design-space Pareto frontiers (buffer families).
+* :mod:`repro.eval.fig6` — policy-optimization Pareto frontiers.
+* :mod:`repro.eval.table2` — hardware overhead vs average software overhead.
+* :mod:`repro.eval.fig7` — per-benchmark total overhead decomposition.
+* :mod:`repro.eval.fig8` — Performance Watchdog sweep (overhead inversion).
+* :mod:`repro.eval.table3` — comparison with prior approaches on fft.
+* :mod:`repro.eval.table4` — mixed-volatility Clank vs DINO on DS.
+"""
+
+from repro.eval.settings import EvalSettings
+from repro.eval.pareto import pareto_frontier
+
+__all__ = ["EvalSettings", "pareto_frontier"]

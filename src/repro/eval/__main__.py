@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.eval <experiment>``.
+
+Experiments: table1, fig5, fig6, table2, fig7, fig8, table3, table4, all.
+Pass ``--quick`` for smoke-test sizes.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval.settings import EvalSettings
+
+_EXPERIMENTS = (
+    "table1", "fig5", "fig6", "table2", "fig7", "fig8", "table3", "table4",
+    "ablation_compiler", "ablation_progress", "ablation_apb", "ablation_undo",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate a table or figure from the Clank paper.",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS + ("all",))
+    parser.add_argument("--quick", action="store_true", help="small workloads")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--verify", action="store_true",
+                        help="dynamically verify every simulation")
+    args = parser.parse_args(argv)
+
+    settings = EvalSettings(seed=args.seed, verify=args.verify)
+    if args.quick:
+        settings = settings.quick()
+
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        module = __import__(f"repro.eval.{name}", fromlist=["run", "render"])
+        start = time.time()
+        data = module.run(settings)
+        elapsed = time.time() - start
+        print(module.render(data))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Figure 5: Pareto frontiers of buffer size vs average checkpoint overhead
+for five increasingly capable versions of Clank.
+
+Families (cumulative capability, as in the paper):
+
+* ``R``         — only a Read-first Buffer.
+* ``R+W``       — adds the Write-first Buffer.
+* ``R+W+B``     — adds the Write-back Buffer.
+* ``R+W+B+A``   — adds the Address Prefix Buffer.
+* ``R+W+B+A+C`` — additionally ignores Program Idempotent accesses.
+
+For every configuration in a family's grid, the driver averages checkpoint
+overhead across all 23 benchmarks (the paper's y-axis), then takes the
+Pareto frontier over total buffer bits (the x-axis).  The dashed vertical
+line of the paper — one Read-first entry, 30 bits — is the first point of
+the ``R`` family.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import ClankConfig
+from repro.eval.pareto import Point, pareto_frontier
+from repro.eval.runner import average, benchmark_traces, run_clank
+from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+
+#: Entry-count grids per buffer.  Kept modest: the full cross product over
+#: five families and 23 benchmarks is the shape of the paper's 8-CPU-month
+#: sweep; these grids preserve the frontier structure at tractable cost.
+_R_GRID = (1, 2, 4, 8, 16, 24)
+_W_GRID = (0, 1, 4, 8)
+_B_GRID = (0, 1, 2, 4)
+_A_GRID = (0, 2, 4)
+
+
+def family_configs(family: str) -> List[ClankConfig]:
+    """The configuration grid of one Figure 5 family."""
+    r_grid, w_grid, b_grid, a_grid = _R_GRID, (0,), (0,), (0,)
+    if "W" in family:
+        w_grid = _W_GRID
+    if "B" in family:
+        b_grid = _B_GRID
+    if "A" in family:
+        a_grid = _A_GRID
+    configs = []
+    for r, w, b, a in itertools.product(r_grid, w_grid, b_grid, a_grid):
+        configs.append(ClankConfig.from_tuple((r, w, b, a)))
+    return configs
+
+
+FAMILIES = ("R", "R+W", "R+W+B", "R+W+B+A", "R+W+B+A+C")
+
+
+@dataclass
+class Fig5Data:
+    """Per-family Pareto frontiers of (buffer bits, avg checkpoint
+    overhead, config label)."""
+
+    frontiers: Dict[str, List[Point]]
+
+
+def run(settings: EvalSettings = DEFAULT_SETTINGS) -> Fig5Data:
+    """Sweep all families over the benchmark suite (sweep-size traces)."""
+    traces = benchmark_traces(settings, size=settings.sweep_size)
+    frontiers: Dict[str, List[Point]] = {}
+    cache: Dict[Tuple[str, bool], float] = {}
+    for family in FAMILIES:
+        use_compiler = family.endswith("+C")
+        points: List[Point] = []
+        for config in family_configs(family.replace("+C", "")):
+            key = (config.label(), use_compiler)
+            if key not in cache:
+                overheads = []
+                for salt, (name, trace) in enumerate(traces):
+                    result = run_clank(
+                        trace, config, settings, salt=salt, use_compiler=use_compiler
+                    )
+                    overheads.append(result.checkpoint_overhead)
+                cache[key] = average(overheads)
+            points.append((config.buffer_bits, cache[key], config.label()))
+        frontiers[family] = pareto_frontier(points)
+    return Fig5Data(frontiers=frontiers)
+
+
+def render(data: Fig5Data) -> str:
+    """Text rendering: one frontier per family."""
+    out = ["Figure 5: buffer bits vs average checkpoint overhead (Pareto frontiers)"]
+    for family in FAMILIES:
+        out.append(f"-- {family}")
+        for bits, overhead, label in data.frontiers[family]:
+            out.append(f"   {int(bits):5d} bits  {overhead:7.2%}  ({label})")
+    return "\n".join(out)

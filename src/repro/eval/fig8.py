@@ -1,0 +1,111 @@
+"""Figure 8: checkpoint vs re-execution overhead against the Performance
+Watchdog value (Section 7.4).
+
+With near-infinite buffers there are no program-induced checkpoints, so
+every checkpoint comes from the Performance Watchdog.  Small load values
+checkpoint too often (checkpoint overhead dominates); large values leave
+too much re-execution per power failure (overhead inversion).  The combined
+curve is U-shaped with its minimum where the two overheads balance — at
+the analytic ``P* = sqrt(2·C·T)`` (see
+:func:`repro.core.watchdogs.optimal_watchdog_value`).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import ClankConfig
+from repro.core.watchdogs import optimal_watchdog_value
+from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.runtime.costs import CostModel
+from repro.sim.simulator import IntermittentSimulator
+from repro.workloads.cache import get_trace
+
+#: Fixed-cost checkpoints, as the paper's Section 7.4 analysis assumes
+#: ("it is possible to calculate the optimal watchdog value given the
+#: average on time, restart overhead, and the average number of cycles
+#: required to save a checkpoint").  With infinite buffers a real flush
+#: would grow linearly with section length and hide the 1/P decay of the
+#: checkpoint curve.
+FIG8_COST_MODEL = CostModel(wbb_entry_flush_cycles=0, wbb_flush_base_cycles=0)
+
+#: Workload used for the sweep: a long benchmark, so each run spans many
+#: power cycles; with infinite buffers no checkpoint is program-induced
+#: (matching the experiment's "ideal scenario" premise).
+SWEEP_WORKLOAD = "fft"
+
+#: Watchdog values swept (cycles).
+SWEEP_VALUES = (200, 400, 700, 1000, 1500, 2200, 3200, 4700, 7000,
+                10000, 15000, 22000, 33000, 47000)
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    """One sweep point."""
+
+    watchdog: int
+    checkpoint: float
+    reexec: float
+
+    @property
+    def combined(self) -> float:
+        """Combined overhead multiplier (the paper's third curve)."""
+        return 1.0 + self.checkpoint + self.reexec
+
+
+@dataclass
+class Fig8Data:
+    """The full sweep plus the analytic optimum."""
+
+    points: List[Fig8Point]
+    analytic_optimum: int
+
+    def best(self) -> Fig8Point:
+        """The sweep point with minimal combined overhead."""
+        return min(self.points, key=lambda p: p.combined)
+
+
+def run(settings: EvalSettings = DEFAULT_SETTINGS, repeats: int = 6) -> Fig8Data:
+    """Sweep the Performance Watchdog with infinite buffers.
+
+    Args:
+        settings: Experiment settings.
+        repeats: Runs (with different power seeds) averaged per point.
+    """
+    trace = get_trace(SWEEP_WORKLOAD, size=settings.size)
+    config = ClankConfig.infinite()
+    points = []
+    for value in SWEEP_VALUES:
+        ck = rx = 0.0
+        for rep in range(repeats):
+            sim = IntermittentSimulator(
+                trace, config, settings.schedule(1000 * value + rep),
+                cost_model=FIG8_COST_MODEL,
+                perf_watchdog=value,
+                progress_watchdog="auto",
+                verify=settings.verify,
+            )
+            result = sim.run()
+            ck += result.checkpoint_overhead
+            rx += result.reexec_overhead + result.restart_overhead
+        points.append(Fig8Point(value, ck / repeats, rx / repeats))
+    analytic = optimal_watchdog_value(
+        settings.avg_on_cycles, FIG8_COST_MODEL.checkpoint_cycles()
+    )
+    return Fig8Data(points=points, analytic_optimum=analytic)
+
+
+def render(data: Fig8Data) -> str:
+    """Text rendering of the three curves."""
+    out = ["Figure 8: Performance Watchdog sweep (infinite buffers)"]
+    out.append(f"{'WDT value':>10s} {'ckpt':>8s} {'reexec':>8s} {'combined':>9s}")
+    for p in data.points:
+        out.append(
+            f"{p.watchdog:10d} {p.checkpoint:8.2%} {p.reexec:8.2%} "
+            f"x{p.combined:8.4f}"
+        )
+    best = data.best()
+    out.append(
+        f"minimum at {best.watchdog} (analytic P* = {data.analytic_optimum}); "
+        f"checkpoint {best.checkpoint:.2%} vs re-execution {best.reexec:.2%}"
+    )
+    return "\n".join(out)

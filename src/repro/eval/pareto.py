@@ -1,0 +1,25 @@
+"""Pareto-frontier helper for the design-space figures."""
+
+from typing import Iterable, List, Tuple
+
+#: A design point: (cost, value, label) — e.g. (buffer bits, overhead, cfg).
+Point = Tuple[float, float, str]
+
+
+def pareto_frontier(points: Iterable[Point]) -> List[Point]:
+    """The lower-left Pareto frontier of (cost, value) points.
+
+    A point survives when no other point has both lower-or-equal cost and
+    strictly lower value.  The result is sorted by cost, so it plots as the
+    staircase the paper's Figures 5 and 6 show.
+    """
+    best: dict = {}
+    for cost, value, label in points:
+        if cost not in best or value < best[cost][1]:
+            best[cost] = (cost, value, label)
+    frontier: List[Point] = []
+    for cost in sorted(best):
+        point = best[cost]
+        if not frontier or point[1] < frontier[-1][1]:
+            frontier.append(point)
+    return frontier

@@ -1,0 +1,64 @@
+"""Shared simulation plumbing for the experiment drivers."""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compiler.program_idempotence import profile_program_idempotent
+from repro.core.config import ClankConfig
+from repro.eval.settings import EvalSettings
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import IntermittentSimulator
+from repro.trace.trace import Trace
+from repro.workloads.cache import get_trace
+from repro.workloads.registry import mibench2_names
+
+#: Cache of per-trace Program-Idempotence profiles.
+_PI_CACHE: Dict[int, frozenset] = {}
+
+
+def pi_words_for(trace: Trace) -> frozenset:
+    """Cached Program-Idempotent word set of a trace."""
+    key = id(trace)
+    if key not in _PI_CACHE:
+        _PI_CACHE[key] = profile_program_idempotent(trace)
+    return _PI_CACHE[key]
+
+
+def run_clank(
+    trace: Trace,
+    config: ClankConfig,
+    settings: EvalSettings,
+    salt: int = 0,
+    use_compiler: bool = False,
+    perf_watchdog=0,
+    volatile_ranges=None,
+) -> SimulationResult:
+    """One policy-simulator run under the experiment's standard conditions.
+
+    The Progress Watchdog is always configured (every Clank deployment has
+    it — Table 1's code-size column includes both watchdog timers); the
+    Performance Watchdog and the compiler's Program-Idempotent marking are
+    per-experiment choices (the ``+C+WDT`` rows).
+    """
+    sim = IntermittentSimulator(
+        trace,
+        config,
+        settings.schedule(salt),
+        perf_watchdog=perf_watchdog,
+        progress_watchdog="auto",
+        pi_words=pi_words_for(trace) if use_compiler else None,
+        volatile_ranges=volatile_ranges,
+        verify=settings.verify,
+    )
+    return sim.run()
+
+
+def benchmark_traces(settings: EvalSettings, size: Optional[str] = None) -> List[Tuple[str, Trace]]:
+    """(name, trace) for the 23 MiBench2 benchmarks at the given size."""
+    size = size or settings.size
+    return [(name, get_trace(name, size=size)) for name in mibench2_names()]
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper's cross-benchmark averages)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

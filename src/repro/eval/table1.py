@@ -1,0 +1,66 @@
+"""Table 1: benchmark running time, size, and Clank's code-size increase.
+
+The paper reports, per MiBench2 benchmark: cycle count (as milliseconds),
+binary size in bytes, and the percent size increase from a representative
+Clank configuration including both watchdog timers.  The reproduction
+reports the same columns from the trace generator and the code-size model;
+"size" is the modeled code + read-only data plus touched data footprint
+(the paper's sizes are dominated by embedded input data for the large
+benchmarks)."""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.constants import cycles_to_ms
+from repro.compiler.codesize import code_size_increase
+from repro.core.config import ClankConfig
+from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.eval.runner import benchmark_traces
+
+#: The representative configuration of Table 1 (Table 2's largest, with
+#: both watchdogs).
+TABLE1_CONFIG = ClankConfig.from_tuple((16, 8, 4, 4))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark row of Table 1."""
+
+    name: str
+    running_ms: float
+    size_bytes: int
+    size_increase: float
+
+
+def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[Table1Row]:
+    """Compute all rows (plus the average row is added by :func:`render`)."""
+    rows = []
+    for name, trace in benchmark_traces(settings):
+        size = trace.code_bytes + 4 * trace.footprint_words
+        report = code_size_increase(size, TABLE1_CONFIG, watchdogs=True)
+        rows.append(
+            Table1Row(
+                name=name,
+                running_ms=cycles_to_ms(trace.total_cycles, settings.clock_hz),
+                size_bytes=size,
+                size_increase=report.increase,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table1Row]) -> str:
+    """Text rendering in the paper's layout."""
+    out = ["Table 1: benchmark running time and size (scaled clock)"]
+    out.append(f"{'Benchmark':15s} {'Time (ms)':>10s} {'Size (bytes)':>13s} {'Increase':>9s}")
+    for r in rows:
+        out.append(
+            f"{r.name:15s} {r.running_ms:10.2f} {r.size_bytes:13d} "
+            f"{r.size_increase:9.2%}"
+        )
+    n = len(rows)
+    avg_ms = sum(r.running_ms for r in rows) / n
+    avg_sz = sum(r.size_bytes for r in rows) // n
+    avg_in = sum(r.size_increase for r in rows) / n
+    out.append(f"{'average':15s} {avg_ms:10.2f} {avg_sz:13d} {avg_in:9.2%}")
+    return "\n".join(out)

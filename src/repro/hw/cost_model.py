@@ -1,0 +1,115 @@
+"""Analytic FPGA-resource model of Clank's buffers and logic."""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.config import ClankConfig
+
+#: Baseline Cortex-M0+ FPGA build resources the overheads are relative to
+#: (VC709-class build: LUTs/FFs of the core plus 32 KB of BlockRAM).
+BASE_LUTS = 6000
+BASE_FFS = 6000
+BASE_MEM_BITS = 262144
+
+#: Calibrated marginal costs (see package docstring).
+_LUT_FIXED = 40.0  # detector/management control logic
+_LUT_PER_CMP_BIT = 0.20  # CAM comparator tree per compared address bit
+_LUT_PER_APB_BIT = 0.35  # APB match + prefix replacement mux
+_LUT_PER_VALUE_BIT = 0.08  # false-write value comparators (WBB)
+_LUT_PER_TAG_BIT = 0.5  # tag decode per entry-tag bit
+_FF_FIXED = 25.0  # state machine + exception registers
+_FF_PER_STORAGE_BIT = 0.04  # addressing/valid flags per stored bit
+_FF_PER_APB_ENTRY = 10.0  # prefix-allocation bookkeeping
+_WATCHDOG_LUTS = 60.0  # two down-counters + compare (per Table 1 cfg)
+_WATCHDOG_FFS = 70.0
+
+
+@dataclass(frozen=True)
+class HardwareOverhead:
+    """FPGA-resource overhead of one Clank configuration.
+
+    Attributes:
+        lut_fraction: Added LUTs over the baseline build.
+        ff_fraction: Added flip-flops over the baseline build.
+        mem_fraction: Added memory bits over the baseline build.
+        power_fraction: The power-overhead proxy: the average of the three
+            area fractions, exactly as Table 2's ``Avg`` column does.  This
+            feeds the "hardware" component of total run-time overhead
+            (Figure 7): energy spent on added hardware is energy not
+            available to move software forward (Section 2.1).
+    """
+
+    lut_fraction: float
+    ff_fraction: float
+    mem_fraction: float
+
+    @property
+    def power_fraction(self) -> float:
+        return (self.lut_fraction + self.ff_fraction + self.mem_fraction) / 3.0
+
+    def row(self) -> Tuple[float, float, float, float]:
+        """(LUT%, FF%, Mem%, Avg%) as percentages, Table 2 layout."""
+        return (
+            100 * self.lut_fraction,
+            100 * self.ff_fraction,
+            100 * self.mem_fraction,
+            100 * self.power_fraction,
+        )
+
+
+def hardware_overhead(config: ClankConfig, watchdogs: bool = False) -> HardwareOverhead:
+    """Modeled FPGA overhead of ``config``.
+
+    Args:
+        config: Buffer composition.
+        watchdogs: Include the two watchdog timers.
+    """
+    entry = config.entry_addr_bits
+    addr_cmp_bits = (config.rf_entries + config.wf_entries + config.wbb_entries) * entry
+    apb_bits = config.apb_entries * config.apb_entry_bits
+    value_bits = config.wbb_entries * 64
+    total_entries = config.rf_entries + config.wf_entries + config.wbb_entries
+    tag_bits = config.tag_bits * total_entries
+
+    luts = (
+        _LUT_FIXED
+        + _LUT_PER_CMP_BIT * addr_cmp_bits
+        + _LUT_PER_APB_BIT * apb_bits
+        + _LUT_PER_VALUE_BIT * value_bits
+        + _LUT_PER_TAG_BIT * tag_bits
+    )
+    ffs = (
+        _FF_FIXED
+        + _FF_PER_STORAGE_BIT * config.buffer_bits
+        + _FF_PER_APB_ENTRY * config.apb_entries
+    )
+    if watchdogs:
+        luts += _WATCHDOG_LUTS
+        ffs += _WATCHDOG_FFS
+
+    return HardwareOverhead(
+        lut_fraction=luts / BASE_LUTS,
+        ff_fraction=ffs / BASE_FFS,
+        mem_fraction=config.buffer_bits / BASE_MEM_BITS,
+    )
+
+
+#: The paper's published Table 2 hardware rows, keyed by the ``R,W,WB,AP``
+#: label: (LUT%, FF%, Memory%, Avg%).  Shipped for side-by-side comparison
+#: in the Table 2 reproduction.
+PAPER_TABLE2: Dict[str, Tuple[float, float, float, float]] = {
+    "16,0,0,0": (2.46, 0.74, 0.18, 1.13),
+    "8,8,0,0": (2.35, 0.74, 0.18, 1.09),
+    "8,4,2,0": (2.14, 0.70, 0.21, 1.01),
+    "16,8,4,4": (3.40, 1.52, 0.26, 1.73),
+}
+
+#: The paper's published average software run-time overheads for the same
+#: rows (Table 2's last column), plus the compiler+watchdog variant.
+PAPER_TABLE2_SOFTWARE: Dict[str, float] = {
+    "16,0,0,0": 33.75,
+    "8,8,0,0": 27.32,
+    "8,4,2,0": 15.66,
+    "16,8,4,4": 8.03,
+    "16,8,4,4+C+WDT": 5.98,
+}

@@ -1,0 +1,28 @@
+"""ARMv6-M Thumb-subset instruction-set simulator with live Clank support.
+
+The paper's artifacts include an FPGA Cortex-M0+ and a cycle-accurate
+ARMv6-M ISS (Thumbulator).  This package provides the reproduction's
+equivalent: a two-pass assembler for a Thumb subset, a CPU with
+Cortex-M0+-style cycle timing (two-stage pipeline costs, 2-cycle data
+accesses, 32-cycle iterative multiplier), and — in :mod:`repro.isa.live` —
+a *live* full-system attachment where Clank's detector watches the data
+bus, checkpoints save real register state into double-buffered non-volatile
+slots, and power failures wipe the core mid-program.  Unlike the
+trace-driven policy simulator, the live system actually restarts from its
+checkpoints, demonstrating end-to-end recovery.
+"""
+
+from repro.isa.assembler import assemble, AssemblyError, Program
+from repro.isa.cpu import Cpu, CpuError, DirectMemoryPort
+from repro.isa.live import LiveClankSystem, LiveRunResult
+
+__all__ = [
+    "assemble",
+    "AssemblyError",
+    "Program",
+    "Cpu",
+    "CpuError",
+    "DirectMemoryPort",
+    "LiveClankSystem",
+    "LiveRunResult",
+]

@@ -1,0 +1,373 @@
+"""Two-pass assembler for an ARMv6-M Thumb subset.
+
+The assembler produces a decoded instruction stream keyed by halfword
+address (a functional ISS executes decoded forms; no binary encoding is
+needed), with faithful Thumb layout rules: 16-bit instructions, ``bl`` as a
+32-bit pair, and ``ldr rt, =value`` materialized through a PC-relative
+literal pool placed after the code — so literal loads are real data reads
+from the text segment, which is what makes Clank's ignore-TEXT
+optimization observable on the live system.
+
+Supported directives: ``.text``, ``.data``, ``.word``, ``.byte``,
+``.space``, ``.align``, ``.ascii``, ``.asciz``, ``.equ``.  Labels end with
+``:``; comments start with ``;``, ``@``, or ``//``.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.mem.map import MemoryMap, default_memory_map
+
+
+class AssemblyError(ReproError):
+    """A source line could not be assembled."""
+
+
+@dataclass(frozen=True)
+class Ins:
+    """One decoded instruction.
+
+    Attributes:
+        op: Canonical operation name (e.g. ``adds_imm``).
+        args: Operand tuple (register numbers / immediates / addresses).
+        size: Encoding size in bytes (2, or 4 for ``bl``).
+        source: Original source text, for diagnostics.
+    """
+
+    op: str
+    args: Tuple[int, ...]
+    size: int
+    source: str
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: Decoded instructions keyed by byte address.
+        entry: Address of the first instruction.
+        data_image: Initial memory bytes (data segment + literal pools),
+            keyed by byte address.
+        symbols: Label/equ values.
+        text_end: One past the last text byte used (code + literals).
+    """
+
+    instructions: Dict[int, Ins]
+    entry: int
+    data_image: Dict[int, int]
+    symbols: Dict[str, int]
+    text_end: int
+    memory_map: MemoryMap = field(default_factory=default_memory_map)
+
+    def initial_word_image(self) -> Dict[int, int]:
+        """The data image folded into word values (for MainMemory)."""
+        words: Dict[int, int] = {}
+        for addr, byte in self.data_image.items():
+            w = addr >> 2
+            words[w] = words.get(w, 0) | (byte << (8 * (addr & 3)))
+        return words
+
+
+_REG_NAMES = {f"r{i}": i for i in range(16)}
+_REG_NAMES.update({"sp": 13, "lr": 14, "pc": 15})
+
+_CONDITIONS = ("eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+               "hi", "ls", "ge", "lt", "gt", "le")
+
+#: Three-operand register ALU ops (rd, rn, rm).
+_ALU3 = {"adds": "adds_reg", "subs": "subs_reg"}
+#: Two-operand register ALU ops (rd, rm), flag setting.
+_ALU2 = {
+    "ands": "ands", "orrs": "orrs", "eors": "eors", "bics": "bics",
+    "mvns": "mvns", "adcs": "adcs", "sbcs": "sbcs", "rors": "rors_reg",
+    "muls": "muls", "uxtb": "uxtb", "uxth": "uxth", "sxtb": "sxtb",
+    "sxth": "sxth", "rev": "rev", "rsbs": "rsbs",
+}
+_SHIFTS = {"lsls": "lsl", "lsrs": "lsr", "asrs": "asr"}
+_LOADSTORE = {
+    "ldr": ("ldr", 4), "str": ("str", 4),
+    "ldrb": ("ldrb", 1), "strb": ("strb", 1),
+    "ldrh": ("ldrh", 2), "strh": ("strh", 2),
+}
+
+
+def _parse_int(token: str, symbols: Dict[str, int]) -> int:
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    if token in symbols:
+        return symbols[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"cannot resolve value {token!r}") from None
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    if token not in _REG_NAMES:
+        raise AssemblyError(f"not a register: {token!r}")
+    return _REG_NAMES[token]
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split on commas not inside brackets or braces."""
+    parts, depth, cur = [], 0, ""
+    for ch in rest:
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "@", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def assemble(source: str, memory_map: Optional[MemoryMap] = None) -> Program:
+    """Assemble Thumb-subset source into a :class:`Program`.
+
+    Raises:
+        AssemblyError: On any unknown mnemonic, bad operand, or undefined
+            label.
+    """
+    mmap = memory_map or default_memory_map()
+    text_base = mmap.segment("text").base
+    data_base = mmap.segment("data").base
+
+    # ---- pass 1: layout ------------------------------------------------
+    symbols: Dict[str, int] = {}
+    items: List[Tuple[str, int, object]] = []  # (kind, addr, payload)
+    literals: List[Tuple[str, int]] = []  # (token, slot index)
+    section = "text"
+    pc = {"text": text_base, "data": data_base}
+
+    lines = source.splitlines()
+    for raw in lines:
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+            if not m:
+                break
+            symbols[m.group(1)] = pc[section]
+            line = m.group(2).strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if directive == ".text":
+                section = "text"
+            elif directive == ".data":
+                section = "data"
+            elif directive == ".align":
+                n = int(rest or "4", 0) if rest else 4
+                n = max(n, 1)
+                pc[section] = (pc[section] + n - 1) // n * n
+            elif directive == ".equ":
+                name, value = [p.strip() for p in rest.split(",", 1)]
+                symbols[name] = int(value, 0)
+            elif directive == ".word":
+                pc[section] = (pc[section] + 3) // 4 * 4
+                for tok in _split_operands(rest):
+                    items.append(("word", pc[section], tok))
+                    pc[section] += 4
+            elif directive == ".byte":
+                for tok in _split_operands(rest):
+                    items.append(("byte", pc[section], tok))
+                    pc[section] += 1
+            elif directive in (".ascii", ".asciz"):
+                m2 = re.match(r'^\s*"(.*)"\s*$', rest)
+                if not m2:
+                    raise AssemblyError(f"bad string: {raw!r}")
+                data = m2.group(1).encode().decode("unicode_escape").encode("latin-1")
+                if directive == ".asciz":
+                    data += b"\x00"
+                for byte in data:
+                    items.append(("bytev", pc[section], byte))
+                    pc[section] += 1
+            elif directive == ".space":
+                pc[section] += int(rest, 0)
+            else:
+                raise AssemblyError(f"unknown directive {directive!r}")
+            continue
+        if section != "text":
+            raise AssemblyError(f"instruction outside .text: {raw!r}")
+        mnemonic = lowered.split(None, 1)[0]
+        size = 4 if mnemonic == "bl" else 2
+        if mnemonic == "ldr" and "=" in line:
+            literals.append((line, pc["text"]))
+        items.append(("ins", pc["text"], line))
+        pc["text"] += size
+
+    # Literal pool after the code, word aligned.
+    pool_base = (pc["text"] + 3) // 4 * 4
+    pool_addr: Dict[str, int] = {}
+    next_pool = pool_base
+    for line, _ in literals:
+        token = line.split("=", 1)[1].strip()
+        if token not in pool_addr:
+            pool_addr[token] = next_pool
+            next_pool += 4
+    text_end = next_pool
+
+    # ---- pass 2: encode ------------------------------------------------
+    instructions: Dict[int, Ins] = {}
+    data_image: Dict[int, int] = {}
+
+    def put_word(addr: int, value: int) -> None:
+        for i in range(4):
+            data_image[addr + i] = (value >> (8 * i)) & 0xFF
+
+    for kind, addr, payload in items:
+        if kind == "word":
+            put_word(addr, _parse_int(payload, symbols) & 0xFFFFFFFF)
+        elif kind == "byte":
+            data_image[addr] = _parse_int(payload, symbols) & 0xFF
+        elif kind == "bytev":
+            data_image[addr] = payload
+        else:
+            instructions[addr] = _encode(payload, addr, symbols, pool_addr)
+
+    for token, addr in pool_addr.items():
+        put_word(addr, _parse_int(token, symbols) & 0xFFFFFFFF)
+
+    entry = symbols.get("_start", text_base)
+    return Program(
+        instructions=instructions,
+        entry=entry,
+        data_image=data_image,
+        symbols=symbols,
+        text_end=text_end,
+        memory_map=mmap,
+    )
+
+
+def _encode(line: str, addr: int, symbols: Dict[str, int], pool: Dict[str, int]) -> Ins:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    ops = _split_operands(rest)
+
+    def value(tok: str) -> int:
+        return _parse_int(tok, symbols)
+
+    try:
+        return _encode_inner(line, mnemonic, ops, addr, symbols, pool, value)
+    except AssemblyError:
+        raise
+    except Exception as exc:
+        raise AssemblyError(f"cannot assemble {line!r}: {exc}") from exc
+
+
+def _encode_inner(line, mnemonic, ops, addr, symbols, pool, value) -> Ins:
+    size = 4 if mnemonic == "bl" else 2
+
+    if mnemonic == "nop":
+        return Ins("nop", (), size, line)
+    if mnemonic == "bkpt":
+        return Ins("bkpt", (value(ops[0]) if ops else 0,), size, line)
+    if mnemonic == "bx":
+        return Ins("bx", (_reg(ops[0]),), size, line)
+    if mnemonic == "bl":
+        return Ins("bl", (value(ops[0]),), size, line)
+    if mnemonic == "b":
+        return Ins("b", (value(ops[0]),), size, line)
+    if mnemonic.startswith("b") and mnemonic[1:] in _CONDITIONS:
+        return Ins("bcond", (_CONDITIONS.index(mnemonic[1:]), value(ops[0])), size, line)
+
+    if mnemonic in ("movs", "mov"):
+        rd = _reg(ops[0])
+        if ops[1].startswith("#") or ops[1] in symbols or re.match(r"^-?\d|^0x", ops[1]):
+            return Ins("movs_imm" if mnemonic == "movs" else "mov_imm",
+                       (rd, value(ops[1])), size, line)
+        return Ins("movs_reg" if mnemonic == "movs" else "mov_reg",
+                   (rd, _reg(ops[1])), size, line)
+
+    if mnemonic in ("adds", "subs") and len(ops) == 3:
+        rd, rn = _reg(ops[0]), _reg(ops[1])
+        if ops[2].lstrip().startswith("#"):
+            op = "adds_imm3" if mnemonic == "adds" else "subs_imm3"
+            return Ins(op, (rd, rn, value(ops[2])), size, line)
+        return Ins(_ALU3[mnemonic], (rd, rn, _reg(ops[2])), size, line)
+    if mnemonic in ("adds", "subs") and len(ops) == 2:
+        rd = _reg(ops[0])
+        if ops[1].lstrip().startswith("#"):
+            op = "adds_imm8" if mnemonic == "adds" else "subs_imm8"
+            return Ins(op, (rd, value(ops[1])), size, line)
+        op = "adds_reg" if mnemonic == "adds" else "subs_reg"
+        return Ins(op, (rd, rd, _reg(ops[1])), size, line)
+    if mnemonic == "add" and len(ops) >= 2:
+        # add sp, #imm / add rd, sp, #imm / add rd, rm (no flags)
+        if _reg(ops[0]) == 13 and ops[1].lstrip().startswith("#"):
+            return Ins("add_sp_imm", (value(ops[1]),), size, line)
+        if len(ops) == 3 and _reg(ops[1]) == 13:
+            return Ins("add_rd_sp", (_reg(ops[0]), value(ops[2])), size, line)
+        return Ins("add_reg_nf", (_reg(ops[0]), _reg(ops[1])), size, line)
+    if mnemonic == "sub" and _reg(ops[0]) == 13:
+        return Ins("sub_sp_imm", (value(ops[1]),), size, line)
+
+    if mnemonic in ("cmp", "cmn", "tst"):
+        rn = _reg(ops[0])
+        if ops[1].lstrip().startswith("#") or ops[1] in symbols:
+            return Ins(f"{mnemonic}_imm", (rn, value(ops[1])), size, line)
+        return Ins(f"{mnemonic}_reg", (rn, _reg(ops[1])), size, line)
+
+    if mnemonic in _SHIFTS:
+        rd = _reg(ops[0])
+        if len(ops) == 3 and ops[2].lstrip().startswith("#"):
+            return Ins(f"{_SHIFTS[mnemonic]}_imm",
+                       (rd, _reg(ops[1]), value(ops[2])), size, line)
+        return Ins(f"{_SHIFTS[mnemonic]}_reg", (rd, _reg(ops[1])), size, line)
+
+    if mnemonic in _ALU2:
+        rd = _reg(ops[0])
+        rm = _reg(ops[1]) if len(ops) > 1 else rd
+        return Ins(_ALU2[mnemonic], (rd, rm), size, line)
+
+    if mnemonic in ("push", "pop"):
+        m = re.match(r"^\{(.*)\}$", ",".join(ops).strip())
+        if not m:
+            raise AssemblyError(f"bad register list: {line!r}")
+        regs = sorted(_reg(r) for r in m.group(1).split(","))
+        return Ins(mnemonic, tuple(regs), size, line)
+
+    if mnemonic in _LOADSTORE:
+        op, width = _LOADSTORE[mnemonic]
+        rt = _reg(ops[0])
+        if len(ops) == 2 and ops[1].lstrip().startswith("="):
+            token = ops[1].split("=", 1)[1].strip()
+            return Ins("ldr_lit", (rt, pool[token]), size, line)
+        joined = ",".join(ops[1:]).strip()
+        m = re.match(r"^\[([^\],]+)(?:,([^\]]+))?\]$", joined)
+        if not m:
+            raise AssemblyError(f"bad addressing mode: {line!r}")
+        rn = _reg(m.group(1))
+        offset = m.group(2)
+        if offset is None:
+            return Ins(f"{op}_imm", (rt, rn, 0), size, line)
+        offset = offset.strip()
+        if offset.startswith("#") or offset in symbols or re.match(r"^-?\d|^0x", offset):
+            return Ins(f"{op}_imm", (rt, rn, _parse_int(offset, symbols)), size, line)
+        return Ins(f"{op}_reg", (rt, rn, _reg(offset)), size, line)
+
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r} in {line!r}")

@@ -1,0 +1,334 @@
+"""Functional ARMv6-M Thumb-subset CPU with Cortex-M0+ cycle timing.
+
+Timing model (two-stage pipeline): most instructions 1 cycle; loads and
+stores 2; taken branches 2; ``bl`` 3; ``bx`` 2; ``push``/``pop`` 1 + one
+cycle per transferred register; ``muls`` 32 (the iterative multiplier the
+paper's implementation uses, Section 6).
+"""
+
+from typing import List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.words import sign_extend, to_u32
+from repro.isa.assembler import Program
+from repro.mem.main_memory import MainMemory
+
+
+class CpuError(ReproError):
+    """The CPU reached an illegal state (bad PC, unknown op)."""
+
+
+class DirectMemoryPort:
+    """A memory port wired straight to a :class:`MainMemory` (no Clank)."""
+
+    def __init__(self, memory: MainMemory):
+        self.memory = memory
+
+    def read(self, addr: int, size: int) -> int:
+        return self.memory.read(addr, size)
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        self.memory.write(addr, value, size)
+
+
+class Cpu:
+    """Executes an assembled :class:`Program` against a memory port.
+
+    Attributes:
+        regs: r0-r15 (r13 = SP, r14 = LR, r15 = PC).
+        n, z, c, v: APSR condition flags.
+        halted: Set by ``bkpt``.
+        cycle_count: Total cycles executed.
+        instr_count: Total instructions retired.
+    """
+
+    MUL_CYCLES = 32
+
+    def __init__(self, program: Program, port, sp: Optional[int] = None):
+        self.program = program
+        self.port = port
+        self.regs: List[int] = [0] * 16
+        stack = program.memory_map.segment("stack")
+        self.regs[13] = sp if sp is not None else stack.end - 4
+        self.regs[15] = program.entry
+        self.n = self.z = self.c = self.v = False
+        self.halted = False
+        self.cycle_count = 0
+        self.instr_count = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pc(self) -> int:
+        return self.regs[15]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.regs[15] = value & ~1  # Thumb bit stripped
+
+    def state_snapshot(self) -> tuple:
+        """Registers + flags (for instruction-granular restart)."""
+        return (list(self.regs), self.n, self.z, self.c, self.v, self.halted)
+
+    def state_restore(self, state: tuple) -> None:
+        regs, self.n, self.z, self.c, self.v, self.halted = state
+        self.regs = list(regs)
+
+    def checkpoint_words(self) -> List[int]:
+        """The 17 words a Clank checkpoint saves: r0-r15 + APSR."""
+        apsr = (self.n << 31) | (self.z << 30) | (self.c << 29) | (self.v << 28)
+        return list(self.regs) + [apsr]
+
+    def load_checkpoint_words(self, words: List[int]) -> None:
+        """Restore processor state from checkpoint words."""
+        self.regs = [to_u32(w) for w in words[:16]]
+        apsr = words[16]
+        self.n = bool(apsr & (1 << 31))
+        self.z = bool(apsr & (1 << 30))
+        self.c = bool(apsr & (1 << 29))
+        self.v = bool(apsr & (1 << 28))
+        self.halted = False
+
+    # ------------------------------------------------------------------ #
+    # Flag helpers.
+    # ------------------------------------------------------------------ #
+
+    def _nz(self, value: int) -> int:
+        value = to_u32(value)
+        self.n = bool(value & 0x8000_0000)
+        self.z = value == 0
+        return value
+
+    def _add_flags(self, a: int, b: int, carry_in: int = 0) -> int:
+        result = a + b + carry_in
+        self.c = result > 0xFFFF_FFFF
+        sa, sb = sign_extend(a, 32), sign_extend(b, 32)
+        signed = sa + sb + carry_in
+        self.v = signed > 0x7FFF_FFFF or signed < -0x8000_0000
+        return self._nz(result)
+
+    def _sub_flags(self, a: int, b: int, borrow_in: int = 0) -> int:
+        # ARM: C = NOT borrow.
+        result = a - b - borrow_in
+        self.c = result >= 0
+        sa, sb = sign_extend(a, 32), sign_extend(b, 32)
+        signed = sa - sb - borrow_in
+        self.v = signed > 0x7FFF_FFFF or signed < -0x8000_0000
+        return self._nz(result)
+
+    def _condition(self, index: int) -> bool:
+        n, z, c, v = self.n, self.z, self.c, self.v
+        return (
+            z, not z, c, not c, n, not n, v, not v,
+            c and not z, (not c) or z,
+            n == v, n != v, (not z) and n == v, z or n != v,
+        )[index]
+
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> int:
+        """Execute one instruction; returns its cycle cost."""
+        if self.halted:
+            raise CpuError("CPU is halted")
+        pc = self.regs[15]
+        ins = self.program.instructions.get(pc)
+        if ins is None:
+            raise CpuError(f"no instruction at pc={pc:#010x}")
+        next_pc = pc + ins.size
+        cycles = 1
+        op = ins.op
+        a = ins.args
+        regs = self.regs
+
+        if op == "nop":
+            pass
+        elif op == "bkpt":
+            self.halted = True
+        elif op == "movs_imm":
+            regs[a[0]] = self._nz(a[1])
+        elif op == "mov_imm":
+            regs[a[0]] = to_u32(a[1])
+        elif op == "movs_reg":
+            regs[a[0]] = self._nz(regs[a[1]])
+        elif op == "mov_reg":
+            regs[a[0]] = regs[a[1]]
+            if a[0] == 15:
+                next_pc = regs[15] & ~1
+                cycles = 2
+        elif op in ("adds_reg", "adds_imm3", "adds_imm8"):
+            if op == "adds_reg":
+                rd, rn, rm = a
+                regs[rd] = self._add_flags(regs[rn], regs[rm])
+            elif op == "adds_imm3":
+                rd, rn, imm = a
+                regs[rd] = self._add_flags(regs[rn], to_u32(imm))
+            else:
+                rd, imm = a
+                regs[rd] = self._add_flags(regs[rd], to_u32(imm))
+        elif op in ("subs_reg", "subs_imm3", "subs_imm8"):
+            if op == "subs_reg":
+                rd, rn, rm = a
+                regs[rd] = self._sub_flags(regs[rn], regs[rm])
+            elif op == "subs_imm3":
+                rd, rn, imm = a
+                regs[rd] = self._sub_flags(regs[rn], to_u32(imm))
+            else:
+                rd, imm = a
+                regs[rd] = self._sub_flags(regs[rd], to_u32(imm))
+        elif op == "adcs":
+            regs[a[0]] = self._add_flags(regs[a[0]], regs[a[1]], int(self.c))
+        elif op == "sbcs":
+            regs[a[0]] = self._sub_flags(regs[a[0]], regs[a[1]], int(not self.c))
+        elif op == "rsbs":
+            regs[a[0]] = self._sub_flags(0, regs[a[1]])
+        elif op == "add_reg_nf":
+            regs[a[0]] = to_u32(regs[a[0]] + regs[a[1]])
+        elif op == "add_sp_imm":
+            regs[13] = to_u32(regs[13] + a[0])
+        elif op == "sub_sp_imm":
+            regs[13] = to_u32(regs[13] - a[0])
+        elif op == "add_rd_sp":
+            regs[a[0]] = to_u32(regs[13] + a[1])
+        elif op == "cmp_imm":
+            self._sub_flags(regs[a[0]], to_u32(a[1]))
+        elif op == "cmp_reg":
+            self._sub_flags(regs[a[0]], regs[a[1]])
+        elif op == "cmn_reg":
+            self._add_flags(regs[a[0]], regs[a[1]])
+        elif op == "cmn_imm":
+            self._add_flags(regs[a[0]], to_u32(a[1]))
+        elif op == "tst_reg":
+            self._nz(regs[a[0]] & regs[a[1]])
+        elif op == "tst_imm":
+            self._nz(regs[a[0]] & to_u32(a[1]))
+        elif op == "ands":
+            regs[a[0]] = self._nz(regs[a[0]] & regs[a[1]])
+        elif op == "orrs":
+            regs[a[0]] = self._nz(regs[a[0]] | regs[a[1]])
+        elif op == "eors":
+            regs[a[0]] = self._nz(regs[a[0]] ^ regs[a[1]])
+        elif op == "bics":
+            regs[a[0]] = self._nz(regs[a[0]] & ~regs[a[1]])
+        elif op == "mvns":
+            regs[a[0]] = self._nz(~regs[a[1]])
+        elif op == "muls":
+            regs[a[0]] = self._nz(regs[a[0]] * regs[a[1]])
+            cycles = self.MUL_CYCLES
+        elif op == "uxtb":
+            regs[a[0]] = regs[a[1]] & 0xFF
+        elif op == "uxth":
+            regs[a[0]] = regs[a[1]] & 0xFFFF
+        elif op == "sxtb":
+            regs[a[0]] = to_u32(sign_extend(regs[a[1]] & 0xFF, 8))
+        elif op == "sxth":
+            regs[a[0]] = to_u32(sign_extend(regs[a[1]] & 0xFFFF, 16))
+        elif op == "rev":
+            v = regs[a[1]]
+            regs[a[0]] = (
+                ((v & 0xFF) << 24) | ((v & 0xFF00) << 8)
+                | ((v >> 8) & 0xFF00) | ((v >> 24) & 0xFF)
+            )
+        elif op == "lsl_imm":
+            rd, rm, sh = a
+            v = regs[rm]
+            if sh:
+                self.c = bool((v << sh) & (1 << 32))
+            regs[rd] = self._nz(v << sh)
+        elif op == "lsr_imm":
+            rd, rm, sh = a
+            v = regs[rm]
+            if sh:
+                self.c = bool(v & (1 << (sh - 1)))
+            regs[rd] = self._nz(v >> sh)
+        elif op == "asr_imm":
+            rd, rm, sh = a
+            v = sign_extend(regs[rm], 32)
+            if sh:
+                self.c = bool((regs[rm] >> (sh - 1)) & 1)
+            regs[rd] = self._nz(v >> sh)
+        elif op in ("lsl_reg", "lsr_reg", "asr_reg", "rors_reg"):
+            rd, rs = a
+            sh = regs[rs] & 0xFF
+            v = regs[rd]
+            if op == "lsl_reg":
+                result = v << sh if sh < 33 else 0
+                if sh:
+                    self.c = bool(result & (1 << 32)) if sh <= 32 else False
+            elif op == "lsr_reg":
+                result = v >> sh if sh < 33 else 0
+                if sh:
+                    self.c = bool(v & (1 << (sh - 1))) if sh <= 32 else False
+            elif op == "asr_reg":
+                sv = sign_extend(v, 32)
+                result = sv >> min(sh, 31)
+                if sh:
+                    self.c = bool((sv >> min(sh, 32) - 1) & 1)
+            else:  # rors
+                sh %= 32
+                result = ((v >> sh) | (v << (32 - sh))) if sh else v
+                if regs[rs] & 0xFF:
+                    self.c = bool(to_u32(result) & 0x8000_0000)
+            regs[rd] = self._nz(result)
+        elif op == "ldr_lit":
+            regs[a[0]] = self.port.read(a[1], 4)
+            cycles = 2
+        elif op.startswith(("ldr", "str")):
+            cycles = 2
+            width = {"b": 1, "h": 2}.get(op[3], 4) if op[3] != "_" else 4
+            base = op.split("_")[0]
+            mode = op.split("_")[1]
+            rt, rn = a[0], a[1]
+            offset = regs[a[2]] if mode == "reg" else a[2]
+            addr = to_u32(regs[rn] + offset)
+            if base.startswith("ldr"):
+                regs[rt] = self.port.read(addr, width)
+            else:
+                self.port.write(addr, regs[rt] & ((1 << (8 * width)) - 1), width)
+        elif op == "push":
+            count = len(a)
+            sp = regs[13] - 4 * count
+            for i, r in enumerate(a):
+                self.port.write(sp + 4 * i, regs[r], 4)
+            regs[13] = sp
+            cycles = 1 + count
+        elif op == "pop":
+            count = len(a)
+            sp = regs[13]
+            for i, r in enumerate(a):
+                value = self.port.read(sp + 4 * i, 4)
+                if r == 15:
+                    next_pc = value & ~1
+                    cycles = 1 + count + 2
+                else:
+                    regs[r] = value
+            regs[13] = sp + 4 * count
+            if 15 not in a:
+                cycles = 1 + count
+        elif op == "b":
+            next_pc = a[0]
+            cycles = 2
+        elif op == "bcond":
+            if self._condition(a[0]):
+                next_pc = a[1]
+                cycles = 2
+        elif op == "bl":
+            regs[14] = (pc + ins.size) | 1
+            next_pc = a[0]
+            cycles = 3
+        elif op == "bx":
+            next_pc = regs[a[0]] & ~1
+            cycles = 2
+        else:
+            raise CpuError(f"unimplemented op {op!r} ({ins.source})")
+
+        self.regs[15] = next_pc
+        self.cycle_count += cycles
+        self.instr_count += 1
+        return cycles
+
+    def run(self, max_instructions: int = 10_000_000) -> None:
+        """Run until ``bkpt`` or the instruction budget is exhausted."""
+        while not self.halted:
+            if self.instr_count >= max_instructions:
+                raise CpuError("instruction budget exhausted")
+            self.step()

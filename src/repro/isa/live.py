@@ -1,0 +1,401 @@
+"""Live full-system Clank: the detector on the CPU's data bus.
+
+Unlike the trace-driven policy simulator, this system *actually performs*
+recovery: checkpoints copy the real register file into double-buffered
+non-volatile slots (committed by a checkpoint-pointer update, Section 4.1),
+power failures wipe the core and every Clank buffer, and the start-up
+routine reloads the committed checkpoint and resumes — so a run across
+dozens of power failures must end in exactly the state of an uninterrupted
+run, which :func:`verify_against_continuous` checks.
+
+Instruction-granular semantics: Clank exceptions (checkpoint-before-access)
+and power failures take effect at instruction boundaries; an interrupted
+instruction is rolled back in the core (registers) and re-executed, which
+is safe because re-issued reads are idempotent and re-issued writes rewrite
+identical values.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError, VerificationError
+from repro.core.config import ClankConfig
+from repro.core.detector import (
+    CHECKPOINT,
+    CHECKPOINT_THEN_WRITE,
+    PROCEED,
+    IdempotencyDetector,
+)
+from repro.isa.assembler import Program
+from repro.isa.cpu import Cpu, DirectMemoryPort
+from repro.mem.main_memory import MainMemory
+from repro.power.schedules import PowerSchedule
+from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+
+#: Upper bound on a single instruction's cycle cost (push of all low regs /
+#: the 32-cycle multiply); power failures are detected at instruction
+#: granularity by requiring this much headroom.
+MAX_INS_CYCLES = 40
+
+
+class _CheckpointNeeded(Exception):
+    """Raised by the Clank memory port mid-instruction."""
+
+    def __init__(self, cause: str, pending_write: Optional[Tuple[int, int, int]] = None):
+        super().__init__(cause)
+        self.cause = cause
+        self.pending_write = pending_write
+
+
+class ClankMemoryPort:
+    """Memory port that routes every data access through the detector."""
+
+    def __init__(self, memory: MainMemory, detector: IdempotencyDetector, mmio_range: Tuple[int, int]):
+        self.memory = memory
+        self.detector = detector
+        self.mmio_lo, self.mmio_hi = mmio_range
+        self.outputs: List[Tuple[int, int]] = []
+        self.output_armed = False  # set between the surrounding checkpoints
+
+    def read(self, addr: int, size: int) -> int:
+        waddr = addr >> 2
+        action, cause = self.detector.on_read(waddr)
+        if action == CHECKPOINT:
+            raise _CheckpointNeeded(cause)
+        buffered = self.detector.wbb_value(waddr)
+        if buffered is None:
+            return self.memory.read(addr, size)
+        # Extract the requested bytes from the buffered word.
+        shift = 8 * (addr & 3)
+        return (buffered >> shift) & ((1 << (8 * size)) - 1)
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        waddr = addr >> 2
+        if self.mmio_lo <= waddr < self.mmio_hi:
+            # Output commit (Section 3.3): surrounded by checkpoints; the
+            # live loop arms the port after the pre-output checkpoint.
+            if not self.output_armed:
+                raise _CheckpointNeeded("output")
+            self.memory.write(addr, value, size)
+            self.outputs.append((addr, value))
+            return
+        # Build the new word value (sub-word stores are word-level RMW).
+        cur = self.detector.wbb_value(waddr)
+        if cur is None:
+            cur = self.memory.read_word(waddr)
+        shift = 8 * (addr & 3)
+        mask = ((1 << (8 * size)) - 1) << shift
+        new = (cur & ~mask) | ((value << shift) & mask)
+        action, cause = self.detector.on_write(waddr, new, cur)
+        if action == CHECKPOINT:
+            raise _CheckpointNeeded(cause)
+        if action == CHECKPOINT_THEN_WRITE:
+            raise _CheckpointNeeded(cause, pending_write=(waddr, new, 0))
+        if action == PROCEED:
+            self.memory.write_word(waddr, new)
+        # PROCEED_WBB: the detector captured the value.
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of one live intermittent run.
+
+    Attributes:
+        instructions: Instructions retired (including re-execution).
+        total_cycles: All cycles consumed.
+        checkpoints: Committed checkpoints by cause.
+        power_cycles: Power-on periods used.
+        outputs: MMIO (address, value) writes in commit order.
+        final_memory: Non-volatile memory at completion.
+    """
+
+    instructions: int
+    total_cycles: int
+    checkpoints: Dict[str, int]
+    power_cycles: int
+    outputs: List[Tuple[int, int]]
+    final_memory: MainMemory
+
+    @property
+    def num_checkpoints(self) -> int:
+        return sum(self.checkpoints.values())
+
+
+class LiveClankSystem:
+    """A Cortex-M0+-style core + non-volatile main memory + Clank.
+
+    Args:
+        program: Assembled program.
+        config: Clank buffer configuration.
+        schedule: Power schedule (use :class:`ContinuousPower` for the
+            oracle run).
+        cost_model: Checkpoint/start-up routine costs.
+        progress_watchdog: Progress Watchdog default load (0 = off).
+        perf_watchdog: Performance Watchdog load (0 = off).
+    """
+
+    # Checkpoint slots live in reserved words at the top of the data
+    # segment: [pointer][slot A: 17 words][slot B: 17 words].
+    _SLOT_WORDS = 17
+
+    def __init__(
+        self,
+        program: Program,
+        config: ClankConfig,
+        schedule: PowerSchedule,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        progress_watchdog: int = 0,
+        perf_watchdog: int = 0,
+    ):
+        self.program = program
+        self.config = config
+        self.schedule = schedule
+        self.cost = cost_model
+        self.progress_watchdog = progress_watchdog
+        self.perf_watchdog = perf_watchdog
+        data_seg = program.memory_map.segment("data")
+        self._ckpt_base = data_seg.end - 4 * (1 + 2 * self._SLOT_WORDS)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_power_cycles: int = 100_000, max_instructions: int = 50_000_000) -> LiveRunResult:
+        """Execute the program to completion across power failures."""
+        program = self.program
+        memory = MainMemory(program.initial_word_image())
+        detector = IdempotencyDetector(
+            self.config,
+            (program.memory_map.segment("text").base >> 2, program.text_end >> 2),
+        )
+        port = ClankMemoryPort(
+            memory, detector, program.memory_map.word_range("mmio")
+        )
+        cpu = Cpu(program, port)
+        ckpt_counts: Dict[str, int] = {}
+        total_cycles = 0
+        power_cycles = 1
+        schedule = self.schedule
+        schedule.reset()
+
+        ptr_addr = self._ckpt_base
+        slot_addrs = (
+            self._ckpt_base + 4,
+            self._ckpt_base + 4 * (1 + self._SLOT_WORDS),
+        )
+        # The compiler's boot image: slot A holds the reset state and the
+        # pointer selects it (Section 4.2's "first checkpoint").
+        boot = Cpu(program, DirectMemoryPort(memory))
+        for i, word in enumerate(boot.checkpoint_words()):
+            memory.write_word((slot_addrs[0] >> 2) + i, word)
+        memory.write_word(ptr_addr >> 2, slot_addrs[0])
+        current_slot = 0
+
+        # Progress Watchdog NV state.
+        pw_no_ckpt = False
+        pw_load = 0
+        pw_enabled = False
+        pw_remaining = 0
+        perf_remaining = self.perf_watchdog
+
+        def restart() -> int:
+            """Start-up routine; returns remaining on-time."""
+            nonlocal power_cycles, pw_no_ckpt, pw_load, pw_enabled, pw_remaining
+            nonlocal perf_remaining, total_cycles
+            while True:
+                on = schedule.next_on_time()
+                rcost = self.cost.restart_cycles()
+                if on >= rcost:
+                    total_cycles += rcost
+                    break
+                total_cycles += on
+                power_cycles += 1
+                if power_cycles > max_power_cycles:
+                    raise SimulationError("live: no forward progress in restart")
+            # Progress Watchdog bookkeeping (Section 4.2).
+            pw_enabled = False
+            if self.progress_watchdog:
+                if not pw_no_ckpt:
+                    pw_no_ckpt = True
+                else:
+                    pw_load = max(1, pw_load // 2) if pw_load else self.progress_watchdog
+                    pw_enabled = True
+                    pw_remaining = pw_load
+            perf_remaining = self.perf_watchdog
+            # Load the committed checkpoint.
+            slot = memory.read_word(ptr_addr >> 2)
+            words = [memory.read_word((slot >> 2) + i) for i in range(self._SLOT_WORDS)]
+            cpu.load_checkpoint_words(words)
+            return on - rcost
+
+        def checkpoint(on_left: int, cause: str):
+            """Checkpoint routine; returns (committed, remaining on-time)."""
+            nonlocal current_slot, pw_no_ckpt, pw_load, pw_enabled
+            nonlocal perf_remaining, total_cycles, power_cycles
+            cost = self.cost.checkpoint_cycles(len(detector.wbb))
+            if on_left < cost:
+                total_cycles += on_left
+                return False, -1  # power died mid-checkpoint: discarded
+            total_cycles += cost
+            flushed = detector.reset_section()
+            for waddr, value in flushed.items():
+                memory.write_word(waddr, value)
+            target = 1 - current_slot
+            for i, word in enumerate(cpu.checkpoint_words()):
+                memory.write_word((slot_addrs[target] >> 2) + i, word)
+            memory.write_word(ptr_addr >> 2, slot_addrs[target])
+            current_slot = target
+            ckpt_counts[cause] = ckpt_counts.get(cause, 0) + 1
+            if self.progress_watchdog:
+                pw_enabled = False
+                pw_load = 0
+                pw_no_ckpt = False
+            perf_remaining = self.perf_watchdog
+            return True, on_left - cost
+
+        on_left = restart()
+        while not cpu.halted:
+            if cpu.instr_count > max_instructions:
+                raise SimulationError("live: instruction budget exhausted")
+            if on_left < MAX_INS_CYCLES:
+                # Power failure: core and Clank buffers are volatile.
+                total_cycles += on_left
+                detector.power_fail()
+                port.output_armed = False
+                power_cycles += 1
+                if power_cycles > max_power_cycles:
+                    raise SimulationError("live: exceeded power-cycle budget")
+                on_left = restart()
+                continue
+            snapshot = cpu.state_snapshot()
+            try:
+                cycles = cpu.step()
+            except _CheckpointNeeded as event:
+                cpu.state_restore(snapshot)
+                ok, on_left2 = checkpoint(on_left, event.cause)
+                if not ok:
+                    detector.power_fail()
+                    port.output_armed = False
+                    power_cycles += 1
+                    if power_cycles > max_power_cycles:
+                        raise SimulationError("live: exceeded power-cycle budget")
+                    on_left = restart()
+                    continue
+                on_left = on_left2
+                if event.cause == "output":
+                    port.output_armed = True
+                if event.pending_write is not None:
+                    waddr, new, _ = event.pending_write
+                    memory.write_word(waddr, new)
+                continue
+            on_left -= cycles
+            total_cycles += cycles
+            if port.output_armed:
+                # The output write committed: take the trailing checkpoint.
+                port.output_armed = False
+                ok, on_left2 = checkpoint(on_left, "output")
+                if not ok:
+                    detector.power_fail()
+                    power_cycles += 1
+                    on_left = restart()
+                    continue
+                on_left = on_left2
+            if pw_enabled:
+                pw_remaining -= cycles
+                if pw_remaining <= 0:
+                    ok, on_left2 = checkpoint(on_left, "progress_wdt")
+                    if ok:
+                        on_left = on_left2
+                    else:
+                        detector.power_fail()
+                        power_cycles += 1
+                        on_left = restart()
+            if self.perf_watchdog:
+                perf_remaining -= cycles
+                if perf_remaining <= 0:
+                    ok, on_left2 = checkpoint(on_left, "perf_wdt")
+                    if ok:
+                        on_left = on_left2
+                    else:
+                        detector.power_fail()
+                        power_cycles += 1
+                        on_left = restart()
+
+        # Final lock-in checkpoint.
+        while True:
+            ok, on_left2 = checkpoint(on_left, "final")
+            if ok:
+                break
+            detector.power_fail()
+            power_cycles += 1
+            on_left = restart()
+
+        return LiveRunResult(
+            instructions=cpu.instr_count,
+            total_cycles=total_cycles,
+            checkpoints=ckpt_counts,
+            power_cycles=power_cycles,
+            outputs=list(port.outputs),
+            final_memory=memory,
+        )
+
+
+def run_continuous(program: Program) -> Tuple[MainMemory, List[Tuple[int, int]], int]:
+    """Oracle: run the program uninterrupted without Clank.
+
+    Returns (final memory, outputs, cycles).
+    """
+    memory = MainMemory(program.initial_word_image())
+    outputs: List[Tuple[int, int]] = []
+    mmio_lo, mmio_hi = program.memory_map.word_range("mmio")
+
+    class _Port(DirectMemoryPort):
+        def write(self, addr: int, value: int, size: int) -> None:
+            super().write(addr, value, size)
+            if mmio_lo <= (addr >> 2) < mmio_hi:
+                outputs.append((addr, self.memory.read(addr, size)))
+
+    cpu = Cpu(program, _Port(memory))
+    cpu.run()
+    return memory, outputs, cpu.cycle_count
+
+
+def verify_against_continuous(
+    program: Program, result: LiveRunResult, check_words: Optional[List[int]] = None
+) -> None:
+    """Check a live intermittent run against the continuous oracle.
+
+    Compares every data-segment word the oracle touched (checkpoint slots
+    excluded — they are Clank's own reserved memory), plus the committed
+    output sequence modulo re-emitted duplicates.
+
+    Raises:
+        VerificationError: On any divergence.
+    """
+    oracle_memory, oracle_outputs, _ = run_continuous(program)
+    reserved_lo = (program.memory_map.segment("data").end - 4 * (1 + 34)) >> 2
+    reserved_hi = program.memory_map.segment("data").end >> 2
+    words = check_words
+    if words is None:
+        words = [w for w, v in oracle_memory.items()]
+    for w in words:
+        if reserved_lo <= w < reserved_hi:
+            continue
+        got = result.final_memory.read_word(w)
+        expect = oracle_memory.read_word(w)
+        if got != expect:
+            raise VerificationError(
+                f"live: word {w << 2:#010x} is {got:#x}, oracle has {expect:#x}"
+            )
+    # Output sequence: the intermittent run may duplicate an output when
+    # power fails inside the commit window, but with duplicates collapsed
+    # the sequences must match.
+    def dedup(seq):
+        out = []
+        for item in seq:
+            if not out or out[-1] != item:
+                out.append(item)
+        return out
+
+    if dedup(result.outputs) != dedup(oracle_outputs):
+        raise VerificationError(
+            f"live: outputs {result.outputs} != oracle {oracle_outputs}"
+        )

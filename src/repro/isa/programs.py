@@ -1,0 +1,214 @@
+"""Demonstration assembly programs for the live Clank system.
+
+Each program ends with ``bkpt`` and leaves verifiable results in the data
+segment; several also emit MMIO outputs to exercise the output-commit rule.
+Expected results are computed by the accompanying ``expected_*`` helpers so
+tests can check both the plain CPU and the live intermittent system.
+"""
+
+from typing import Dict, List
+
+#: MMIO port 0 byte address (first word of the mmio segment).
+MMIO0 = 0x4000_0000
+
+#: Sum the 12-element word array into `total`, then output it.
+SUM_ARRAY = """
+    .data
+array:  .word 11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132
+total:  .word 0
+    .equ COUNT, 12
+
+    .text
+_start:
+    ldr r0, =array
+    movs r1, #0          ; index
+    movs r2, #0          ; sum
+loop:
+    lsls r3, r1, #2
+    ldr r4, [r0, r3]
+    adds r2, r2, r4
+    adds r1, #1
+    cmp r1, #COUNT
+    blt loop
+    ldr r5, =total
+    str r2, [r5]
+    ldr r6, =0x40000000
+    str r2, [r6]         ; output the sum
+    bkpt
+"""
+
+
+def expected_sum_array() -> int:
+    """Oracle value for :data:`SUM_ARRAY`'s ``total``."""
+    return sum((11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132))
+
+
+#: In-place bubble sort of 10 words — dense read-then-write violations.
+BUBBLE_SORT = """
+    .data
+values: .word 90, 23, 57, 4, 81, 36, 70, 12, 65, 48
+    .equ N, 10
+
+    .text
+_start:
+    movs r7, #0          ; pass counter
+outer:
+    movs r1, #0          ; i
+    movs r6, #0          ; swapped flag
+inner:
+    ldr r0, =values
+    lsls r2, r1, #2
+    adds r3, r0, r2
+    ldr r4, [r3]
+    ldr r5, [r3, #4]
+    cmp r4, r5
+    ble noswap
+    str r5, [r3]
+    str r4, [r3, #4]
+    movs r6, #1
+noswap:
+    adds r1, #1
+    cmp r1, #9           ; N-1
+    blt inner
+    cmp r6, #0
+    bne outer
+    bkpt
+"""
+
+
+def expected_bubble_sort() -> List[int]:
+    """Oracle contents of :data:`BUBBLE_SORT`'s ``values``."""
+    return sorted([90, 23, 57, 4, 81, 36, 70, 12, 65, 48])
+
+
+#: Bitwise CRC-16/CCITT over a string, result stored and output.
+CRC16 = """
+    .data
+message: .asciz "clank: intermittent computation"
+result:  .word 0
+    .equ MSGLEN, 31
+
+    .text
+_start:
+    ldr r0, =message
+    movs r1, #0          ; index
+    ldr r2, =0xFFFF      ; crc
+    ldr r6, =0x1021      ; polynomial
+msg_loop:
+    ldrb r3, [r0, r1]
+    lsls r3, r3, #8
+    eors r2, r3
+    uxth r2, r2
+    movs r4, #8
+bit_loop:
+    lsls r2, r2, #1
+    uxth r5, r2
+    cmp r5, r2
+    beq nocarry          ; bit 16 was clear
+    uxth r2, r2
+    eors r2, r6
+nocarry:
+    uxth r2, r2
+    subs r4, #1
+    bne bit_loop
+    adds r1, #1
+    cmp r1, #MSGLEN
+    blt msg_loop
+    ldr r0, =result
+    str r2, [r0]
+    ldr r0, =0x40000000
+    str r2, [r0]
+    bkpt
+"""
+
+
+def expected_crc16() -> int:
+    """Oracle CRC-16/CCITT (init 0xFFFF) of the CRC16 program's message."""
+    crc = 0xFFFF
+    for byte in b"clank: intermittent computation":
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) & 0xFFFF
+    return crc
+
+
+#: Fibonacci with a memo table: write-once-then-read (Program Idempotent).
+FIB_MEMO = """
+    .data
+memo:   .word 0, 1
+        .space 112       ; up to fib(29)
+result: .word 0
+    .equ N, 28
+
+    .text
+_start:
+    ldr r0, =memo
+    movs r1, #2          ; next index to fill
+fill:
+    lsls r2, r1, #2
+    adds r3, r0, r2
+    subs r4, r3, #4
+    ldr r5, [r4]         ; fib(n-1)
+    subs r4, r3, #8
+    ldr r6, [r4]         ; fib(n-2)
+    adds r5, r5, r6
+    str r5, [r3]
+    adds r1, #1
+    cmp r1, #N
+    ble fill
+    ldr r7, =result
+    str r5, [r7]
+    bkpt
+"""
+
+
+def expected_fib_memo() -> int:
+    """Oracle value of fib(28) (0-indexed: memo[28])."""
+    a, b = 0, 1
+    for _ in range(27):
+        a, b = b, a + b
+    return b
+
+
+#: A function-call demo: strlen via bl/push/pop across the call.
+STRLEN_CALL = """
+    .data
+text1:  .asciz "energy harvesting"
+    .align 4
+len1:   .word 0
+
+    .text
+_start:
+    ldr r0, =text1
+    bl strlen
+    ldr r2, =len1
+    str r1, [r2]
+    bkpt
+
+strlen:
+    push {r4, lr}
+    movs r1, #0
+sl_loop:
+    ldrb r4, [r0, r1]
+    cmp r4, #0
+    beq sl_done
+    adds r1, #1
+    b sl_loop
+sl_done:
+    pop {r4, pc}
+"""
+
+
+def expected_strlen() -> int:
+    """Oracle value for :data:`STRLEN_CALL`'s ``len1``."""
+    return len("energy harvesting")
+
+
+#: All demo programs with the (symbol, oracle) pairs tests check.
+DEMO_PROGRAMS: Dict[str, str] = {
+    "sum_array": SUM_ARRAY,
+    "bubble_sort": BUBBLE_SORT,
+    "crc16": CRC16,
+    "fib_memo": FIB_MEMO,
+    "strlen_call": STRLEN_CALL,
+}

@@ -1,0 +1,21 @@
+"""Memory substrate: address map, sparse word memory, and traced memory.
+
+``MemoryMap`` models the flat physical address space of a Cortex-M0+-class
+microcontroller (no MMU, single privilege level).  ``MainMemory`` is a sparse
+word-organized memory.  ``TracedMemory`` wraps a ``MainMemory`` with the
+instrumentation the paper's instruction-set simulator provides: it records a
+memory-access log with cycle accounting, the raw material of every Clank
+policy-simulator experiment.
+"""
+
+from repro.mem.map import MemoryMap, Segment, default_memory_map
+from repro.mem.main_memory import MainMemory
+from repro.mem.traced import TracedMemory
+
+__all__ = [
+    "MemoryMap",
+    "Segment",
+    "default_memory_map",
+    "MainMemory",
+    "TracedMemory",
+]

@@ -1,0 +1,74 @@
+"""Sparse, word-organized main memory.
+
+Uninitialized words read as zero, matching the zero-initialized SRAM/FRAM
+model the paper's simulator uses.  Sub-word accesses are modeled by
+read-modify-write on the containing word, matching Clank's word-granularity
+view of memory (byte accesses mark the whole word, footnote 2).
+"""
+
+from typing import Dict, Iterable, Tuple
+
+from repro.common.errors import MemoryError_
+from repro.common.words import extract_bytes, insert_bytes, mask_value
+
+
+class MainMemory:
+    """A sparse map from word address to 32-bit word value."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, image: Dict[int, int] = None):
+        self._words: Dict[int, int] = dict(image) if image else {}
+
+    def read_word(self, waddr: int) -> int:
+        """Read the word at word address ``waddr`` (0 if untouched)."""
+        return self._words.get(waddr, 0)
+
+    def write_word(self, waddr: int, value: int) -> None:
+        """Write a full 32-bit word at word address ``waddr``."""
+        self._words[waddr] = value & 0xFFFF_FFFF
+
+    def read(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes at byte address ``addr`` (must be aligned)."""
+        self._check_align(addr, size)
+        word = self._words.get(addr >> 2, 0)
+        return extract_bytes(word, addr & 3, size)
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        """Write ``size`` bytes at byte address ``addr`` (must be aligned)."""
+        self._check_align(addr, size)
+        waddr = addr >> 2
+        old = self._words.get(waddr, 0)
+        self._words[waddr] = insert_bytes(old, mask_value(value, size), addr & 3, size)
+
+    @staticmethod
+    def _check_align(addr: int, size: int) -> None:
+        if size not in (1, 2, 4):
+            raise MemoryError_(f"unsupported access size {size}")
+        if addr % size != 0:
+            raise MemoryError_(
+                f"misaligned {size}-byte access at {addr:#010x}"
+            )
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the current word image."""
+        return dict(self._words)
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        """Replace the whole memory contents with ``image``."""
+        self._words = dict(image)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over (word address, value) pairs of touched words."""
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MainMemory):
+            return NotImplemented
+        return self._nonzero() == other._nonzero()
+
+    def _nonzero(self) -> Dict[int, int]:
+        return {w: v for w, v in self._words.items() if v != 0}

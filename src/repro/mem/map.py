@@ -1,0 +1,136 @@
+"""Physical memory map of the simulated device.
+
+Clank needs exactly two facts from the memory map (Sections 3.2.4 and 3.3):
+
+* which addresses belong to the *text* segment (reads there may be ignored
+  by the ignore-TEXT optimization; writes there force a checkpoint), and
+* which addresses fall *outside* physical memory and are therefore outputs
+  subject to the output-commit rule.
+
+Mixed-volatility experiments (Section 7.6) additionally designate a range of
+physical memory as volatile SRAM.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous region of the address space.
+
+    Attributes:
+        name: Segment label (``text``, ``data``, ``heap``, ``stack``,
+            ``mmio``).
+        base: First byte address of the segment.
+        size: Size in bytes; must be a positive multiple of 4.
+    """
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.size % 4 != 0:
+            raise ConfigError(
+                f"segment {self.name!r}: size must be a positive multiple "
+                f"of 4, got {self.size}"
+            )
+        if self.base % 4 != 0:
+            raise ConfigError(
+                f"segment {self.name!r}: base must be word aligned, "
+                f"got {self.base:#x}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address of the segment."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` lies inside this segment."""
+        return self.base <= addr < self.end
+
+    @property
+    def word_range(self) -> Tuple[int, int]:
+        """Half-open ``(first_word, one_past_last_word)`` range."""
+        return (self.base >> 2, self.end >> 2)
+
+
+class MemoryMap:
+    """The device's physical memory layout.
+
+    Args:
+        segments: Segments in any order; they must not overlap.  The map must
+            contain a ``text`` segment and a ``mmio`` segment; anything not in
+            a segment, or in ``mmio``, is treated as an output (Section 3.3).
+    """
+
+    def __init__(self, segments: Dict[str, Segment]):
+        if "text" not in segments:
+            raise ConfigError("memory map requires a 'text' segment")
+        if "mmio" not in segments:
+            raise ConfigError("memory map requires an 'mmio' segment")
+        ordered = sorted(segments.values(), key=lambda s: s.base)
+        for lo, hi in zip(ordered, ordered[1:]):
+            if lo.end > hi.base:
+                raise ConfigError(
+                    f"segments {lo.name!r} and {hi.name!r} overlap"
+                )
+        self._segments = dict(segments)
+        self._ordered = ordered
+
+    @property
+    def segments(self) -> Dict[str, Segment]:
+        """Mapping from segment name to :class:`Segment`."""
+        return dict(self._segments)
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise ConfigError(f"no segment named {name!r}") from None
+
+    def segment_of(self, addr: int) -> Optional[Segment]:
+        """The segment containing ``addr``, or None if unmapped."""
+        for seg in self._ordered:
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def is_output(self, addr: int) -> bool:
+        """True if a write to ``addr`` is an output under the output-commit
+        rule: the address is in MMIO space or not backed by physical memory.
+        """
+        seg = self.segment_of(addr)
+        return seg is None or seg.name == "mmio"
+
+    @property
+    def text_word_range(self) -> Tuple[int, int]:
+        """Word-address range of the text segment (for ignore-TEXT)."""
+        return self._segments["text"].word_range
+
+    def word_range(self, name: str) -> Tuple[int, int]:
+        """Word-address range of a named segment."""
+        return self.segment(name).word_range
+
+
+def default_memory_map() -> MemoryMap:
+    """The memory map used throughout the evaluation.
+
+    Modeled on a 256 KB-class Cortex-M0+ device: 128 KB of non-volatile
+    program memory (text + read-only data), 256 KB of system RAM split into
+    globals / heap / stack regions, and a peripheral (MMIO) window.
+    """
+    return MemoryMap(
+        {
+            "text": Segment("text", 0x0000_0000, 128 * 1024),
+            "data": Segment("data", 0x2000_0000, 64 * 1024),
+            "heap": Segment("heap", 0x2001_0000, 128 * 1024),
+            "stack": Segment("stack", 0x2003_0000, 64 * 1024),
+            "mmio": Segment("mmio", 0x4000_0000, 64 * 1024),
+        }
+    )

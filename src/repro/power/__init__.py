@@ -1,0 +1,41 @@
+"""Power schedules: how long each power-on period lasts.
+
+Harvested energy yields frequent, random power cycles (Section 1).  A power
+schedule supplies the duration, in clock cycles, of each successive power-on
+period.  Off-time durations are irrelevant to overhead (nothing executes and
+volatile state is lost regardless), so they are not modeled.
+
+The paper's experiments use a 100 ms *average* power-on time (Section 7.1)
+and note that, outside runt power cycles, Clank's overhead depends only on
+this average, not on the exact timing (footnote 4).
+"""
+
+from repro.power.schedules import (
+    PowerSchedule,
+    ExponentialPower,
+    FixedPower,
+    UniformPower,
+    ReplayPower,
+    ContinuousPower,
+    RuntPower,
+    default_power_schedule,
+)
+from repro.power.harvester import (
+    MarkovPower,
+    RfHarvesterPower,
+    SolarHarvesterPower,
+)
+
+__all__ = [
+    "PowerSchedule",
+    "ExponentialPower",
+    "FixedPower",
+    "UniformPower",
+    "ReplayPower",
+    "ContinuousPower",
+    "RuntPower",
+    "default_power_schedule",
+    "MarkovPower",
+    "RfHarvesterPower",
+    "SolarHarvesterPower",
+]

@@ -1,0 +1,160 @@
+"""Harvester-specific power-on-time models.
+
+The paper's experiments use exponentially distributed on-times at a fixed
+average (footnote 4: outside runt cycles only the average matters).  Real
+deployments see structured supplies; these models let users evaluate Clank
+against them:
+
+* :class:`RfHarvesterPower` — RFID-style RF harvesting: on-time scales
+  inversely with the square of reader distance, and the tag duty-cycles
+  between charge bursts (the WISP/Moo platforms the paper cites).
+* :class:`SolarHarvesterPower` — indoor-solar style: a slow deterministic
+  envelope (light level over a day) modulates the mean of exponential
+  on-times, producing long-cycle non-stationarity.
+* :class:`MarkovPower` — a two-state good/bad channel: bursts of generous
+  on-times interleaved with runt storms, the worst case for a fixed
+  Progress-Watchdog period.
+"""
+
+import math
+import random
+
+from repro.common.errors import ConfigError
+from repro.power.schedules import PowerSchedule
+
+
+class RfHarvesterPower(PowerSchedule):
+    """RF harvesting: received power falls with distance squared.
+
+    Each sample draws a reader distance from ``[min_m, max_m]`` (tag
+    mobility) and scales a base on-time by ``(ref_m / d)^2``, floored at
+    one cycle.
+
+    Args:
+        base_cycles: On-time at the reference distance.
+        ref_m: Reference distance in meters.
+        min_m / max_m: Distance range the tag moves through.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        base_cycles: int = 100_000,
+        ref_m: float = 1.0,
+        min_m: float = 0.5,
+        max_m: float = 3.0,
+        seed: int = 0,
+    ):
+        if base_cycles < 1 or not (0 < min_m <= max_m):
+            raise ConfigError("bad RF harvester parameters")
+        self._base = base_cycles
+        self._ref = ref_m
+        self._min = min_m
+        self._max = max_m
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_on_time(self) -> int:
+        d = self._rng.uniform(self._min, self._max)
+        scale = (self._ref / d) ** 2
+        return max(1, int(self._rng.expovariate(1.0 / max(1.0, self._base * scale))))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    @property
+    def mean_on_time(self) -> float:
+        # E[(ref/d)^2] for d ~ U(min, max): ref^2 / (min*max).
+        return self._base * (self._ref**2) / (self._min * self._max)
+
+
+class SolarHarvesterPower(PowerSchedule):
+    """Indoor solar: a raised-cosine daily envelope modulates the mean.
+
+    Args:
+        peak_cycles: Mean on-time at the brightest point.
+        floor_cycles: Mean on-time in darkness (leakage/storage trickle).
+        period: Number of power cycles per simulated "day".
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        peak_cycles: int = 200_000,
+        floor_cycles: int = 2_000,
+        period: int = 50,
+        seed: int = 0,
+    ):
+        if not (1 <= floor_cycles <= peak_cycles) or period < 2:
+            raise ConfigError("bad solar harvester parameters")
+        self._peak = peak_cycles
+        self._floor = floor_cycles
+        self._period = period
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._tick = 0
+
+    def _envelope(self) -> float:
+        phase = 2 * math.pi * (self._tick % self._period) / self._period
+        return 0.5 * (1 - math.cos(phase))  # 0 at midnight, 1 at noon
+
+    def next_on_time(self) -> int:
+        mean = self._floor + (self._peak - self._floor) * self._envelope()
+        self._tick += 1
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._tick = 0
+
+    @property
+    def mean_on_time(self) -> float:
+        return self._floor + (self._peak - self._floor) * 0.5
+
+
+class MarkovPower(PowerSchedule):
+    """Two-state good/bad supply with geometric dwell times.
+
+    Args:
+        good_mean / bad_mean: Mean exponential on-times per state.
+        p_good_to_bad / p_bad_to_good: Per-cycle transition probabilities.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        good_mean: int = 150_000,
+        bad_mean: int = 500,
+        p_good_to_bad: float = 0.1,
+        p_bad_to_good: float = 0.1,
+        seed: int = 0,
+    ):
+        for p in (p_good_to_bad, p_bad_to_good):
+            if not (0.0 < p <= 1.0):
+                raise ConfigError("transition probabilities must be in (0, 1]")
+        if good_mean < 1 or bad_mean < 1:
+            raise ConfigError("means must be >= 1")
+        self._good = good_mean
+        self._bad = bad_mean
+        self._p_gb = p_good_to_bad
+        self._p_bg = p_bad_to_good
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._in_good = True
+
+    def next_on_time(self) -> int:
+        mean = self._good if self._in_good else self._bad
+        flip = self._p_gb if self._in_good else self._p_bg
+        if self._rng.random() < flip:
+            self._in_good = not self._in_good
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._in_good = True
+
+    @property
+    def mean_on_time(self) -> float:
+        # Stationary distribution of the two-state chain.
+        pi_good = self._p_bg / (self._p_gb + self._p_bg)
+        return pi_good * self._good + (1 - pi_good) * self._bad

@@ -1,0 +1,12 @@
+"""Runtime-support model: cycle costs of Clank's compiler-inserted routines.
+
+The Clank compiler adds a checkpoint routine (save volatile state to one of
+two double-buffered non-volatile slots, flush the Write-back Buffer through a
+scratchpad, reset the hardware) and a start-up routine (select the valid
+checkpoint, configure the watchdogs, restore registers) — Sections 4.1-4.2.
+This package prices those routines in cycles and bytes.
+"""
+
+from repro.runtime.costs import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

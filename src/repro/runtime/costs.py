@@ -1,0 +1,99 @@
+"""Cycle and byte costs of the checkpoint and start-up routines."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle-cost model of Clank's software routines on the Cortex-M0+.
+
+    Defaults are anchored to the paper: "it takes many cycles (e.g., 40 for
+    our implementation) to write an entire checkpoint to non-volatile
+    memory" (Section 4.1).  A register checkpoint is 17 words (r0-r15 plus
+    xPSR) at 2 cycles per non-volatile word write, plus routine overhead:
+    17*2 + 6 = 40.
+
+    Attributes:
+        checkpoint_reg_words: Words of processor state saved per checkpoint.
+        nv_word_cycles: Cycles per non-volatile word write (or read).
+        checkpoint_base_cycles: Routine entry/exit, slot selection, and the
+            final ``checkpoint pointer`` update.
+        wbb_entry_flush_cycles: Cycles per Write-back Buffer entry flushed:
+            copy the address/value tuple to the scratchpad (4) then write the
+            value through to its program address (4) — the double-buffered
+            two-phase flush of Section 3.1.2.
+        wbb_flush_base_cycles: The intermediate commit between the two flush
+            phases.
+        restart_base_cycles: Start-up routine: read the checkpoint pointer
+            and watchdog bookkeeping, then reload 17 state words.
+        volatile_word_cycles: Per modified volatile word saved (mixed-
+            volatility mode, Section 7.6) and per word restored at restart.
+    """
+
+    checkpoint_reg_words: int = 17
+    nv_word_cycles: int = 2
+    checkpoint_base_cycles: int = 6
+    wbb_entry_flush_cycles: int = 8
+    wbb_flush_base_cycles: int = 2
+    restart_base_cycles: int = 10
+    volatile_word_cycles: int = 2
+
+    @property
+    def register_checkpoint_cycles(self) -> int:
+        """Cycles to save the register checkpoint alone (the paper's 40)."""
+        return (
+            self.checkpoint_reg_words * self.nv_word_cycles
+            + self.checkpoint_base_cycles
+        )
+
+    def checkpoint_cycles(self, wbb_entries: int = 0, dirty_volatile_words: int = 0) -> int:
+        """Total cycles of one checkpoint.
+
+        Args:
+            wbb_entries: Write-back Buffer entries to flush (each flushed
+                entry forces the two-phase double-buffered copy).
+            dirty_volatile_words: Volatile words modified since the last
+                checkpoint (mixed-volatility mode only).
+        """
+        cycles = self.register_checkpoint_cycles
+        if wbb_entries > 0:
+            cycles += (
+                self.wbb_flush_base_cycles
+                + wbb_entries * self.wbb_entry_flush_cycles
+            )
+        if dirty_volatile_words > 0:
+            cycles += dirty_volatile_words * self.volatile_word_cycles
+        return cycles
+
+    def restart_cycles(self, volatile_words: int = 0) -> int:
+        """Cycles of the start-up routine after a power-on.
+
+        Args:
+            volatile_words: Checkpointed volatile words to copy back into
+                SRAM (mixed-volatility mode only).
+        """
+        return (
+            self.restart_base_cycles
+            + self.checkpoint_reg_words * self.nv_word_cycles
+            + volatile_words * self.volatile_word_cycles
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reserved-memory model (feeds the Table 1 code-size column).
+    # ------------------------------------------------------------------ #
+
+    def reserved_bytes(self, wbb_entries: int = 0, watchdogs: bool = True) -> int:
+        """Non-volatile bytes the Clank compiler reserves: two checkpoint
+        slots, the checkpoint pointer, the Write-back scratchpad, the
+        Progress Watchdog bookkeeping variables, and the routines
+        themselves."""
+        slots = 2 * (self.checkpoint_reg_words + 1) * 4
+        pointer = 4
+        scratchpad = wbb_entries * 8
+        bookkeeping = 8 if watchdogs else 0
+        routine_code = 120 + (24 if watchdogs else 0)
+        return slots + pointer + scratchpad + bookkeeping + routine_code
+
+
+#: The cost model used throughout the evaluation.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,14 @@
+"""The Clank policy simulator.
+
+Replays a memory-access trace under a power schedule and a Clank hardware
+configuration, inserting checkpoints and re-executions exactly as the
+hardware + compiler-inserted routines would (the paper's "Clank policy
+simulator", Section 6, artifact 3).  Every run can be dynamically verified:
+each replayed read must observe the value the continuous oracle execution
+observed, and the final memory must match the oracle's.
+"""
+
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import IntermittentSimulator, simulate
+
+__all__ = ["SimulationResult", "IntermittentSimulator", "simulate"]

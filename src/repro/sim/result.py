@@ -1,0 +1,126 @@
+"""Results of one intermittent execution."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimulationResult:
+    """Cycle accounting and event counts of one intermittent execution.
+
+    All overhead properties are fractions of ``baseline_cycles`` (the
+    continuous execution), matching the paper's "x baseline" reporting.
+
+    Attributes:
+        name: Workload name.
+        config_label: Clank configuration label (e.g. ``"16,8,4,4"``).
+        baseline_cycles: Cycles of one continuous execution of the trace.
+        useful_cycles: First-time execution cycles completed (equals
+            ``baseline_cycles`` when the program ran to completion).
+        checkpoint_cycles: Cycles spent inside committed checkpoint routines.
+        restart_cycles: Cycles spent in the start-up routine (including
+            restart attempts cut short by power loss).
+        reexec_cycles: Cycles spent re-executing accesses that had already
+            executed before a power loss.
+        wasted_cycles: Partial cycles lost when power failed mid-access or
+            mid-checkpoint.
+        checkpoints_by_cause: Committed checkpoints keyed by cause:
+            ``violation``, ``rf_full``, ``wf_full``, ``apb_full``,
+            ``wbb_full``, ``text_write``, ``latest_write``, ``output``,
+            ``progress_wdt``, ``perf_wdt``, ``final``.
+        power_cycles: Number of power-on periods consumed.
+        wasted_power_cycles: Power-on periods with no forward progress (no
+            new instruction completed and no checkpoint committed) — the
+            paper's runt-power-cycle waste.
+        outputs: Output words committed (including duplicates).
+        duplicate_outputs: Outputs re-emitted during re-execution (the
+            output-commit problem's residual window, Section 3.3).
+        wbb_words_flushed: Total Write-back Buffer entries flushed across
+            all checkpoints.
+        verified: True when the run executed with dynamic verification on
+            and every check passed.
+        completed: True when the program ran to completion.
+    """
+
+    name: str
+    config_label: str
+    baseline_cycles: int
+    useful_cycles: int = 0
+    checkpoint_cycles: int = 0
+    restart_cycles: int = 0
+    reexec_cycles: int = 0
+    wasted_cycles: int = 0
+    checkpoints_by_cause: Dict[str, int] = field(default_factory=dict)
+    power_cycles: int = 1
+    wasted_power_cycles: int = 0
+    outputs: int = 0
+    duplicate_outputs: int = 0
+    wbb_words_flushed: int = 0
+    verified: bool = False
+    completed: bool = True
+
+    @property
+    def num_checkpoints(self) -> int:
+        """Total committed checkpoints."""
+        return sum(self.checkpoints_by_cause.values())
+
+    @property
+    def total_cycles(self) -> int:
+        """All cycles consumed across every power cycle."""
+        return (
+            self.useful_cycles
+            + self.checkpoint_cycles
+            + self.restart_cycles
+            + self.reexec_cycles
+            + self.wasted_cycles
+        )
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Checkpointing cycles as a fraction of baseline (Figures 5-6)."""
+        return self.checkpoint_cycles / self.baseline_cycles
+
+    @property
+    def reexec_overhead(self) -> float:
+        """Re-execution cycles (incl. partial work lost to power failures)
+        as a fraction of baseline."""
+        return (self.reexec_cycles + self.wasted_cycles) / self.baseline_cycles
+
+    @property
+    def restart_overhead(self) -> float:
+        """Start-up routine cycles as a fraction of baseline."""
+        return self.restart_cycles / self.baseline_cycles
+
+    @property
+    def run_time_overhead(self) -> float:
+        """Software run-time overhead: everything beyond the baseline."""
+        return (self.total_cycles - self.baseline_cycles) / self.baseline_cycles
+
+    def total_overhead(self, hardware_fraction: float = 0.0) -> float:
+        """The paper's *total* overhead (Section 2.1 / Figure 7): software
+        run-time overhead plus the energy cost of the added hardware,
+        expressed as a multiplier over baseline (1.0 = no overhead).
+
+        Args:
+            hardware_fraction: Added hardware power as a fraction of the
+                processor's (from :mod:`repro.hw`).
+        """
+        return 1.0 + self.run_time_overhead + hardware_fraction
+
+    @property
+    def avg_section_cycles(self) -> float:
+        """Average cycles between committed checkpoints."""
+        n = self.num_checkpoints
+        return self.total_cycles / n if n else float(self.total_cycles)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name} [{self.config_label}]: "
+            f"total x{1 + self.run_time_overhead:.3f} "
+            f"(ckpt {self.checkpoint_overhead:.1%}, "
+            f"reexec {self.reexec_overhead:.1%}, "
+            f"restart {self.restart_overhead:.1%}), "
+            f"{self.num_checkpoints} checkpoints, "
+            f"{self.power_cycles} power cycles"
+        )

@@ -1,0 +1,446 @@
+"""Trace-driven intermittent-execution simulator.
+
+Replays a memory-access trace with power failures, modeling everything the
+Clank hardware + compiler-inserted routines do at run time:
+
+* idempotency tracking and Write-back buffering (``repro.core``),
+* checkpoints with double-buffered commit semantics — a power failure
+  before the commit instant discards the attempt (Section 4.1),
+* restart from the last committed checkpoint (re-execution), with the
+  start-up routine's Progress Watchdog bookkeeping (Section 4.2),
+* the Performance Watchdog (Section 3.1.4),
+* the output-commit rule for writes outside physical memory (Section 3.3),
+* compiler-marked Program Idempotent accesses the hardware ignores
+  (Section 4.3),
+* mixed-volatility mode where a volatile range is untracked and instead
+  saved incrementally with each checkpoint (Section 7.6).
+
+Every run can execute under dynamic verification (the paper verifies *every
+experimental trial* this way): each replayed read must observe exactly the
+value the continuous oracle observed, and the final non-volatile state must
+equal the oracle's final memory.
+"""
+
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError, VerificationError
+from repro.core.config import ClankConfig
+from repro.core.detector import (
+    CHECKPOINT,
+    CHECKPOINT_THEN_WRITE,
+    PROCEED,
+    IdempotencyDetector,
+)
+from repro.core.watchdogs import (
+    PerformanceWatchdog,
+    ProgressWatchdog,
+    optimal_watchdog_value,
+)
+from repro.power.schedules import PowerSchedule
+from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.result import SimulationResult
+from repro.trace.access import READ
+from repro.trace.trace import Trace
+
+
+class IntermittentSimulator:
+    """Simulates one intermittent execution of a trace under Clank.
+
+    Args:
+        trace: The memory-access log to replay.
+        config: Clank hardware configuration.
+        schedule: Power schedule supplying power-on durations; it is
+            ``reset()`` at the start of every :meth:`run`.
+        cost_model: Cycle costs of the checkpoint/start-up routines.
+        perf_watchdog: Performance Watchdog load value in cycles; 0 disables
+            it; ``"auto"`` uses the analytic optimum
+            (:func:`~repro.core.watchdogs.optimal_watchdog_value`).
+        progress_watchdog: Progress Watchdog default load value in cycles;
+            0 disables it; ``"auto"`` starts at half the schedule's mean
+            on-time (the watchdog then halves itself across checkpoint-free
+            power cycles, Section 3.1.4).  Without it, a workload whose
+            natural idempotent sections outgrow the on-time distribution
+            makes no forward progress — the paper's runt-power-cycle
+            failure mode.
+        pi_words: Word addresses the compiler marked Program Idempotent —
+            the hardware ignores accesses to them (Section 4.3).
+        pi_access_indices: Trace indices of individual accesses the
+            compiler marked ignorable (the epoch-scoped analysis of
+            :mod:`repro.compiler.epoch_analysis` — the paper's future-work
+            direction of Section 4.3).
+        forced_checkpoints: Trace indices before which the compiler
+            inserted an explicit checkpoint call (epoch boundaries).  The
+            call re-executes after a rollback, exactly like the real
+            inserted routine would.
+        volatile_ranges: Half-open word-address ranges of volatile memory
+            (mixed-volatility mode); accesses inside are untracked and the
+            modified words ride along with each checkpoint.
+        verify: Run the dynamic verifier (read-value and final-state
+            checks).  Disable only for large design-space sweeps.
+        max_power_cycles: Abort threshold; None picks a generous default.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ClankConfig,
+        schedule: PowerSchedule,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        perf_watchdog=0,
+        progress_watchdog=0,
+        pi_words: Optional[FrozenSet[int]] = None,
+        pi_access_indices: Optional[FrozenSet[int]] = None,
+        forced_checkpoints: Optional[FrozenSet[int]] = None,
+        volatile_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        verify: bool = True,
+        max_power_cycles: Optional[int] = None,
+        progress_watchdog_adaptive: bool = True,
+    ):
+        self.trace = trace
+        self.config = config
+        self.schedule = schedule
+        self.cost_model = cost_model
+        if perf_watchdog == "auto":
+            perf_watchdog = optimal_watchdog_value(
+                schedule.mean_on_time, cost_model.checkpoint_cycles()
+            )
+        self.perf_watchdog_load = int(perf_watchdog)
+        if progress_watchdog == "auto":
+            progress_watchdog = max(100, int(schedule.mean_on_time / 2))
+        self.progress_watchdog_load = int(progress_watchdog)
+        self.progress_watchdog_adaptive = progress_watchdog_adaptive
+        self.pi_words = pi_words or frozenset()
+        self.pi_access_indices = pi_access_indices or frozenset()
+        self.forced_checkpoints = forced_checkpoints or frozenset()
+        self.volatile_ranges = tuple(volatile_ranges or ())
+        self.verify = verify
+        if max_power_cycles is None:
+            expected = trace.total_cycles / max(1.0, schedule.mean_on_time)
+            max_power_cycles = int(1000 + 200 * expected)
+        self.max_power_cycles = max_power_cycles
+
+    # ------------------------------------------------------------------ #
+
+    def _in_volatile(self, waddr: int) -> bool:
+        for lo, hi in self.volatile_ranges:
+            if lo <= waddr < hi:
+                return True
+        return False
+
+    def run(self) -> SimulationResult:
+        """Execute the trace intermittently and return the accounting.
+
+        Raises:
+            VerificationError: A replayed read observed a value different
+                from the oracle, or the final state diverged (only with
+                ``verify=True``; never happens if Clank is correct).
+            SimulationError: No forward progress within
+                ``max_power_cycles`` power cycles.
+        """
+        trace = self.trace
+        accesses = trace.accesses
+        n = len(accesses)
+        mmap = trace.memory_map
+        cost = self.cost_model
+        verify = self.verify
+        schedule = self.schedule
+        schedule.reset()
+
+        detector = IdempotencyDetector(self.config, mmap.text_word_range)
+        wbb = detector.wbb
+        perf_wdt = PerformanceWatchdog(self.perf_watchdog_load)
+        prog_wdt = ProgressWatchdog(
+            self.progress_watchdog_load, adaptive=self.progress_watchdog_adaptive
+        )
+
+        # Memory state. Volatile words are split out of the NV image.
+        has_vol = bool(self.volatile_ranges)
+        nv = {}
+        vol_base = {}
+        for w, v in trace.initial_image.items():
+            if has_vol and self._in_volatile(w):
+                vol_base[w] = v
+            else:
+                nv[w] = v
+        vol_mem = dict(vol_base)
+        vol_snapshot = {}  # modified volatile words as of the last ckpt
+        vol_dirty = set()
+
+        pi_words = self.pi_words
+        pi_indices = self.pi_access_indices
+        forced = self.forced_checkpoints
+        forced_done = -1  # index whose compiler checkpoint committed
+        mmio_lo, mmio_hi = mmap.word_range("mmio")
+
+        # Cycle accounting buckets.
+        useful = reexec = wasted = ckpt_cycles = restart_cycles = 0
+        ckpt_counts = {}
+        power_cycles = 1
+        wasted_power_cycles = 0
+        outputs = duplicate_outputs = 0
+        wbb_flushed = 0
+
+        i = 0  # next access to execute
+        ckpt_i = 0  # trace position of the last committed checkpoint
+        furthest = 0  # number of accesses ever completed
+        output_ready = -1  # index whose output pre-checkpoint committed
+        progress_this_cycle = False
+
+        # --- helpers bound over the local state --------------------------
+
+        def restart_sequence() -> int:
+            """Start a power cycle: sample on-time, run the start-up
+            routine (repeating across failures), return remaining
+            on-time."""
+            nonlocal restart_cycles, power_cycles, wasted_power_cycles
+            nonlocal progress_this_cycle
+            while True:
+                on_left = schedule.next_on_time()
+                progress_this_cycle = False
+                prog_wdt.on_restart()
+                rcost = cost.restart_cycles(len(vol_snapshot) if has_vol else 0)
+                if on_left >= rcost:
+                    restart_cycles += rcost
+                    perf_wdt.reload()
+                    return on_left - rcost
+                restart_cycles += on_left
+                power_cycles += 1
+                wasted_power_cycles += 1
+                if power_cycles > self.max_power_cycles:
+                    raise SimulationError(
+                        f"{trace.name}: no forward progress after "
+                        f"{power_cycles} power cycles (restart cost {rcost} "
+                        f"exceeds on-times)"
+                    )
+
+        def power_loss() -> int:
+            """Volatile state vanishes; resume from the last checkpoint."""
+            nonlocal i, power_cycles, wasted_power_cycles, output_ready
+            nonlocal vol_mem
+            if not progress_this_cycle:
+                wasted_power_cycles += 1
+            power_cycles += 1
+            if power_cycles > self.max_power_cycles:
+                raise SimulationError(
+                    f"{trace.name}: exceeded {self.max_power_cycles} power "
+                    f"cycles at trace position {i}/{n}"
+                )
+            detector.power_fail()
+            if has_vol:
+                vol_mem = dict(vol_base)
+                vol_mem.update(vol_snapshot)
+            i = ckpt_i
+            output_ready = -1
+            return restart_sequence()
+
+        def do_checkpoint(on_left: int, cause: str):
+            """Attempt a checkpoint; returns (success, remaining on-time)."""
+            nonlocal ckpt_cycles, wasted, ckpt_i, wbb_flushed
+            nonlocal vol_snapshot, progress_this_cycle
+            c = cost.checkpoint_cycles(
+                len(wbb), len(vol_dirty) if has_vol else 0
+            )
+            if on_left < c:
+                # Power failed before the commit instant: the double
+                # buffering discards the attempt.
+                wasted += on_left
+                return False, power_loss()
+            flushed = detector.reset_section()
+            if flushed:
+                nv.update(flushed)
+                wbb_flushed += len(flushed)
+            if has_vol and vol_dirty:
+                for w in vol_dirty:
+                    vol_snapshot[w] = vol_mem[w]
+                vol_dirty.clear()
+            ckpt_cycles += c
+            ckpt_i = i
+            ckpt_counts[cause] = ckpt_counts.get(cause, 0) + 1
+            perf_wdt.reload()
+            prog_wdt.on_checkpoint()
+            progress_this_cycle = True
+            return True, on_left - c
+
+        # --- main loop ----------------------------------------------------
+
+        on_left = restart_sequence()  # first boot
+        nv_get = nv.get
+        wbb_get = wbb.get
+
+        while True:
+            if i >= n:
+                ok, on_left = do_checkpoint(on_left, "final")
+                if ok:
+                    break
+                continue
+
+            acc = accesses[i]
+            w = acc.waddr
+            kind = acc.kind
+            c = acc.cycles
+
+            if forced and i in forced and forced_done != i:
+                # Compiler-inserted checkpoint call (epoch boundary).
+                ok, on_left = do_checkpoint(on_left, "compiler")
+                if ok:
+                    forced_done = i
+                else:
+                    forced_done = -1
+                continue
+
+            if on_left < c:
+                wasted += on_left
+                forced_done = -1  # the inserted call re-executes on replay
+                on_left = power_loss()
+                continue
+
+            # Classify the access.
+            direct_write = False
+            if has_vol and self._in_volatile(w):
+                # Volatile accesses are untracked; writes ride along with
+                # the next checkpoint.
+                if kind == READ:
+                    if verify and vol_mem.get(w, 0) != acc.value:
+                        raise VerificationError(
+                            f"{trace.name}@{i}: volatile read of word "
+                            f"{w:#x} saw {vol_mem.get(w, 0):#x}, oracle "
+                            f"read {acc.value:#x}"
+                        )
+                else:
+                    vol_mem[w] = acc.value
+                    vol_dirty.add(w)
+                on_left -= c
+            elif kind != READ and mmio_lo <= w < mmio_hi:
+                # Output-commit: surround the output with checkpoints.
+                if output_ready != i:
+                    ok, on_left = do_checkpoint(on_left, "output")
+                    if ok:
+                        output_ready = i
+                    continue
+                nv[w] = acc.value
+                outputs += 1
+                if i < furthest:
+                    duplicate_outputs += 1
+                on_left -= c
+                output_ready = -1
+                if i < furthest:
+                    reexec += c
+                else:
+                    useful += c
+                    furthest = i + 1
+                    progress_this_cycle = True
+                i += 1
+                ok, on_left = do_checkpoint(on_left, "output")
+                continue
+            elif w in pi_words or (pi_indices and i in pi_indices):
+                # Compiler-marked Program Idempotent: hardware ignores it.
+                if kind == READ:
+                    if verify:
+                        got = wbb_get(w)
+                        if got is None:
+                            got = nv_get(w, 0)
+                        if got != acc.value:
+                            raise VerificationError(
+                                f"{trace.name}@{i}: PI read of word {w:#x} "
+                                f"saw {got:#x}, oracle read {acc.value:#x}"
+                            )
+                else:
+                    nv[w] = acc.value
+                on_left -= c
+            else:
+                # The tracked path: consult the detector.
+                if kind == READ:
+                    action, cause = detector.on_read(w)
+                else:
+                    cur = wbb_get(w)
+                    if cur is None:
+                        cur = nv_get(w, 0)
+                    action, cause = detector.on_write(w, acc.value, cur)
+                if action == CHECKPOINT:
+                    ok, on_left = do_checkpoint(on_left, cause)
+                    continue  # retry the access with fresh buffers
+                if action == CHECKPOINT_THEN_WRITE:
+                    ok, on_left = do_checkpoint(on_left, cause)
+                    if not ok:
+                        continue
+                    direct_write = True
+                    if on_left < c:
+                        wasted += on_left
+                        on_left = power_loss()
+                        continue
+                if kind == READ:
+                    if verify:
+                        got = wbb_get(w)
+                        if got is None:
+                            got = nv_get(w, 0)
+                        if got != acc.value:
+                            raise VerificationError(
+                                f"{trace.name}@{i}: read of word {w:#x} saw "
+                                f"{got:#x}, oracle read {acc.value:#x}"
+                            )
+                elif action == PROCEED or direct_write:
+                    nv[w] = acc.value
+                # PROCEED_WBB: the detector already captured the value.
+                on_left -= c
+
+            # The access completed.
+            if i < furthest:
+                reexec += c
+            else:
+                useful += c
+                furthest = i + 1
+                progress_this_cycle = True
+            i += 1
+
+            # Watchdogs tick at access granularity.
+            prog_fired = prog_wdt.advance(c)
+            perf_fired = perf_wdt.advance(c)
+            if prog_fired:
+                ok, on_left = do_checkpoint(on_left, "progress_wdt")
+            elif perf_fired:
+                ok, on_left = do_checkpoint(on_left, "perf_wdt")
+
+        # --- final verification -------------------------------------------
+        verified = False
+        if verify:
+            oracle = trace.final_memory()
+            for w, v in oracle.items():
+                if has_vol and self._in_volatile(w):
+                    got = vol_snapshot.get(w, vol_base.get(w, 0))
+                else:
+                    got = nv.get(w, 0)
+                if got != v:
+                    raise VerificationError(
+                        f"{trace.name}: final state of word {w:#x} is "
+                        f"{got:#x}, oracle has {v:#x}"
+                    )
+            verified = True
+
+        return SimulationResult(
+            name=trace.name,
+            config_label=self.config.label(),
+            baseline_cycles=trace.total_cycles,
+            useful_cycles=useful,
+            checkpoint_cycles=ckpt_cycles,
+            restart_cycles=restart_cycles,
+            reexec_cycles=reexec,
+            wasted_cycles=wasted,
+            checkpoints_by_cause=ckpt_counts,
+            power_cycles=power_cycles,
+            wasted_power_cycles=wasted_power_cycles,
+            outputs=outputs,
+            duplicate_outputs=duplicate_outputs,
+            wbb_words_flushed=wbb_flushed,
+            verified=verified,
+            completed=True,
+        )
+
+
+def simulate(
+    trace: Trace,
+    config: ClankConfig,
+    schedule: PowerSchedule,
+    **kwargs,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`IntermittentSimulator`."""
+    return IntermittentSimulator(trace, config, schedule, **kwargs).run()

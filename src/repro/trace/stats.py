@@ -1,0 +1,103 @@
+"""Descriptive statistics over memory-access traces.
+
+These are the program properties Clank exploits: read/write mix, text-segment
+access asymmetry (Section 3.2.4), address-prefix locality (Section 3.1.3),
+and the supply of Program-Idempotent accesses (Section 4.3).
+"""
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.trace.access import READ
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace.
+
+    Attributes:
+        name: Workload name.
+        accesses: Total logged accesses.
+        reads: Number of reads.
+        writes: Number of writes.
+        total_cycles: Continuous-execution cycle count.
+        footprint_words: Distinct words touched.
+        text_reads: Reads that fall inside the text segment.
+        text_writes: Writes that fall inside the text segment.
+        output_writes: Writes that fall outside physical memory (outputs).
+        distinct_prefixes: Distinct values of the upper address bits given a
+            6-bit in-buffer low field (the configuration the paper builds,
+            Section 3.1.3) — the working set of the Address Prefix Buffer.
+        program_idempotent_words: Words whose whole-program access pattern is
+            ``W*->R*`` (never a write after a read) — the accesses the Clank
+            compiler may mark ignorable.
+    """
+
+    name: str
+    accesses: int
+    reads: int
+    writes: int
+    total_cycles: int
+    footprint_words: int
+    text_reads: int
+    text_writes: int
+    output_writes: int
+    distinct_prefixes: int
+    program_idempotent_words: int
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of accesses that are reads."""
+        return self.reads / self.accesses if self.accesses else 0.0
+
+
+def compute_stats(trace: Trace, prefix_low_bits: int = 6) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``.
+
+    Args:
+        trace: The trace to summarize.
+        prefix_low_bits: Number of low word-address bits kept inside each
+            Clank buffer entry; the rest form the prefix (default matches the
+            paper's built configuration: 6 low bits + prefix tag).
+    """
+    text_lo, text_hi = trace.memory_map.text_word_range
+    mmap = trace.memory_map
+    reads = writes = text_reads = text_writes = output_writes = 0
+    prefixes: Set[int] = set()
+    read_seen: Set[int] = set()
+    not_program_idempotent: Set[int] = set()
+    touched: Set[int] = set()
+
+    for acc in trace.accesses:
+        touched.add(acc.waddr)
+        prefixes.add(acc.waddr >> prefix_low_bits)
+        in_text = text_lo <= acc.waddr < text_hi
+        if acc.kind == READ:
+            reads += 1
+            if in_text:
+                text_reads += 1
+            read_seen.add(acc.waddr)
+        else:
+            writes += 1
+            if in_text:
+                text_writes += 1
+            if mmap.is_output(acc.waddr << 2):
+                output_writes += 1
+            if acc.waddr in read_seen:
+                not_program_idempotent.add(acc.waddr)
+
+    program_idempotent = len(touched) - len(not_program_idempotent)
+    return TraceStats(
+        name=trace.name,
+        accesses=len(trace.accesses),
+        reads=reads,
+        writes=writes,
+        total_cycles=trace.total_cycles,
+        footprint_words=len(touched),
+        text_reads=text_reads,
+        text_writes=text_writes,
+        output_writes=output_writes,
+        distinct_prefixes=len(prefixes),
+        program_idempotent_words=program_idempotent,
+    )

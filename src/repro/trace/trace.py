@@ -1,0 +1,147 @@
+"""The memory-access log of one program execution."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import TraceError
+from repro.mem.map import MemoryMap, default_memory_map
+from repro.trace.access import Access, READ, WRITE
+
+#: Marker kinds emitted by the tracing memory at function boundaries.  The
+#: Ratchet baseline (compiler-only idempotency, Section 2.2 / Table 3)
+#: checkpoints at these static section boundaries.
+CALL = "call"
+RET = "ret"
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A static program-structure marker attached to a trace position.
+
+    Attributes:
+        index: Position in the access list the marker precedes.
+        kind: ``"call"`` or ``"ret"``.
+        label: Function name (best effort; for diagnostics).
+    """
+
+    index: int
+    kind: str
+    label: str
+
+
+@dataclass
+class Trace:
+    """A complete memory access log plus the context needed to replay it.
+
+    Attributes:
+        name: Workload name.
+        accesses: The ordered access log.
+        initial_image: Word values, before execution, of every word the
+            program touches.  Replaying ``accesses`` against this image with
+            a correct intermittence scheme must end in the same final memory
+            as a single continuous replay.
+        memory_map: The device memory map the trace was produced under.
+        markers: Function-boundary markers (used by static baselines).
+        final_cycles: Total cycles of the continuous (baseline) execution.
+        checksum: Self-check value the workload computed; lets tests confirm
+            the kernel itself is a correct implementation of its algorithm.
+        code_bytes: Modeled code + read-only data footprint in bytes
+            (Table 1's Size column).
+    """
+
+    name: str
+    accesses: List[Access]
+    initial_image: Dict[int, int]
+    memory_map: MemoryMap = field(default_factory=default_memory_map)
+    markers: List[Marker] = field(default_factory=list)
+    final_cycles: int = 0
+    checksum: int = 0
+    code_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.final_cycles == 0:
+            self.final_cycles = sum(a.cycles for a in self.accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles of one continuous execution (the overhead baseline)."""
+        return self.final_cycles
+
+    @property
+    def footprint_words(self) -> int:
+        """Number of distinct words the program touches."""
+        return len({a.waddr for a in self.accesses})
+
+    def final_memory(self) -> Dict[int, int]:
+        """Memory image after one continuous execution (the oracle)."""
+        image = dict(self.initial_image)
+        for acc in self.accesses:
+            if acc.kind == WRITE:
+                image[acc.waddr] = acc.value
+        return image
+
+    def validate(self) -> None:
+        """Check internal consistency: reads observe the value produced by
+        the most recent write (or the initial image).  Raises
+        :class:`TraceError` on the first inconsistency.
+
+        A trace that fails validation cannot come from a deterministic
+        single-threaded execution and would poison every experiment built on
+        it, so workload tests validate every generated trace.
+        """
+        image = dict(self.initial_image)
+        for i, acc in enumerate(self.accesses):
+            if acc.cycles <= 0:
+                raise TraceError(f"{self.name}: access {i} has cycles <= 0")
+            if acc.kind == READ:
+                expect = image.get(acc.waddr)
+                if expect is None:
+                    raise TraceError(
+                        f"{self.name}: access {i} reads word {acc.waddr:#x} "
+                        f"absent from the initial image"
+                    )
+                if expect != acc.value:
+                    raise TraceError(
+                        f"{self.name}: access {i} read {acc.value:#x} from "
+                        f"word {acc.waddr:#x} but memory holds {expect:#x}"
+                    )
+            elif acc.kind == WRITE:
+                image[acc.waddr] = acc.value
+            else:
+                raise TraceError(f"{self.name}: access {i} has bad kind")
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace covering ``accesses[start:stop]``.
+
+        The initial image is advanced to position ``start`` so the slice is
+        replayable on its own.  Markers are re-indexed; those outside the
+        window are dropped.
+        """
+        if not (0 <= start <= stop <= len(self.accesses)):
+            raise TraceError(f"bad slice [{start}:{stop}] of {len(self)}")
+        image = dict(self.initial_image)
+        for acc in self.accesses[:start]:
+            if acc.kind == WRITE:
+                image[acc.waddr] = acc.value
+        markers = [
+            Marker(m.index - start, m.kind, m.label)
+            for m in self.markers
+            if start <= m.index < stop
+        ]
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            accesses=self.accesses[start:stop],
+            initial_image=image,
+            memory_map=self.memory_map,
+            markers=markers,
+            checksum=self.checksum,
+            code_bytes=self.code_bytes,
+        )
+
+    def counts(self) -> Tuple[int, int]:
+        """(number of reads, number of writes)."""
+        reads = sum(1 for a in self.accesses if a.kind == READ)
+        return reads, len(self.accesses) - reads

@@ -1,0 +1,30 @@
+"""Verification of Clank (Section 5).
+
+The paper proves its Verilog implementation correct in two layers: (1) an
+easy-to-verify, infinite-resource *reference monitor* proven against 15
+idempotence properties with bounded model checking; (2) a proof that the
+high-performance implementation always signals an idempotency violation no
+later than the reference monitor, for every power-cycle and memory-access
+pattern within the bound.  Every experimental trial is additionally
+*dynamically verified* by the policy simulator.
+
+This package reproduces the same structure in Python: the reference monitor
+with its property set, and an exhaustive bounded checker that forks the real
+:class:`~repro.core.detector.IdempotencyDetector` at every possible
+power-failure point of every access sequence up to a bound.
+"""
+
+from repro.verify.monitor import ReferenceMonitor, MONITOR_PROPERTIES
+from repro.verify.bounded import (
+    BoundedChecker,
+    BoundedCheckReport,
+    all_sequences,
+)
+
+__all__ = [
+    "ReferenceMonitor",
+    "MONITOR_PROPERTIES",
+    "BoundedChecker",
+    "BoundedCheckReport",
+    "all_sequences",
+]

@@ -1,0 +1,290 @@
+"""Exhaustive bounded verification of the real detector implementation.
+
+Mirrors the paper's bounded model checking (Section 5): for every memory
+access sequence up to a bound — over a small address alphabet, with write
+values drawn from a small set so value-sensitive optimizations
+(ignore-false-writes) are exercised — and for every possible placement of up
+to ``max_failures`` power failures, drive the *actual*
+:class:`~repro.core.detector.IdempotencyDetector` through an intermittent
+execution and check:
+
+* every read (first-run or re-executed) observes exactly the value a single
+  continuous execution observes, and
+* the final non-volatile memory equals the continuous execution's final
+  memory.
+
+Power-failure placements are enumerated at *step* granularity, where a step
+is either one memory access or one checkpoint commit; failing before a
+commit step models power dying mid-checkpoint (the double-buffered commit
+discards the attempt).  Within this machine, step boundaries are the only
+points where a failure changes behaviour, so the enumeration is exhaustive.
+
+A separate check, :func:`check_against_monitor`, establishes the paper's
+layering property: the detector never lets a true (value-changing)
+idempotency violation — as judged by the infinite-resource reference
+monitor — commit directly to non-volatile memory.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.common.errors import VerificationError
+from repro.core.config import ClankConfig
+from repro.core.detector import (
+    CHECKPOINT,
+    CHECKPOINT_THEN_WRITE,
+    PROCEED,
+    IdempotencyDetector,
+)
+from repro.trace.access import READ, WRITE
+from repro.verify.monitor import ReferenceMonitor
+
+#: One program operation: (kind, word address, write value or 0).
+Op = Tuple[int, int, int]
+
+#: Detector snapshot of a freshly reset section.
+_EMPTY_DET = (frozenset(), frozenset(), (), frozenset(), False)
+
+
+def all_sequences(
+    length: int,
+    addrs: Sequence[int] = (0x100, 0x101),
+    values: Sequence[int] = (0, 1),
+) -> Iterator[Tuple[Op, ...]]:
+    """Every access sequence of exactly ``length`` operations.
+
+    The alphabet is: a read of each address, and a write of each value to
+    each address.
+    """
+    symbols: List[Op] = [(READ, a, 0) for a in addrs]
+    symbols += [(WRITE, a, v) for a in addrs for v in values]
+    return itertools.product(symbols, repeat=length)
+
+
+def _oracle(seq: Sequence[Op]) -> Tuple[List[int], Dict[int, int]]:
+    """Continuous-execution semantics: per-read observed values and the
+    final memory.  Memory starts all-zero."""
+    mem: Dict[int, int] = {}
+    reads: List[int] = []
+    for kind, w, v in seq:
+        if kind == READ:
+            reads.append(mem.get(w, 0))
+        else:
+            reads.append(-1)
+            mem[w] = v
+    return reads, mem
+
+
+@dataclass
+class BoundedCheckReport:
+    """Result of an exhaustive bounded check.
+
+    Attributes:
+        config_label: Detector configuration checked.
+        opt_label: Policy-optimization setting checked.
+        max_length: Sequence-length bound.
+        max_failures: Power failures allowed per execution.
+        sequences: Access sequences enumerated.
+        executions: Complete intermittent executions verified.
+    """
+
+    config_label: str
+    opt_label: str
+    max_length: int
+    max_failures: int
+    sequences: int
+    executions: int
+
+
+class BoundedChecker:
+    """Exhaustive bounded checker for one detector configuration.
+
+    Args:
+        config: The Clank configuration under verification.
+        max_failures: Maximum power failures injected per execution.
+        text_words: Optional iterable of word addresses forming a "text
+            segment", to exercise the ignore-TEXT path.
+    """
+
+    def __init__(
+        self,
+        config: ClankConfig,
+        max_failures: int = 2,
+        text_words: Sequence[int] = (),
+    ):
+        self.config = config
+        self.max_failures = max_failures
+        if text_words:
+            lo, hi = min(text_words), max(text_words) + 1
+        else:
+            lo = hi = 0
+        self._detector = IdempotencyDetector(config, (lo, hi))
+
+    # ------------------------------------------------------------------ #
+
+    def check_sequence(self, seq: Sequence[Op]) -> int:
+        """Verify one program under every failure placement.
+
+        Returns the number of complete executions verified.  Raises
+        :class:`VerificationError` on any divergence from the oracle.
+        """
+        reads, final = _oracle(seq)
+        start = (0, 0, {}, _EMPTY_DET, None)
+        return self._explore(seq, reads, final, start, self.max_failures)
+
+    def check_all(
+        self,
+        max_length: int,
+        addrs: Sequence[int] = (0x100, 0x101),
+        values: Sequence[int] = (0, 1),
+    ) -> BoundedCheckReport:
+        """Verify every sequence of length 1..``max_length``."""
+        sequences = executions = 0
+        for length in range(1, max_length + 1):
+            for seq in all_sequences(length, addrs, values):
+                sequences += 1
+                executions += self.check_sequence(seq)
+        return BoundedCheckReport(
+            config_label=self.config.label(),
+            opt_label=self.config.optimizations.label(),
+            max_length=max_length,
+            max_failures=self.max_failures,
+            sequences=sequences,
+            executions=executions,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _explore(self, seq, reads, final, state, failures_left) -> int:
+        """DFS over failure placements from ``state``; returns completed
+        execution count."""
+        runs = 0
+        while True:
+            i, ckpt_i, nv, det_state, pending = state
+            done = i > len(seq)  # i == len(seq)+1 after the final commit
+            if failures_left > 0 and not done:
+                runs += self._explore(
+                    seq, reads, final, self._power_fail(state), failures_left - 1
+                )
+            if done:
+                for w, v in final.items():
+                    if nv.get(w, 0) != v:
+                        raise VerificationError(
+                            f"bounded[{self.config.label()}]: final word "
+                            f"{w:#x} is {nv.get(w, 0)} but oracle has {v}; "
+                            f"seq={seq}"
+                        )
+                return runs + 1
+            state = self._step(seq, reads, state)
+
+    @staticmethod
+    def _power_fail(state):
+        i, ckpt_i, nv, det_state, pending = state
+        return (ckpt_i, ckpt_i, dict(nv), _EMPTY_DET, None)
+
+    def _step(self, seq, reads, state):
+        """Execute one step: a single access or a single checkpoint commit."""
+        i, ckpt_i, nv, det_state, pending = state
+        det = self._detector
+        det.restore(det_state)
+        n = len(seq)
+
+        if i == n:
+            # Final lock-in checkpoint commit.
+            nv = dict(nv)
+            nv.update(det.reset_section())
+            return (i + 1, i, nv, det.snapshot(), None)
+
+        kind, w, v = seq[i]
+
+        if pending is not None:
+            # Direct write following a text-write checkpoint commit.
+            nv = dict(nv)
+            nv[w] = v
+            return (i + 1, ckpt_i, nv, det_state, None)
+
+        if kind == READ:
+            action, _cause = det.on_read(w)
+            if action == CHECKPOINT:
+                return self._commit(i, nv, det)
+            got = det.wbb_value(w)
+            if got is None:
+                got = nv.get(w, 0)
+            if got != reads[i]:
+                raise VerificationError(
+                    f"bounded[{self.config.label()}]: read {i} of word "
+                    f"{w:#x} saw {got}, oracle saw {reads[i]}; seq={seq}"
+                )
+            return (i + 1, ckpt_i, nv, det.snapshot(), None)
+
+        cur = det.wbb_value(w)
+        if cur is None:
+            cur = nv.get(w, 0)
+        action, _cause = det.on_write(w, v, cur)
+        if action == CHECKPOINT:
+            return self._commit(i, nv, det)
+        if action == CHECKPOINT_THEN_WRITE:
+            i2, ckpt2, nv2, det2, _ = self._commit(i, nv, det)
+            return (i2, ckpt2, nv2, det2, (w, v))
+        nv = dict(nv)
+        if action == PROCEED:
+            nv[w] = v
+        # PROCEED_WBB: the value lives in the (volatile) Write-back Buffer.
+        return (i + 1, ckpt_i, nv, det.snapshot(), None)
+
+    @staticmethod
+    def _commit(i, nv, det):
+        nv = dict(nv)
+        nv.update(det.reset_section())
+        return (i, i, nv, det.snapshot(), None)
+
+
+def check_against_monitor(
+    seq: Sequence[Op], config: ClankConfig
+) -> None:
+    """The layering property of Section 5: the detector never lets a true
+    idempotency violation (per the infinite-resource reference monitor)
+    commit a *changed* value directly to non-volatile memory without a
+    checkpoint.
+
+    Drives one continuous execution of ``seq`` through both the monitor and
+    the detector; raises :class:`VerificationError` on a miss.
+    """
+    det = IdempotencyDetector(config)
+    monitor = ReferenceMonitor()
+    nv: Dict[int, int] = {}
+    i = 0
+    n = len(seq)
+    while i < n:
+        kind, w, v = seq[i]
+        if kind == READ:
+            action, _ = det.on_read(w)
+            if action == CHECKPOINT:
+                nv.update(det.reset_section())
+                monitor.reset()
+                continue
+            monitor.access(READ, w)
+        else:
+            cur = det.wbb_value(w)
+            if cur is None:
+                cur = nv.get(w, 0)
+            violates = monitor.is_violation(WRITE, w)
+            action, _ = det.on_write(w, v, cur)
+            if action in (CHECKPOINT, CHECKPOINT_THEN_WRITE):
+                nv.update(det.reset_section())
+                monitor.reset()
+                if action == CHECKPOINT_THEN_WRITE:
+                    nv[w] = v
+                    monitor.access(WRITE, w)
+                    i += 1
+                continue
+            if violates and action == PROCEED and v != cur:
+                raise VerificationError(
+                    f"detector[{config.label()}] let violating write "
+                    f"({w:#x} <- {v}) commit directly to NV; seq={seq}"
+                )
+            monitor.access(WRITE, w)
+            if action == PROCEED:
+                nv[w] = v
+        i += 1

@@ -1,0 +1,109 @@
+"""The infinite-resource idempotence reference monitor (Figure 4).
+
+The monitor keeps unbounded read-dominated and write-dominated address sets
+and signals on every true idempotency violation.  It is deliberately the
+simplest possible implementation — small enough that its correctness is
+established by checking the fifteen properties below over all bounded access
+sequences (see :mod:`repro.verify.bounded` and the property tests).
+
+The fifteen monitor properties (the reproduction's analog of the paper's
+Figure 4 property list):
+
+ 1. No address is ever in both the read-dominated and write-dominated set.
+ 2. The first access to an address being a read puts it in the
+    read-dominated set.
+ 3. The first access to an address being a write puts it in the
+    write-dominated set.
+ 4. A read never signals a violation.
+ 5. A write to a read-dominated address signals a violation.
+ 6. A write to a write-dominated address never signals a violation.
+ 7. A read of a write-dominated address changes no set.
+ 8. Within a section, sets only grow.
+ 9. After reset, both sets are empty.
+10. After a power failure, both sets are empty.
+11. A violation signal implies the address was read-dominated.
+12. Once read-dominated, an address stays read-dominated until reset.
+13. Once write-dominated, an address stays write-dominated until reset.
+14. The union of the two sets is exactly the set of addresses accessed in
+    the current section.
+15. The monitor is deterministic: identical access sequences produce
+    identical signals.
+
+Properties 1-14 are asserted structurally by :meth:`ReferenceMonitor.access`
+under ``checked=True``; property 15 holds by construction (no hidden state)
+and is exercised by the property-based tests.
+"""
+
+from typing import Set
+
+from repro.common.errors import VerificationError
+from repro.trace.access import READ, WRITE
+
+#: Names of the fifteen properties, for reports.
+MONITOR_PROPERTIES = tuple(f"P{i}" for i in range(1, 16))
+
+
+class ReferenceMonitor:
+    """Infinite-resource idempotency tracker.
+
+    Args:
+        checked: Assert the structural properties on every access (slower;
+            used by the verification harness and tests).
+    """
+
+    __slots__ = ("read_dominated", "write_dominated", "checked")
+
+    def __init__(self, checked: bool = True):
+        self.read_dominated: Set[int] = set()
+        self.write_dominated: Set[int] = set()
+        self.checked = checked
+
+    def access(self, kind: int, waddr: int) -> bool:
+        """Observe one access; returns True on an idempotency violation.
+
+        A violation is a write to a read-dominated address
+        (Section 3.1.1).  The monitor keeps tracking after a violation;
+        resetting is the caller's (checkpoint routine's) job.
+        """
+        rd = self.read_dominated
+        wd = self.write_dominated
+        if self.checked and not rd.isdisjoint(wd):
+            raise VerificationError("monitor P1: sets overlap")  # pragma: no cover
+        if kind == READ:
+            if waddr not in rd and waddr not in wd:
+                rd.add(waddr)  # P2
+            # P4/P7: reads never signal and never move addresses.
+            return False
+        if kind != WRITE:
+            raise VerificationError(f"monitor: bad access kind {kind}")
+        if waddr in rd:
+            return True  # P5/P11
+        if waddr not in wd:
+            wd.add(waddr)  # P3
+        return False  # P6
+
+    def is_violation(self, kind: int, waddr: int) -> bool:
+        """Would this access violate idempotency? (No state change.)"""
+        return kind == WRITE and waddr in self.read_dominated
+
+    def reset(self) -> None:
+        """Checkpoint taken: start a fresh section (P9)."""
+        self.read_dominated.clear()
+        self.write_dominated.clear()
+
+    def power_fail(self) -> None:
+        """Power lost: all monitor state is volatile (P10)."""
+        self.reset()
+
+    def accessed(self) -> Set[int]:
+        """All addresses accessed this section (P14: equals the union)."""
+        return self.read_dominated | self.write_dominated
+
+    def check_partition(self) -> None:
+        """Assert P1 explicitly (used by tests after arbitrary drives)."""
+        overlap = self.read_dominated & self.write_dominated
+        if overlap:
+            raise VerificationError(
+                f"monitor P1 violated: addresses {sorted(overlap)} are in "
+                f"both dominance sets"
+            )

@@ -1,0 +1,37 @@
+"""The benchmark workloads (Table 1): MiBench2-class kernels + DINO's DS.
+
+The paper evaluates Clank on the 23 programs of the MiBench2 IoT benchmark
+suite, compiled for the Cortex-M0+ and run on a cycle-accurate ISS to
+produce memory-access logs.  Here each kernel is re-implemented against
+:class:`~repro.mem.traced.TracedMemory`, which produces the same kind of
+log: every load/store the algorithm performs, with word addresses, observed
+values, and modeled cycle costs.  Constant tables live in the text segment
+(rodata), working data in data/heap/stack segments, and results are emitted
+through MMIO ports — so the access patterns Clank's buffers and policy
+optimizations react to (read/write dominance, prefix locality, text-read
+asymmetry, output commits) are all present.
+
+Every kernel is a *real* implementation of its algorithm and is tested
+against an independent reference (stdlib ``zlib``/``hashlib``, ``networkx``,
+round-trip inversions, or published test vectors).
+"""
+
+from repro.workloads.base import Workload, WorkloadParams
+from repro.workloads.registry import (
+    get_workload,
+    workload_names,
+    mibench2_names,
+    iter_workloads,
+)
+from repro.workloads.cache import get_trace, clear_trace_cache
+
+__all__ = [
+    "Workload",
+    "WorkloadParams",
+    "get_workload",
+    "workload_names",
+    "mibench2_names",
+    "iter_workloads",
+    "get_trace",
+    "clear_trace_cache",
+]

@@ -1,0 +1,79 @@
+"""Workload base class: a kernel that runs on a TracedMemory."""
+
+import random
+import zlib
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+from repro.common.errors import ConfigError
+from repro.mem.traced import TracedMemory
+from repro.trace.trace import Trace
+
+#: A size preset: keyword parameters for the kernel.
+WorkloadParams = Dict[str, Any]
+
+
+class Workload(ABC):
+    """One benchmark kernel.
+
+    Subclasses set :attr:`name`, :attr:`description`, :attr:`sizes` (at
+    least ``"tiny"``, ``"small"``, and ``"default"`` presets) and implement
+    :meth:`_run`, performing all data accesses through the given
+    :class:`TracedMemory` and returning a 32-bit checksum of the results.
+
+    Size presets serve different experiments: ``default`` for the per-
+    benchmark figures and tables, ``small`` for the million-configuration
+    design-space sweeps, ``tiny`` for unit tests.
+    """
+
+    #: Registry name (matches the paper's Table 1 naming).
+    name: str = ""
+    #: One-line description.
+    description: str = ""
+    #: Size presets; merged over ``sizes["default"]``.
+    sizes: Dict[str, WorkloadParams] = {}
+    #: Approximate compiled code size in bytes (Table 1's Size column is
+    #: dominated by embedded input data for the big MiBench2 programs; we
+    #: model code+rodata only and report data footprint separately).
+    approx_code_bytes: int = 4096
+
+    def params(self, size: str = "default", **overrides) -> WorkloadParams:
+        """Resolve a size preset plus explicit overrides."""
+        if size not in self.sizes:
+            raise ConfigError(
+                f"workload {self.name!r} has no size {size!r}; "
+                f"choices: {sorted(self.sizes)}"
+            )
+        merged = dict(self.sizes["default"])
+        merged.update(self.sizes[size])
+        merged.update(overrides)
+        return merged
+
+    def build(self, size: str = "default", seed: int = 0, **overrides) -> Trace:
+        """Run the kernel and return its memory-access trace.
+
+        Args:
+            size: Size preset name.
+            seed: Seed for the kernel's input generator; the same
+                (size, seed) pair always produces the identical trace.
+            **overrides: Explicit parameter overrides.
+        """
+        params = self.params(size, **overrides)
+        mem = TracedMemory(self.name)
+        rng = random.Random(zlib.crc32(self.name.encode()) * 31 + seed)
+        checksum = self._run(mem, rng, **params)
+        return mem.finish(
+            checksum=checksum,
+            code_bytes=self.approx_code_bytes + mem.text_bytes_used(),
+        )
+
+    @abstractmethod
+    def _run(self, mem: TracedMemory, rng: random.Random, **params) -> int:
+        """Execute the kernel against ``mem``; return a result checksum."""
+
+
+def mix32(a: int, b: int) -> int:
+    """Cheap 32-bit checksum mixer used by kernels to fold results."""
+    a = (a ^ b) & 0xFFFFFFFF
+    a = (a * 0x9E3779B1) & 0xFFFFFFFF
+    return ((a >> 15) ^ a) & 0xFFFFFFFF

@@ -1,0 +1,28 @@
+"""In-process trace cache.
+
+Design-space sweeps replay the same trace under thousands of
+configurations; building each workload trace once per process keeps the
+experiment cost in the policy simulator, exactly as the paper's two-stage
+flow does (one ISS run, many policy-simulator runs).
+"""
+
+from typing import Dict, Tuple
+
+from repro.trace.trace import Trace
+
+_CACHE: Dict[Tuple[str, str, int], Trace] = {}
+
+
+def get_trace(name: str, size: str = "default", seed: int = 0) -> Trace:
+    """The (cached) trace of workload ``name`` at ``size``/``seed``."""
+    key = (name, size, seed)
+    if key not in _CACHE:
+        from repro.workloads.registry import get_workload
+
+        _CACHE[key] = get_workload(name).build(size=size, seed=seed)
+    return _CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,470 @@
+"""Codec kernels: adpcm_encode, adpcm_decode, lzfx, picojpeg."""
+
+import math
+import random
+from typing import List
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+# --------------------------------------------------------------------- #
+# IMA ADPCM (the step/index tables of the IMA reference codec)
+# --------------------------------------------------------------------- #
+
+IMA_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+IMA_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+
+def adpcm_install_tables(mem: TracedMemory) -> tuple:
+    """Step and index tables in the text segment; returns their addresses."""
+    step = mem.alloc(4 * len(IMA_STEP_TABLE), segment="text")
+    mem.init_words(step, IMA_STEP_TABLE)
+    index = mem.alloc(4 * len(IMA_INDEX_TABLE), segment="text")
+    mem.init_words(index, [v & 0xFFFFFFFF for v in IMA_INDEX_TABLE])
+    return step, index
+
+
+def _s32(x: int) -> int:
+    x &= 0xFFFFFFFF
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def adpcm_encode(mem: TracedMemory, pcm: int, nsamples: int, out: int, state: int, step_tbl: int, index_tbl: int) -> None:
+    """IMA ADPCM encode: 16-bit samples at ``pcm`` into 4-bit codes packed
+    two per byte at ``out``.  Predictor/index state is read-modified-written
+    per sample at ``state``."""
+    mem.call("adpcm_encode")
+    mem.sw(state + 0, 0)  # predictor
+    mem.sw(state + 4, 0)  # step index
+    for n in range(nsamples):
+        sample = mem.lh(pcm + 2 * n)
+        sample = sample - 0x10000 if sample & 0x8000 else sample
+        pred = _s32(mem.lw(state + 0))
+        idx = mem.lw(state + 4)
+        step = mem.lw(step_tbl + 4 * idx)
+        diff = sample - pred
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        delta = step >> 3
+        if diff >= step:
+            code |= 4
+            diff -= step
+            delta += step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+            delta += step >> 1
+        if diff >= step >> 2:
+            code |= 1
+            delta += step >> 2
+        pred = pred - delta if code & 8 else pred + delta
+        pred = max(-32768, min(32767, pred))
+        idx = idx + _s32(mem.lw(index_tbl + 4 * (code & 0xF)))
+        idx = max(0, min(88, idx))
+        mem.sw(state + 0, pred & 0xFFFFFFFF)
+        mem.sw(state + 4, idx)
+        byte_addr = out + n // 2
+        if n % 2 == 0:
+            mem.sb(byte_addr, code)
+        else:
+            mem.sb(byte_addr, mem.lb(byte_addr) | (code << 4))
+    mem.ret("adpcm_encode")
+
+
+def adpcm_decode(mem: TracedMemory, codes: int, nsamples: int, pcm_out: int, state: int, step_tbl: int, index_tbl: int) -> None:
+    """IMA ADPCM decode: the exact inverse of :func:`adpcm_encode`."""
+    mem.call("adpcm_decode")
+    mem.sw(state + 0, 0)
+    mem.sw(state + 4, 0)
+    for n in range(nsamples):
+        byte = mem.lb(codes + n // 2)
+        code = (byte >> 4) & 0xF if n % 2 else byte & 0xF
+        pred = _s32(mem.lw(state + 0))
+        idx = mem.lw(state + 4)
+        step = mem.lw(step_tbl + 4 * idx)
+        delta = step >> 3
+        if code & 4:
+            delta += step
+        if code & 2:
+            delta += step >> 1
+        if code & 1:
+            delta += step >> 2
+        pred = pred - delta if code & 8 else pred + delta
+        pred = max(-32768, min(32767, pred))
+        idx = idx + _s32(mem.lw(index_tbl + 4 * (code & 0xF)))
+        idx = max(0, min(88, idx))
+        mem.sw(state + 0, pred & 0xFFFFFFFF)
+        mem.sw(state + 4, idx)
+        mem.sh(pcm_out + 2 * n, pred & 0xFFFF)
+    mem.ret("adpcm_decode")
+
+
+def _synthesize_audio(rng: random.Random, nsamples: int) -> List[int]:
+    """A sine sweep plus noise, as a 16-bit PCM sample list."""
+    samples = []
+    phase = 0.0
+    for n in range(nsamples):
+        phase += 0.05 + 0.18 * math.sin(n / 60.0)
+        v = int(9000 * math.sin(phase)) + rng.randrange(-700, 700)
+        samples.append(max(-32768, min(32767, v)) & 0xFFFF)
+    return samples
+
+
+class AdpcmEncodeWorkload(Workload):
+    """IMA ADPCM encoding of synthetic audio."""
+
+    name = "adpcm_encode"
+    description = "IMA ADPCM encoder over a synthetic sine sweep"
+    approx_code_bytes = 2560
+    sizes = {
+        "default": {"nsamples": 2400},
+        "small": {"nsamples": 600},
+        "tiny": {"nsamples": 64},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, nsamples: int) -> int:
+        step_tbl, index_tbl = adpcm_install_tables(mem)
+        pcm = mem.alloc(2 * nsamples, segment="heap")
+        out = mem.alloc(nsamples // 2 + 1, segment="heap")
+        state = mem.alloc(8, segment="data")
+        samples = _synthesize_audio(rng, nsamples)
+        mem.init_bytes(pcm, b"".join(s.to_bytes(2, "little") for s in samples))
+        adpcm_encode(mem, pcm, nsamples, out, state, step_tbl, index_tbl)
+        checksum = 0
+        for i in range(0, nsamples // 2 - 3, 4):
+            checksum = mix32(checksum, mem.lb(out + i))
+        mem.out(0, checksum)
+        return checksum
+
+
+class AdpcmDecodeWorkload(Workload):
+    """IMA ADPCM decoding of a stream produced by the encoder."""
+
+    name = "adpcm_decode"
+    description = "IMA ADPCM decoder over an encoded sine sweep"
+    approx_code_bytes = 2304
+    sizes = {
+        "default": {"nsamples": 2400},
+        "small": {"nsamples": 600},
+        "tiny": {"nsamples": 64},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, nsamples: int) -> int:
+        step_tbl, index_tbl = adpcm_install_tables(mem)
+        codes = mem.alloc(nsamples // 2 + 1, segment="heap")
+        pcm_out = mem.alloc(2 * nsamples, segment="heap")
+        state = mem.alloc(8, segment="data")
+        # Pre-encode the input off-trace (the decoder is the benchmark).
+        encoded = _reference_encode(_synthesize_audio(rng, nsamples))
+        mem.init_bytes(codes, bytes(encoded))
+        adpcm_decode(mem, codes, nsamples, pcm_out, state, step_tbl, index_tbl)
+        checksum = 0
+        for i in range(0, nsamples, 5):
+            checksum = mix32(checksum, mem.lh(pcm_out + 2 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+def _reference_encode(samples: List[int]) -> List[int]:
+    """Pure-Python IMA encoder used to prepare the decoder's input and as
+    the independent reference in the round-trip tests."""
+    pred, idx = 0, 0
+    out = [0] * ((len(samples) + 1) // 2)
+    for n, raw in enumerate(samples):
+        sample = raw - 0x10000 if raw & 0x8000 else raw
+        step = IMA_STEP_TABLE[idx]
+        diff = sample - pred
+        code = 0
+        if diff < 0:
+            code = 8
+            diff = -diff
+        delta = step >> 3
+        if diff >= step:
+            code |= 4
+            diff -= step
+            delta += step
+        if diff >= step >> 1:
+            code |= 2
+            diff -= step >> 1
+            delta += step >> 1
+        if diff >= step >> 2:
+            code |= 1
+            delta += step >> 2
+        pred = pred - delta if code & 8 else pred + delta
+        pred = max(-32768, min(32767, pred))
+        idx = max(0, min(88, idx + IMA_INDEX_TABLE[code & 0xF]))
+        if n % 2 == 0:
+            out[n // 2] = code
+        else:
+            out[n // 2] |= code << 4
+    return out
+
+
+# --------------------------------------------------------------------- #
+# lzfx (LZF-style hash-chain compressor with literal/back-ref tokens)
+# --------------------------------------------------------------------- #
+
+_LZ_HASH_SIZE = 256
+_LZ_MAX_LIT = 32
+_LZ_MAX_REF = 264
+_LZ_MAX_OFF = 4096  # offsets encode in 4+8 bits
+
+
+def lzfx_compress(mem: TracedMemory, src: int, src_len: int, dst: int, htab: int) -> int:
+    """LZF-style compression; returns the compressed length.
+
+    Token format: ``0llllll`` literal run of l+1 bytes; ``1lllhhhh`` +
+    offset-low byte: back-reference of length l+2 at offset (hhhh<<8|low)+1.
+    The hash table at ``htab`` (256 words) is read-modified-written per
+    input position.
+    """
+    mem.call("lzfx_compress")
+    for i in range(_LZ_HASH_SIZE):
+        mem.sw(htab + 4 * i, 0xFFFFFFFF)
+    out = dst
+    pos = 0
+    lit_start = 0
+
+    def flush_literals(upto: int, out_pos: int) -> int:
+        start = lit_start
+        while start < upto:
+            run = min(_LZ_MAX_LIT, upto - start)
+            mem.sb(out_pos, run - 1)
+            out_pos += 1
+            for k in range(run):
+                mem.sb(out_pos + k, mem.lb(src + start + k))
+            out_pos += run
+            start += run
+        return out_pos
+
+    while pos + 2 < src_len:
+        b0 = mem.lb(src + pos)
+        b1 = mem.lb(src + pos + 1)
+        b2 = mem.lb(src + pos + 2)
+        h = (b0 * 33 + b1 * 7 + b2) % _LZ_HASH_SIZE
+        mem.mul_tick()
+        ref = mem.lw(htab + 4 * h)
+        mem.sw(htab + 4 * h, pos)
+        if (
+            ref != 0xFFFFFFFF
+            and ref < pos
+            and pos - ref <= _LZ_MAX_OFF
+            and mem.lb(src + ref) == b0
+            and mem.lb(src + ref + 1) == b1
+            and mem.lb(src + ref + 2) == b2
+        ):
+            length = 3
+            while (
+                pos + length < src_len
+                and length < _LZ_MAX_REF
+                and mem.lb(src + ref + length) == mem.lb(src + pos + length)
+            ):
+                length += 1
+            out = flush_literals(pos, out)
+            off = pos - ref - 1
+            mem.sb(out, 0x80 | ((length - 2) if length - 2 < 8 else 7) << 4 | (off >> 8))
+            # Encode long lengths with an extension byte.
+            if length - 2 >= 7:
+                mem.sb(out + 1, length - 2 - 7)
+                mem.sb(out + 2, off & 0xFF)
+                out += 3
+            else:
+                mem.sb(out + 1, off & 0xFF)
+                out += 2
+            pos += length
+            lit_start = pos
+        else:
+            pos += 1
+    out = flush_literals(src_len, out)
+    lit_start = src_len
+    mem.ret("lzfx_compress")
+    return out - dst
+
+
+def lzfx_decompress(mem: TracedMemory, src: int, src_len: int, dst: int) -> int:
+    """Inverse of :func:`lzfx_compress`; returns the decompressed length."""
+    mem.call("lzfx_decompress")
+    ip = 0
+    out = 0
+    while ip < src_len:
+        ctrl = mem.lb(src + ip)
+        ip += 1
+        if ctrl & 0x80:
+            length = (ctrl >> 4) & 0x7
+            if length == 7:
+                length += mem.lb(src + ip)
+                ip += 1
+            length += 2
+            off = ((ctrl & 0xF) << 8) | mem.lb(src + ip)
+            ip += 1
+            ref = out - off - 1
+            for k in range(length):
+                mem.sb(dst + out + k, mem.lb(dst + ref + k))
+            out += length
+        else:
+            run = ctrl + 1
+            for k in range(run):
+                mem.sb(dst + out + k, mem.lb(src + ip + k))
+            ip += run
+            out += run
+    mem.ret("lzfx_decompress")
+    return out
+
+
+def make_compressible(rng: random.Random, length: int) -> bytes:
+    """Synthetic log-like data with repeated phrases (compressible)."""
+    phrases = [
+        b"sensor=%d temp=" % i for i in range(4)
+    ] + [b" humidity=", b" battery=", b"\nevent log entry "]
+    buf = bytearray()
+    while len(buf) < length:
+        buf += rng.choice(phrases)
+        buf += str(rng.randrange(1000)).encode()
+    return bytes(buf[:length])
+
+
+class LzfxWorkload(Workload):
+    """LZF-style compress + decompress round trip over log-like data."""
+
+    name = "lzfx"
+    description = "LZF-style compression/decompression round trip"
+    approx_code_bytes = 3072
+    sizes = {
+        "default": {"length": 2000},
+        "small": {"length": 500},
+        "tiny": {"length": 80},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, length: int) -> int:
+        data = make_compressible(rng, length)
+        src = mem.alloc(length, segment="heap")
+        dst = mem.alloc(2 * length + 16, segment="heap")
+        back = mem.alloc(length + 16, segment="heap")
+        htab = mem.alloc(4 * _LZ_HASH_SIZE, segment="data")
+        mem.init_bytes(src, data)
+        clen = lzfx_compress(mem, src, length, dst, htab)
+        dlen = lzfx_decompress(mem, dst, clen, back)
+        checksum = mix32(clen, dlen)
+        ok = 1
+        for i in range(0, length, max(1, length // 64)):
+            if mem.lb(back + i) != mem.lb(src + i):
+                ok = 0
+        checksum = mix32(checksum, ok)
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# picojpeg (dequantize + zigzag + integer IDCT block pipeline)
+# --------------------------------------------------------------------- #
+
+_ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+#: A JPEG-Annex-K-style luminance quantization table (quality ~50).
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+_DCT_FRAC = 11
+_DCT_COS = [
+    [int(round(math.cos((2 * x + 1) * u * math.pi / 16) * (1 << _DCT_FRAC))) for x in range(8)]
+    for u in range(8)
+]
+
+
+def picojpeg_install_tables(mem: TracedMemory) -> tuple:
+    """Zigzag, quant, and cosine tables in the text segment."""
+    zz = mem.alloc(64, segment="text")
+    mem.init_bytes(zz, bytes(_ZIGZAG))
+    q = mem.alloc(64 * 4, segment="text")
+    mem.init_words(q, _QUANT)
+    cos = mem.alloc(64 * 4, segment="text")
+    mem.init_words(cos, [c & 0xFFFFFFFF for row in _DCT_COS for c in row])
+    return zz, q, cos
+
+
+def picojpeg_decode_block(mem: TracedMemory, coeffs: int, block: int, pixels: int, zz: int, q: int, cos: int) -> None:
+    """Decode one 8x8 block: dequantize + de-zigzag into ``block`` (64
+    words), then a separable integer IDCT into ``pixels`` (64 bytes)."""
+    mem.call("picojpeg_decode_block")
+    for i in range(64):
+        c = _s32(mem.lw(coeffs + 4 * i))
+        mem.mul_tick()
+        dq = c * mem.lw(q + 4 * i)
+        mem.sw(block + 4 * mem.lb(zz + i), dq & 0xFFFFFFFF)
+    # Rows then columns, 1-D IDCT each (direct cosine sum).
+    for pass_cols in (False, True):
+        for a in range(8):
+            vals = []
+            for x in range(8):
+                acc = 0
+                for u in range(8):
+                    idx = (u * 8 + a) if pass_cols else (a * 8 + u)
+                    cu = _s32(mem.lw(cos + 4 * (u * 8 + x)))
+                    s = _s32(mem.lw(block + 4 * idx))
+                    mem.mul_tick()
+                    term = s * cu
+                    if u == 0:
+                        term = term * 0b101101 >> 6  # 1/sqrt(2) ~ 45/64
+                    acc += term
+                vals.append(acc >> (_DCT_FRAC + 1))
+            for x in range(8):
+                idx = (x * 8 + a) if pass_cols else (a * 8 + x)
+                mem.sw(block + 4 * idx, vals[x] & 0xFFFFFFFF)
+    for i in range(64):
+        v = (_s32(mem.lw(block + 4 * i)) >> 2) + 128
+        mem.sb(pixels + i, max(0, min(255, v)))
+    mem.ret("picojpeg_decode_block")
+
+
+class PicojpegWorkload(Workload):
+    """JPEG-style block decoding: dequantize, de-zigzag, integer IDCT."""
+
+    name = "picojpeg"
+    description = "JPEG block pipeline (dequant + zigzag + IDCT)"
+    approx_code_bytes = 6144
+    sizes = {
+        "default": {"blocks": 16},
+        "small": {"blocks": 4},
+        "tiny": {"blocks": 1},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, blocks: int) -> int:
+        zz, q, cos = picojpeg_install_tables(mem)
+        coeffs = mem.alloc(64 * 4, segment="heap")
+        block = mem.alloc(64 * 4, segment="heap")
+        pixels = mem.alloc(64 * blocks, segment="heap")
+        checksum = 0
+        for b in range(blocks):
+            # Sparse DCT-domain coefficients, like real entropy-decoded data.
+            vals = [0] * 64
+            vals[0] = rng.randrange(-64, 64)
+            for _ in range(rng.randrange(4, 12)):
+                vals[rng.randrange(1, 20)] = rng.randrange(-24, 24)
+            # Coefficients arrive via traced stores, like an entropy
+            # decoder writing its output buffer.
+            mem.store_words(coeffs, [v & 0xFFFFFFFF for v in vals])
+            picojpeg_decode_block(mem, coeffs, block, pixels + 64 * b, zz, q, cos)
+            for i in range(0, 64, 8):
+                checksum = mix32(checksum, mem.lb(pixels + 64 * b + i))
+        mem.out(0, checksum)
+        return checksum

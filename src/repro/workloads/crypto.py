@@ -1,0 +1,558 @@
+"""Cryptographic kernels: aes, rc4, blowfish, sha, rsa.
+
+Each algorithm's core is exposed as module functions operating on addresses
+inside a :class:`TracedMemory`, so unit tests can drive them with published
+test vectors (FIPS-197 for AES, the classic ``"Key"/"Plaintext"`` vector for
+RC4, ``hashlib`` for SHA-1, Python ``pow`` for RSA).  The workload classes
+wrap them with PRNG-generated inputs at the trace sizes the experiments
+need.
+
+Substitution note (DESIGN.md): the blowfish kernel seeds its P-array and
+S-boxes from a deterministic PRNG instead of the hexadecimal digits of pi;
+the Feistel network, the chained key schedule, and therefore the memory
+access pattern are the real Blowfish structure.
+"""
+
+import random
+from typing import List
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+# --------------------------------------------------------------------- #
+# AES-128
+# --------------------------------------------------------------------- #
+
+
+def _compute_sbox() -> List[int]:
+    """The AES S-box, derived from first principles (GF(2^8) inverse +
+    affine transform) rather than transcribed."""
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by the generator 0x03 = x * 2 ^ x
+        x ^= ((x << 1) ^ (0x11B if x & 0x80 else 0)) & 0xFF
+    sbox = []
+    for a in range(256):
+        inv = 0 if a == 0 else exp[255 - log[a]]
+        b = inv
+        for _ in range(4):
+            inv = ((inv << 1) | (inv >> 7)) & 0xFF
+            b ^= inv
+        sbox.append(b ^ 0x63)
+    return sbox
+
+
+AES_SBOX = _compute_sbox()
+AES_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def aes_install_tables(mem: TracedMemory) -> int:
+    """Place the S-box in the text segment (rodata); returns its address."""
+    sbox_addr = mem.alloc(256, segment="text")
+    mem.init_bytes(sbox_addr, bytes(AES_SBOX))
+    return sbox_addr
+
+
+def aes_expand_key(mem: TracedMemory, sbox: int, key_addr: int, rk_addr: int) -> None:
+    """FIPS-197 key expansion: 16-byte key at ``key_addr`` into 176 bytes of
+    round keys at ``rk_addr``.  Round keys are written then re-read every
+    block — the classic write-once/read-many pattern Program-Idempotence
+    marking exploits."""
+    mem.call("aes_expand_key")
+    for i in range(16):
+        mem.sb(rk_addr + i, mem.lb(key_addr + i))
+    for i in range(4, 44):
+        base = rk_addr + 4 * i
+        t = [mem.lb(base - 4 + j) for j in range(4)]
+        if i % 4 == 0:
+            t = t[1:] + t[:1]
+            t = [mem.lb(sbox + b) for b in t]
+            t[0] ^= AES_RCON[i // 4 - 1]
+        for j in range(4):
+            mem.sb(base + j, t[j] ^ mem.lb(base - 16 + j))
+    mem.ret("aes_expand_key")
+
+
+def _xtime(b: int) -> int:
+    return ((b << 1) ^ (0x1B if b & 0x80 else 0)) & 0xFF
+
+
+def aes_encrypt_block(mem: TracedMemory, sbox: int, rk_addr: int, state_addr: int) -> None:
+    """Encrypt the 16-byte block at ``state_addr`` in place (AES-128).
+
+    The state lives in memory and is read-modified-written every round —
+    a dense source of idempotency violations.
+    """
+    mem.call("aes_encrypt_block")
+
+    def add_round_key(rnd: int) -> None:
+        for i in range(16):
+            mem.sb(state_addr + i, mem.lb(state_addr + i) ^ mem.lb(rk_addr + 16 * rnd + i))
+
+    def sub_bytes() -> None:
+        for i in range(16):
+            mem.sb(state_addr + i, mem.lb(sbox + mem.lb(state_addr + i)))
+
+    def shift_rows() -> None:
+        for r in range(1, 4):
+            row = [mem.lb(state_addr + r + 4 * c) for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                mem.sb(state_addr + r + 4 * c, row[c])
+
+    def mix_columns() -> None:
+        for c in range(4):
+            col = [mem.lb(state_addr + 4 * c + r) for r in range(4)]
+            t = col[0] ^ col[1] ^ col[2] ^ col[3]
+            first = col[0]
+            for r in range(4):
+                nxt = col[(r + 1) % 4] if r < 3 else first
+                mem.sb(
+                    state_addr + 4 * c + r,
+                    col[r] ^ t ^ _xtime(col[r] ^ nxt),
+                )
+                mem.tick(4)
+
+    add_round_key(0)
+    for rnd in range(1, 10):
+        sub_bytes()
+        shift_rows()
+        mix_columns()
+        add_round_key(rnd)
+    sub_bytes()
+    shift_rows()
+    add_round_key(10)
+    mem.ret("aes_encrypt_block")
+
+
+class AesWorkload(Workload):
+    """AES-128 ECB encryption of a PRNG message buffer."""
+
+    name = "aes"
+    description = "AES-128 ECB encryption (FIPS-197), S-box in rodata"
+    approx_code_bytes = 6144
+    sizes = {
+        "default": {"blocks": 24},
+        "small": {"blocks": 6},
+        "tiny": {"blocks": 1},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, blocks: int) -> int:
+        sbox = aes_install_tables(mem)
+        key_addr = mem.alloc(16, segment="data")
+        rk_addr = mem.alloc(176, segment="data")
+        buf_addr = mem.alloc(16 * blocks, segment="heap")
+        mem.init_bytes(key_addr, bytes(rng.randrange(256) for _ in range(16)))
+        mem.init_bytes(buf_addr, bytes(rng.randrange(256) for _ in range(16 * blocks)))
+        aes_expand_key(mem, sbox, key_addr, rk_addr)
+        for b in range(blocks):
+            aes_encrypt_block(mem, sbox, rk_addr, buf_addr + 16 * b)
+        checksum = 0
+        for i in range(4 * blocks):
+            checksum = mix32(checksum, mem.lw(buf_addr + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# RC4
+# --------------------------------------------------------------------- #
+
+
+def rc4_ksa(mem: TracedMemory, s_addr: int, key: bytes) -> None:
+    """RC4 key-scheduling: permute the 256-byte S array in place."""
+    mem.call("rc4_ksa")
+    for i in range(256):
+        mem.sb(s_addr + i, i)
+    j = 0
+    for i in range(256):
+        si = mem.lb(s_addr + i)
+        j = (j + si + key[i % len(key)]) & 0xFF
+        sj = mem.lb(s_addr + j)
+        mem.sb(s_addr + i, sj)
+        mem.sb(s_addr + j, si)
+    mem.ret("rc4_ksa")
+
+
+def rc4_crypt(mem: TracedMemory, s_addr: int, buf_addr: int, length: int) -> None:
+    """XOR ``length`` bytes at ``buf_addr`` with the RC4 keystream."""
+    mem.call("rc4_crypt")
+    i = j = 0
+    for k in range(length):
+        i = (i + 1) & 0xFF
+        si = mem.lb(s_addr + i)
+        j = (j + si) & 0xFF
+        sj = mem.lb(s_addr + j)
+        mem.sb(s_addr + i, sj)
+        mem.sb(s_addr + j, si)
+        ks = mem.lb(s_addr + ((si + sj) & 0xFF))
+        mem.sb(buf_addr + k, mem.lb(buf_addr + k) ^ ks)
+    mem.ret("rc4_crypt")
+
+
+class Rc4Workload(Workload):
+    """RC4 stream encryption; the S array is pure read-modify-write."""
+
+    name = "rc4"
+    description = "RC4 stream cipher over a PRNG buffer"
+    approx_code_bytes = 2048
+    sizes = {
+        "default": {"length": 1600},
+        "small": {"length": 400},
+        "tiny": {"length": 32},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, length: int) -> int:
+        s_addr = mem.alloc(256, segment="data")
+        buf_addr = mem.alloc(length, segment="heap")
+        key = bytes(rng.randrange(256) for _ in range(16))
+        mem.init_bytes(buf_addr, bytes(rng.randrange(256) for _ in range(length)))
+        rc4_ksa(mem, s_addr, key)
+        rc4_crypt(mem, s_addr, buf_addr, length)
+        checksum = 0
+        for i in range(0, length - 3, 4):
+            checksum = mix32(checksum, mem.lw(buf_addr + i))
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# Blowfish (PRNG-seeded boxes; see module docstring)
+# --------------------------------------------------------------------- #
+
+_BF_ROUNDS = 16
+
+
+def bf_install_boxes(mem: TracedMemory, seed: int) -> tuple:
+    """Allocate and seed the P-array (18 words, data segment — the key
+    schedule rewrites it) and the four S-boxes (4x256 words, data segment —
+    also rewritten by the schedule)."""
+    prng = random.Random(seed)
+    p_addr = mem.alloc(18 * 4, segment="data")
+    s_addr = mem.alloc(4 * 256 * 4, segment="data")
+    mem.init_words(p_addr, [prng.getrandbits(32) for _ in range(18)])
+    mem.init_words(s_addr, [prng.getrandbits(32) for _ in range(1024)])
+    return p_addr, s_addr
+
+
+def _bf_f(mem: TracedMemory, s_addr: int, x: int) -> int:
+    a, b, c, d = (x >> 24) & 0xFF, (x >> 16) & 0xFF, (x >> 8) & 0xFF, x & 0xFF
+    h = (mem.lw(s_addr + 4 * a) + mem.lw(s_addr + 1024 + 4 * b)) & 0xFFFFFFFF
+    return ((h ^ mem.lw(s_addr + 2048 + 4 * c)) + mem.lw(s_addr + 3072 + 4 * d)) & 0xFFFFFFFF
+
+
+def bf_encrypt(mem: TracedMemory, p_addr: int, s_addr: int, left: int, right: int) -> tuple:
+    """Encrypt one 64-bit block (as two 32-bit halves)."""
+    for i in range(_BF_ROUNDS):
+        left ^= mem.lw(p_addr + 4 * i)
+        right ^= _bf_f(mem, s_addr, left)
+        left, right = right, left
+    left, right = right, left
+    right ^= mem.lw(p_addr + 4 * 16)
+    left ^= mem.lw(p_addr + 4 * 17)
+    return left, right
+
+
+def bf_decrypt(mem: TracedMemory, p_addr: int, s_addr: int, left: int, right: int) -> tuple:
+    """Decrypt one 64-bit block."""
+    for i in range(17, 1, -1):
+        left ^= mem.lw(p_addr + 4 * i)
+        right ^= _bf_f(mem, s_addr, left)
+        left, right = right, left
+    left, right = right, left
+    right ^= mem.lw(p_addr + 4)
+    left ^= mem.lw(p_addr + 0)
+    return left, right
+
+
+def bf_key_schedule(mem: TracedMemory, p_addr: int, s_addr: int, key: bytes) -> None:
+    """The real Blowfish chained key schedule: XOR the key into P, then
+    repeatedly encrypt a running block to replace P and all S entries."""
+    mem.call("bf_key_schedule")
+    for i in range(18):
+        kw = 0
+        for j in range(4):
+            kw = ((kw << 8) | key[(4 * i + j) % len(key)]) & 0xFFFFFFFF
+        mem.sw(p_addr + 4 * i, mem.lw(p_addr + 4 * i) ^ kw)
+    left = right = 0
+    for i in range(0, 18, 2):
+        left, right = bf_encrypt(mem, p_addr, s_addr, left, right)
+        mem.sw(p_addr + 4 * i, left)
+        mem.sw(p_addr + 4 * (i + 1), right)
+    for i in range(0, 1024, 2):
+        left, right = bf_encrypt(mem, p_addr, s_addr, left, right)
+        mem.sw(s_addr + 4 * i, left)
+        mem.sw(s_addr + 4 * (i + 1), right)
+    mem.ret("bf_key_schedule")
+
+
+class BlowfishWorkload(Workload):
+    """Blowfish-structured Feistel cipher: key schedule + ECB encryption."""
+
+    name = "blowfish"
+    description = "Blowfish Feistel cipher (PRNG-seeded boxes) over a buffer"
+    approx_code_bytes = 5120
+    sizes = {
+        "default": {"blocks": 24, "schedule_s_words": 1024},
+        "small": {"blocks": 8, "schedule_s_words": 256},
+        "tiny": {"blocks": 2, "schedule_s_words": 64},
+    }
+
+    def _run(
+        self,
+        mem: TracedMemory,
+        rng: random.Random,
+        blocks: int,
+        schedule_s_words: int,
+    ) -> int:
+        p_addr, s_addr = bf_install_boxes(mem, seed=0xB10F15)
+        key = bytes(rng.randrange(256) for _ in range(16))
+        # Key schedule over a (possibly reduced) S region to control trace
+        # size; the access structure is unchanged.
+        mem.call("bf_key_schedule")
+        for i in range(18):
+            kw = 0
+            for j in range(4):
+                kw = ((kw << 8) | key[(4 * i + j) % len(key)]) & 0xFFFFFFFF
+            mem.sw(p_addr + 4 * i, mem.lw(p_addr + 4 * i) ^ kw)
+        left = right = 0
+        for i in range(0, 18, 2):
+            left, right = bf_encrypt(mem, p_addr, s_addr, left, right)
+            mem.sw(p_addr + 4 * i, left)
+            mem.sw(p_addr + 4 * (i + 1), right)
+        for i in range(0, schedule_s_words, 2):
+            left, right = bf_encrypt(mem, p_addr, s_addr, left, right)
+            mem.sw(s_addr + 4 * i, left)
+            mem.sw(s_addr + 4 * (i + 1), right)
+        mem.ret("bf_key_schedule")
+        checksum = 0
+        for b in range(blocks):
+            lo = rng.getrandbits(32)
+            hi = rng.getrandbits(32)
+            mem.call("bf_encrypt")
+            lo2, hi2 = bf_encrypt(mem, p_addr, s_addr, lo, hi)
+            mem.ret("bf_encrypt")
+            checksum = mix32(checksum, lo2)
+            checksum = mix32(checksum, hi2)
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# SHA-1
+# --------------------------------------------------------------------- #
+
+_SHA1_H = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_SHA1_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _rotl32(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & 0xFFFFFFFF
+
+
+def sha1_digest(mem: TracedMemory, msg_addr: int, msg_len: int, h_addr: int, w_addr: int) -> None:
+    """SHA-1 over ``msg_len`` bytes at ``msg_addr``.
+
+    The five chaining words live at ``h_addr`` (read-modified-written every
+    block — guaranteed idempotency violations); the 80-entry message
+    schedule at ``w_addr``.
+    """
+    mem.call("sha1_digest")
+    for i, h in enumerate(_SHA1_H):
+        mem.sw(h_addr + 4 * i, h)
+    # Padded length in 64-byte blocks.
+    total = msg_len + 1 + 8
+    nblocks = (total + 63) // 64
+    bitlen = msg_len * 8
+    for blk in range(nblocks):
+        for t in range(16):
+            word = 0
+            for j in range(4):
+                pos = blk * 64 + 4 * t + j
+                if pos < msg_len:
+                    byte = mem.lb(msg_addr + pos)
+                elif pos == msg_len:
+                    byte = 0x80
+                elif pos >= nblocks * 64 - 8:
+                    shift = (nblocks * 64 - 1 - pos) * 8
+                    byte = (bitlen >> shift) & 0xFF
+                else:
+                    byte = 0
+                word = (word << 8) | byte
+            mem.sw(w_addr + 4 * t, word)
+        for t in range(16, 80):
+            word = _rotl32(
+                mem.lw(w_addr + 4 * (t - 3))
+                ^ mem.lw(w_addr + 4 * (t - 8))
+                ^ mem.lw(w_addr + 4 * (t - 14))
+                ^ mem.lw(w_addr + 4 * (t - 16)),
+                1,
+            )
+            mem.sw(w_addr + 4 * t, word)
+        a, b, c, d, e = (mem.lw(h_addr + 4 * i) for i in range(5))
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+            elif t < 40:
+                f = b ^ c ^ d
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+            else:
+                f = b ^ c ^ d
+            tmp = (
+                _rotl32(a, 5) + (f & 0xFFFFFFFF) + e + _SHA1_K[t // 20]
+                + mem.lw(w_addr + 4 * t)
+            ) & 0xFFFFFFFF
+            e, d, c, b, a = d, c, _rotl32(b, 30), a, tmp
+        for i, v in enumerate((a, b, c, d, e)):
+            mem.sw(h_addr + 4 * i, (mem.lw(h_addr + 4 * i) + v) & 0xFFFFFFFF)
+    mem.ret("sha1_digest")
+
+
+class ShaWorkload(Workload):
+    """SHA-1 over a PRNG message (MiBench2's largest-input benchmark)."""
+
+    name = "sha"
+    description = "SHA-1 digest of a PRNG message buffer"
+    approx_code_bytes = 3072
+    sizes = {
+        "default": {"msg_len": 1024},
+        "small": {"msg_len": 256},
+        "tiny": {"msg_len": 40},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, msg_len: int) -> int:
+        msg_addr = mem.alloc(msg_len + 4, segment="heap")
+        h_addr = mem.alloc(20, segment="data")
+        w_addr = mem.alloc(320, segment="heap")
+        mem.init_bytes(msg_addr, bytes(rng.randrange(256) for _ in range(msg_len)))
+        sha1_digest(mem, msg_addr, msg_len, h_addr, w_addr)
+        checksum = 0
+        for i in range(5):
+            word = mem.lw(h_addr + 4 * i)
+            mem.out(i, word)
+            checksum = mix32(checksum, word)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# RSA (small-modulus modular exponentiation with 16-bit limbs)
+# --------------------------------------------------------------------- #
+
+_LIMBS = 4  # 64-bit working values as 4 x 16-bit limbs
+
+
+def _store_limbs(mem: TracedMemory, addr: int, value: int) -> None:
+    for i in range(_LIMBS):
+        mem.sh(addr + 2 * i, (value >> (16 * i)) & 0xFFFF)
+
+
+def _load_limbs(mem: TracedMemory, addr: int) -> int:
+    v = 0
+    for i in range(_LIMBS):
+        v |= mem.lh(addr + 2 * i) << (16 * i)
+    return v
+
+
+def rsa_modexp(mem: TracedMemory, base_addr: int, exp: int, mod_addr: int, out_addr: int, tmp_addr: int) -> None:
+    """Square-and-multiply ``base^exp mod m`` on limb arrays in memory.
+
+    Every multiply is a schoolbook limb product (with the M0+'s 32-cycle
+    multiplier charged per partial product) followed by shift-subtract
+    reduction.
+    """
+    mem.call("rsa_modexp")
+    m = _load_limbs(mem, mod_addr)
+    _store_limbs(mem, out_addr, 1)
+
+    def mulmod(a_addr: int, b_addr: int, dst_addr: int) -> None:
+        a = 0
+        b = 0
+        for i in range(_LIMBS):
+            a |= mem.lh(a_addr + 2 * i) << (16 * i)
+            b |= mem.lh(b_addr + 2 * i) << (16 * i)
+        # Schoolbook partial products into a limb accumulator in memory.
+        for i in range(2 * _LIMBS):
+            mem.sh(tmp_addr + 2 * i, 0)
+        for i in range(_LIMBS):
+            ai = (a >> (16 * i)) & 0xFFFF
+            carry = 0
+            for j in range(_LIMBS):
+                bj = (b >> (16 * j)) & 0xFFFF
+                mem.mul_tick()
+                cur = mem.lh(tmp_addr + 2 * (i + j)) + ai * bj + carry
+                mem.sh(tmp_addr + 2 * (i + j), cur & 0xFFFF)
+                carry = cur >> 16
+            k = i + _LIMBS
+            while carry:
+                cur = mem.lh(tmp_addr + 2 * k) + carry
+                mem.sh(tmp_addr + 2 * k, cur & 0xFFFF)
+                carry = cur >> 16
+                k += 1
+        prod = 0
+        for i in range(2 * _LIMBS):
+            prod |= mem.lh(tmp_addr + 2 * i) << (16 * i)
+        # Shift-subtract reduction.
+        if m:
+            shift = max(0, prod.bit_length() - m.bit_length())
+            mm = m << shift
+            for _ in range(shift + 1):
+                mem.tick(4)
+                if prod >= mm:
+                    prod -= mm
+                mm >>= 1
+        _store_limbs(mem, dst_addr, prod)
+
+    b_work = tmp_addr + 2 * 2 * _LIMBS
+    # Copy base into the working square register.
+    for i in range(_LIMBS):
+        mem.sh(b_work + 2 * i, mem.lh(base_addr + 2 * i))
+    e = exp
+    while e:
+        if e & 1:
+            mulmod(out_addr, b_work, out_addr)
+        mulmod(b_work, b_work, b_work)
+        e >>= 1
+    mem.ret("rsa_modexp")
+
+
+class RsaWorkload(Workload):
+    """RSA encrypt/decrypt round trips on a small modulus."""
+
+    name = "rsa"
+    description = "RSA modular exponentiation (16-bit-limb bignums)"
+    approx_code_bytes = 4096
+    # 16-bit primes: n = p*q fits the 4-limb working registers.
+    _P, _Q, _E = 61861, 62989, 65537
+    sizes = {
+        "default": {"messages": 4},
+        "small": {"messages": 2},
+        "tiny": {"messages": 1},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, messages: int) -> int:
+        n = self._P * self._Q
+        phi = (self._P - 1) * (self._Q - 1)
+        d = pow(self._E, -1, phi)
+        base_addr = mem.alloc(2 * _LIMBS, segment="data")
+        mod_addr = mem.alloc(2 * _LIMBS, segment="data")
+        out_addr = mem.alloc(2 * _LIMBS, segment="data")
+        tmp_addr = mem.alloc(2 * (3 * _LIMBS), segment="heap")
+        _store_limbs(mem, mod_addr, n)
+        checksum = 0
+        for _ in range(messages):
+            msg = rng.randrange(2, n - 1)
+            _store_limbs(mem, base_addr, msg)
+            rsa_modexp(mem, base_addr, self._E, mod_addr, out_addr, tmp_addr)
+            cipher = _load_limbs(mem, out_addr)
+            _store_limbs(mem, base_addr, cipher)
+            rsa_modexp(mem, base_addr, d, mod_addr, out_addr, tmp_addr)
+            plain = _load_limbs(mem, out_addr)
+            checksum = mix32(checksum, cipher & 0xFFFFFFFF)
+            checksum = mix32(checksum, 1 if plain == msg else 0)
+        mem.out(0, checksum)
+        return checksum

@@ -1,0 +1,426 @@
+"""Data-structure and search kernels: dijkstra, patricia, qsort,
+stringsearch, susan."""
+
+import random
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+_INF = 0x3FFFFFFF
+
+# --------------------------------------------------------------------- #
+# Dijkstra (adjacency matrix, as in MiBench's dijkstra_small)
+# --------------------------------------------------------------------- #
+
+
+def dijkstra_build_graph(mem: TracedMemory, rng: random.Random, n: int, density: float = 0.25) -> int:
+    """Random weighted digraph as an n*n adjacency matrix in the heap."""
+    adj = mem.alloc(4 * n * n, segment="heap")
+    words = []
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < density:
+                words.append(rng.randrange(1, 100))
+            else:
+                words.append(_INF)
+    mem.init_words(adj, words)
+    return adj
+
+
+def dijkstra_sssp(mem: TracedMemory, adj: int, n: int, src: int, dist: int, visited: int) -> None:
+    """Single-source shortest paths; ``dist``/``visited`` arrays are
+    read-modified-written throughout — the relaxation loop is a classic
+    violation generator."""
+    mem.call("dijkstra_sssp")
+    for i in range(n):
+        mem.sw(dist + 4 * i, _INF)
+        mem.sw(visited + 4 * i, 0)
+    mem.sw(dist + 4 * src, 0)
+    for _ in range(n):
+        best = _INF
+        u = -1
+        for i in range(n):
+            if not mem.lw(visited + 4 * i):
+                d = mem.lw(dist + 4 * i)
+                if d < best:
+                    best = d
+                    u = i
+        if u < 0:
+            break
+        mem.sw(visited + 4 * u, 1)
+        du = mem.lw(dist + 4 * u)
+        for v in range(n):
+            w = mem.lw(adj + 4 * (n * u + v))
+            if w != _INF:
+                alt = du + w
+                if alt < mem.lw(dist + 4 * v):
+                    mem.sw(dist + 4 * v, alt)
+    mem.ret("dijkstra_sssp")
+
+
+class DijkstraWorkload(Workload):
+    """Shortest paths from several sources; verified against networkx."""
+
+    name = "dijkstra"
+    description = "Dijkstra SSSP over a random adjacency matrix"
+    approx_code_bytes = 3072
+    sizes = {
+        "default": {"n": 40, "sources": 4},
+        "small": {"n": 20, "sources": 2},
+        "tiny": {"n": 8, "sources": 1},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, n: int, sources: int) -> int:
+        adj = dijkstra_build_graph(mem, rng, n)
+        dist = mem.alloc(4 * n, segment="data")
+        visited = mem.alloc(4 * n, segment="data")
+        checksum = 0
+        for s in range(sources):
+            dijkstra_sssp(mem, adj, n, s % n, dist, visited)
+            for i in range(n):
+                checksum = mix32(checksum, mem.lw(dist + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# Patricia trie (binary radix trie on 32-bit keys, as in MiBench patricia)
+# --------------------------------------------------------------------- #
+
+# Node layout (words): [bit, key, value, left, right]
+_NODE_WORDS = 5
+
+
+class PatriciaTrie:
+    """A Patricia/radix trie whose nodes live in traced heap memory."""
+
+    def __init__(self, mem: TracedMemory, capacity: int):
+        self.mem = mem
+        self.pool = mem.alloc(4 * _NODE_WORDS * capacity, segment="heap")
+        self.capacity = capacity
+        self.count = 0
+        self.root = 0  # node address, 0 = empty
+
+    def _new_node(self, bit: int, key: int, value: int) -> int:
+        if self.count >= self.capacity:
+            raise RuntimeError("patricia node pool exhausted")
+        addr = self.pool + 4 * _NODE_WORDS * self.count
+        self.count += 1
+        m = self.mem
+        m.sw(addr + 0, bit)
+        m.sw(addr + 4, key)
+        m.sw(addr + 8, value)
+        m.sw(addr + 12, 0)
+        m.sw(addr + 16, 0)
+        return addr
+
+    @staticmethod
+    def _bit(key: int, b: int) -> int:
+        return (key >> (31 - b)) & 1 if b < 32 else 0
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert (or update) a key; pointer-chasing reads + node writes."""
+        m = self.mem
+        m.call("patricia_insert")
+        if self.root == 0:
+            self.root = self._new_node(32, key, value)
+            m.ret("patricia_insert")
+            return
+        # Walk to the closest leafward node.
+        node = self.root
+        while True:
+            bit = m.lw(node + 0)
+            if bit >= 32:
+                break
+            node = m.lw(node + 16) if self._bit(key, bit) else m.lw(node + 12)
+            if node == 0:
+                break
+        found_key = m.lw(node + 4) if node else 0
+        if node and found_key == key:
+            m.sw(node + 8, value)
+            m.ret("patricia_insert")
+            return
+        # First differing bit.
+        diff = 0
+        while diff < 32 and self._bit(key, diff) == self._bit(found_key, diff):
+            diff += 1
+        # Re-descend to the insertion point.
+        parent = 0
+        node = self.root
+        while True:
+            bit = m.lw(node + 0)
+            if bit >= diff or bit >= 32:
+                break
+            parent = node
+            nxt = m.lw(node + 16) if self._bit(key, bit) else m.lw(node + 12)
+            if nxt == 0:
+                break
+            node = nxt
+        leaf = self._new_node(32, key, value)
+        inner = self._new_node(diff, key, value)
+        if self._bit(key, diff):
+            m.sw(inner + 12, node)
+            m.sw(inner + 16, leaf)
+        else:
+            m.sw(inner + 12, leaf)
+            m.sw(inner + 16, node)
+        if parent == 0:
+            self.root = inner
+        else:
+            pbit = m.lw(parent + 0)
+            if self._bit(key, pbit):
+                m.sw(parent + 16, inner)
+            else:
+                m.sw(parent + 12, inner)
+        m.ret("patricia_insert")
+
+    def lookup(self, key: int) -> int:
+        """Return the value for ``key``, or -1 when absent."""
+        m = self.mem
+        m.call("patricia_lookup")
+        node = self.root
+        while node:
+            bit = m.lw(node + 0)
+            if bit >= 32:
+                hit = m.lw(node + 4) == key
+                val = m.lw(node + 8) if hit else -1
+                m.ret("patricia_lookup")
+                return val
+            node = m.lw(node + 16) if self._bit(key, bit) else m.lw(node + 12)
+        m.ret("patricia_lookup")
+        return -1
+
+
+class PatriciaWorkload(Workload):
+    """Patricia-trie inserts and lookups on IP-like 32-bit keys."""
+
+    name = "patricia"
+    description = "Patricia trie insert/lookup over 32-bit keys"
+    approx_code_bytes = 4096
+    sizes = {
+        "default": {"keys": 220, "lookups": 440},
+        "small": {"keys": 60, "lookups": 120},
+        "tiny": {"keys": 10, "lookups": 20},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, keys: int, lookups: int) -> int:
+        trie = PatriciaTrie(mem, capacity=2 * keys + 2)
+        inserted = {}
+        for i in range(keys):
+            key = rng.getrandbits(32)
+            inserted[key] = i
+            trie.insert(key, i)
+        key_list = list(inserted)
+        checksum = 0
+        for i in range(lookups):
+            if i % 2 == 0:
+                key = key_list[rng.randrange(len(key_list))]
+            else:
+                key = rng.getrandbits(32)
+            val = trie.lookup(key)
+            expect = inserted.get(key, -1)
+            checksum = mix32(checksum, (val ^ expect) & 0xFFFFFFFF)
+            checksum = mix32(checksum, val & 0xFFFFFFFF)
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# qsort (iterative quicksort with an explicit stack in memory)
+# --------------------------------------------------------------------- #
+
+
+def qsort_words(mem: TracedMemory, arr: int, n: int, stack: int) -> None:
+    """In-place iterative quicksort of ``n`` words at ``arr``; the
+    partition stack lives in the stack segment."""
+    mem.call("qsort_words")
+    sp = 0
+    mem.sw(stack + 0, 0)
+    mem.sw(stack + 4, n - 1)
+    sp = 1
+    while sp > 0:
+        sp -= 1
+        lo = mem.lw(stack + 8 * sp)
+        hi = mem.lw(stack + 8 * sp + 4)
+        while lo < hi:
+            pivot = mem.lw(arr + 4 * ((lo + hi) // 2))
+            i, j = lo, hi
+            while i <= j:
+                while mem.lw(arr + 4 * i) < pivot:
+                    i += 1
+                while mem.lw(arr + 4 * j) > pivot:
+                    j -= 1
+                if i <= j:
+                    a = mem.lw(arr + 4 * i)
+                    b = mem.lw(arr + 4 * j)
+                    mem.sw(arr + 4 * i, b)
+                    mem.sw(arr + 4 * j, a)
+                    i += 1
+                    j -= 1
+            # Recurse into the smaller side via the explicit stack.
+            if j - lo < hi - i:
+                if i < hi:
+                    mem.sw(stack + 8 * sp, i)
+                    mem.sw(stack + 8 * sp + 4, hi)
+                    sp += 1
+                hi = j
+            else:
+                if lo < j:
+                    mem.sw(stack + 8 * sp, lo)
+                    mem.sw(stack + 8 * sp + 4, j)
+                    sp += 1
+                lo = i
+    mem.ret("qsort_words")
+
+
+class QsortWorkload(Workload):
+    """Quicksort of PRNG words; output must equal ``sorted(input)``."""
+
+    name = "qsort"
+    description = "iterative in-place quicksort of a word array"
+    approx_code_bytes = 2048
+    sizes = {
+        "default": {"n": 600},
+        "small": {"n": 150},
+        "tiny": {"n": 24},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, n: int) -> int:
+        arr = mem.alloc(4 * n, segment="heap")
+        stack = mem.alloc(8 * (n + 4), segment="stack")
+        values = [rng.getrandbits(30) for _ in range(n)]
+        mem.init_words(arr, values)
+        qsort_words(mem, arr, n, stack)
+        checksum = 0
+        prev = 0
+        for i in range(n):
+            v = mem.lw(arr + 4 * i)
+            checksum = mix32(checksum, v ^ (1 if v < prev else 0))
+            prev = v
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# stringsearch (Boyer-Moore-Horspool, as in MiBench stringsearch)
+# --------------------------------------------------------------------- #
+
+
+def bmh_search(mem: TracedMemory, text: int, text_len: int, pat: int, pat_len: int, skip: int) -> int:
+    """Boyer-Moore-Horspool: returns the first match offset or -1.
+
+    The 256-entry skip table is rebuilt in the data segment per pattern —
+    a write-then-read-only structure (Program Idempotent within a search).
+    """
+    mem.call("bmh_search")
+    for i in range(256):
+        mem.sb(skip + i, min(pat_len, 255))
+    for i in range(pat_len - 1):
+        mem.sb(skip + mem.lb(pat + i), min(pat_len - 1 - i, 255))
+    pos = 0
+    result = -1
+    while pos + pat_len <= text_len:
+        j = pat_len - 1
+        while j >= 0 and mem.lb(text + pos + j) == mem.lb(pat + j):
+            j -= 1
+        if j < 0:
+            result = pos
+            break
+        pos += mem.lb(skip + mem.lb(text + pos + pat_len - 1))
+    mem.ret("bmh_search")
+    return result
+
+
+class StringsearchWorkload(Workload):
+    """Multiple pattern searches over a synthetic corpus; offsets must
+    match ``bytes.find`` (tested)."""
+
+    name = "stringsearch"
+    description = "Boyer-Moore-Horspool searches over a text corpus"
+    approx_code_bytes = 2048
+    sizes = {
+        "default": {"text_len": 3000, "patterns": 12},
+        "small": {"text_len": 800, "patterns": 5},
+        "tiny": {"text_len": 120, "patterns": 2},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, text_len: int, patterns: int) -> int:
+        corpus = bytes(rng.choice(b"abcdefgh ") for _ in range(text_len))
+        text = mem.alloc(text_len, segment="heap")
+        mem.init_bytes(text, corpus)
+        skip = mem.alloc(256, segment="data")
+        pat_addr = mem.alloc(16, segment="data")
+        checksum = 0
+        for p in range(patterns):
+            if p % 2 == 0 and text_len > 24:
+                start = rng.randrange(0, text_len - 12)
+                pattern = corpus[start : start + rng.randrange(3, 9)]
+            else:
+                pattern = bytes(rng.choice(b"xyzq") for _ in range(4))
+            mem.store_bytes(pat_addr, pattern)
+            found = bmh_search(mem, text, text_len, pat_addr, len(pattern), skip)
+            checksum = mix32(checksum, found & 0xFFFFFFFF)
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# susan (brightness-threshold smoothing over a synthetic image)
+# --------------------------------------------------------------------- #
+
+
+def susan_smooth(mem: TracedMemory, img: int, out: int, width: int, height: int, lut: int) -> None:
+    """SUSAN-style smoothing: each output pixel is the brightness-LUT
+    weighted mean of its 3x3 neighbourhood."""
+    mem.call("susan_smooth")
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            center = mem.lb(img + y * width + x)
+            total = weight_sum = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    pix = mem.lb(img + (y + dy) * width + (x + dx))
+                    wgt = mem.lb(lut + ((pix - center) & 0xFF))
+                    # susan accumulates in float on the reference build.
+                    mem.fmul_tick(1)
+                    mem.fadd_tick(2)
+                    total += wgt * pix
+                    weight_sum += wgt
+            mem.sb(out + y * width + x, total // weight_sum if weight_sum else center)
+    mem.ret("susan_smooth")
+
+
+class SusanWorkload(Workload):
+    """SUSAN smoothing of a synthetic gradient+noise image."""
+
+    name = "susan"
+    description = "SUSAN brightness-weighted 3x3 smoothing"
+    approx_code_bytes = 5120
+    sizes = {
+        "default": {"width": 40, "height": 30},
+        "small": {"width": 20, "height": 16},
+        "tiny": {"width": 8, "height": 8},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, width: int, height: int) -> int:
+        # Brightness-similarity LUT (exp(-(d/t)^2) in Q8) in rodata.
+        lut = mem.alloc(256, segment="text")
+        lut_vals = []
+        for d in range(256):
+            signed = d - 256 if d >= 128 else d
+            lut_vals.append(max(1, int(255 * 2.718281828 ** (-((signed / 27.0) ** 2)))) & 0xFF)
+        mem.init_bytes(lut, bytes(lut_vals))
+        img = mem.alloc(width * height, segment="heap")
+        out = mem.alloc(width * height, segment="heap")
+        pixels = bytes(
+            (x * 4 + y * 2 + rng.randrange(24)) & 0xFF
+            for y in range(height)
+            for x in range(width)
+        )
+        mem.init_bytes(img, pixels)
+        susan_smooth(mem, img, out, width, height, lut)
+        checksum = 0
+        for i in range(0, width * height - 3, 7):
+            checksum = mix32(checksum, mem.lb(out + i))
+        mem.out(0, checksum)
+        return checksum

@@ -1,0 +1,106 @@
+"""DINO's DS benchmark (Section 7.6 / Table 4).
+
+DINO's evaluation uses a data-structure (DS) workload of the
+activity-recognition style: a window of sensor samples feeds moving
+statistics, and classified events are appended to a linked list in
+non-volatile memory.  The split matters for the mixed-volatility
+experiment: the sample window and per-window scratch live in the *stack*
+segment (volatile SRAM on a DINO-class device), while the event list and
+long-run counters live in non-volatile data/heap — exactly the layout that
+lets mixed-volatility Clank skip tracking the hot window traffic and
+instead checkpoint only the modified stack words.
+"""
+
+import random
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+_WINDOW = 16
+_EVENT_WORDS = 4  # [kind, magnitude, window index, next]
+
+
+class DsWorkload(Workload):
+    """Windowed sensor statistics + non-volatile event list (DINO DS)."""
+
+    name = "ds"
+    description = "DINO-style data-structure benchmark (windowed stats + event list)"
+    approx_code_bytes = 3584
+    sizes = {
+        "default": {"samples": 1200},
+        "small": {"samples": 300},
+        "tiny": {"samples": 48},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, samples: int) -> int:
+        # Volatile region (stack): sample window + running scratch.
+        window = mem.alloc(4 * _WINDOW, segment="stack")
+        scratch = mem.alloc(16, segment="stack")
+        # Non-volatile region: counters and the event list.
+        counters = mem.alloc(16, segment="data")  # [events, hi, lo, head]
+        pool = mem.alloc(4 * _EVENT_WORDS * (samples // 4 + 4), segment="heap")
+        pool_next = 0
+        for i in range(_WINDOW):
+            mem.sw(window + 4 * i, 0)
+        for i in range(4):
+            mem.sw(counters + 4 * i, 0)
+
+        checksum = 0
+        level = 500
+        for n in range(samples):
+            mem.call("ds_sample")
+            # Synthetic accelerometer-ish signal.
+            level += rng.randrange(-30, 31)
+            if rng.random() < 0.04:
+                level += rng.choice((-250, 250))
+            level = max(0, min(1023, level))
+            slot = n % _WINDOW
+            mem.sw(window + 4 * slot, level)
+            # Moving stats over the volatile window.
+            total = 0
+            peak = 0
+            for i in range(_WINDOW):
+                v = mem.lw(window + 4 * i)
+                total += v
+                if v > peak:
+                    peak = v
+            mean = total // _WINDOW
+            mem.sw(scratch, mean)
+            mem.sw(scratch + 4, peak)
+            # Classify: spike / lull events append to the NV list.
+            kind = 0
+            if peak > mean + 200 and peak > 600:
+                kind = 1
+            elif mean < 250:
+                kind = 2
+            if kind and n % 4 == 0:
+                node = pool + 4 * _EVENT_WORDS * pool_next
+                pool_next += 1
+                mem.sw(node + 0, kind)
+                mem.sw(node + 4, peak - mean)
+                mem.sw(node + 8, n)
+                mem.sw(node + 12, mem.lw(counters + 12))  # next = old head
+                mem.sw(counters + 12, node)  # head = node
+                mem.sw(counters + 0, mem.lw(counters + 0) + 1)
+            if kind == 1:
+                mem.sw(counters + 4, mem.lw(counters + 4) + 1)
+            elif kind == 2:
+                mem.sw(counters + 8, mem.lw(counters + 8) + 1)
+            mem.ret("ds_sample")
+
+        # Walk the event list (NV pointer chasing) to fold the checksum.
+        node = mem.lw(counters + 12)
+        while node:
+            checksum = mix32(checksum, mem.lw(node + 0))
+            checksum = mix32(checksum, mem.lw(node + 4))
+            node = mem.lw(node + 12)
+        for i in range(3):
+            checksum = mix32(checksum, mem.lw(counters + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+    @staticmethod
+    def volatile_ranges(trace) -> tuple:
+        """The word ranges a DINO-class mixed-volatility device keeps in
+        SRAM: the stack segment."""
+        return (trace.memory_map.word_range("stack"),)

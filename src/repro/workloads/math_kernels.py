@@ -1,0 +1,346 @@
+"""Math kernels: crc, fft, basicmath, bitcount, randmath."""
+
+import math
+import random
+from typing import List
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+# --------------------------------------------------------------------- #
+# CRC-32 (IEEE 802.3 polynomial, table driven — matches zlib.crc32)
+# --------------------------------------------------------------------- #
+
+
+def _crc32_table() -> List[int]:
+    table = []
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+        table.append(c)
+    return table
+
+
+CRC32_TABLE = _crc32_table()
+
+
+def crc32_install_table(mem: TracedMemory) -> int:
+    """Place the 256-entry CRC table in the text segment (rodata)."""
+    addr = mem.alloc(1024, segment="text")
+    mem.init_words(addr, CRC32_TABLE)
+    return addr
+
+
+def crc32_compute(mem: TracedMemory, table: int, buf_addr: int, length: int) -> int:
+    """Table-driven CRC-32 over ``length`` bytes; returns the CRC."""
+    mem.call("crc32_compute")
+    crc = 0xFFFFFFFF
+    for i in range(length):
+        byte = mem.lb(buf_addr + i)
+        crc = (crc >> 8) ^ mem.lw(table + 4 * ((crc ^ byte) & 0xFF))
+    mem.ret("crc32_compute")
+    return crc ^ 0xFFFFFFFF
+
+
+class CrcWorkload(Workload):
+    """CRC-32 of a PRNG buffer; verified against ``zlib.crc32``."""
+
+    name = "crc"
+    description = "table-driven CRC-32 over a byte buffer"
+    approx_code_bytes = 1536
+    sizes = {
+        "default": {"length": 4096},
+        "small": {"length": 1024},
+        "tiny": {"length": 64},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, length: int) -> int:
+        table = crc32_install_table(mem)
+        buf = mem.alloc(length, segment="heap")
+        mem.init_bytes(buf, bytes(rng.randrange(256) for _ in range(length)))
+        crc = crc32_compute(mem, table, buf, length)
+        mem.out(0, crc)
+        return crc
+
+
+# --------------------------------------------------------------------- #
+# Fixed-point radix-2 FFT
+# --------------------------------------------------------------------- #
+
+_FFT_FRAC_BITS = 14  # Q2.14 twiddle factors
+
+
+def fft_install_twiddles(mem: TracedMemory, n: int) -> int:
+    """Quarter-wave sine table (n entries of Q2.14) in the text segment."""
+    addr = mem.alloc(4 * n, segment="text")
+    scale = 1 << _FFT_FRAC_BITS
+    table = [
+        int(round(math.sin(2 * math.pi * i / n) * scale)) & 0xFFFFFFFF
+        for i in range(n)
+    ]
+    mem.init_words(addr, table)
+    return addr
+
+
+def _s32(x: int) -> int:
+    x &= 0xFFFFFFFF
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def fft_inplace(mem: TracedMemory, re_addr: int, im_addr: int, n: int, sin_table: int, inverse: bool = False) -> None:
+    """In-place decimation-in-time radix-2 FFT on Q-format arrays.
+
+    Bit-reversal swaps then butterflies: both stages are read-modify-write
+    over the whole working set, the densest violation source in the suite.
+    """
+    mem.call("fft_inplace")
+    # Bit-reversal permutation.
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            for base in (re_addr, im_addr):
+                a = mem.lw(base + 4 * i)
+                b = mem.lw(base + 4 * j)
+                mem.sw(base + 4 * i, b)
+                mem.sw(base + 4 * j, a)
+    # Butterflies.
+    size = 2
+    while size <= n:
+        half = size // 2
+        step = n // size
+        for start in range(0, n, size):
+            for k in range(half):
+                tidx = k * step
+                wr = _s32(mem.lw(sin_table + 4 * ((tidx + n // 4) % n)))  # cos
+                wi = _s32(mem.lw(sin_table + 4 * tidx))  # sin
+                if not inverse:
+                    wi = -wi
+                i0 = start + k
+                i1 = start + k + half
+                xr = _s32(mem.lw(re_addr + 4 * i1))
+                xi = _s32(mem.lw(im_addr + 4 * i1))
+                # MiBench fft is single-precision float and the M0+ has no
+                # FPU: each butterfly is 4 soft-float multiplies and 6
+                # adds/subtracts of register-only emulation.
+                mem.fmul_tick(4)
+                mem.fadd_tick(6)
+                tr = (wr * xr - wi * xi) >> _FFT_FRAC_BITS
+                ti = (wr * xi + wi * xr) >> _FFT_FRAC_BITS
+                ur = _s32(mem.lw(re_addr + 4 * i0))
+                ui = _s32(mem.lw(im_addr + 4 * i0))
+                mem.sw(re_addr + 4 * i0, (ur + tr) & 0xFFFFFFFF)
+                mem.sw(im_addr + 4 * i0, (ui + ti) & 0xFFFFFFFF)
+                mem.sw(re_addr + 4 * i1, (ur - tr) & 0xFFFFFFFF)
+                mem.sw(im_addr + 4 * i1, (ui - ti) & 0xFFFFFFFF)
+        size *= 2
+    if inverse:
+        # Scale by 1/n (arithmetic shift).
+        shift = n.bit_length() - 1
+        for i in range(n):
+            mem.sw(re_addr + 4 * i, (_s32(mem.lw(re_addr + 4 * i)) >> shift) & 0xFFFFFFFF)
+            mem.sw(im_addr + 4 * i, (_s32(mem.lw(im_addr + 4 * i)) >> shift) & 0xFFFFFFFF)
+    mem.ret("fft_inplace")
+
+
+class FftWorkload(Workload):
+    """Forward + inverse fixed-point FFT; the round trip must recover the
+    input to within quantization error (checked by the tests)."""
+
+    name = "fft"
+    description = "in-place radix-2 fixed-point FFT (forward + inverse)"
+    approx_code_bytes = 4096
+    sizes = {
+        "default": {"n": 256},
+        "small": {"n": 64},
+        "tiny": {"n": 16},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, n: int) -> int:
+        sin_table = fft_install_twiddles(mem, n)
+        re_addr = mem.alloc(4 * n, segment="heap")
+        im_addr = mem.alloc(4 * n, segment="heap")
+        signal = [rng.randrange(-(1 << 12), 1 << 12) & 0xFFFFFFFF for _ in range(n)]
+        mem.init_words(re_addr, signal)
+        mem.init_words(im_addr, [0] * n)
+        fft_inplace(mem, re_addr, im_addr, n, sin_table, inverse=False)
+        fft_inplace(mem, re_addr, im_addr, n, sin_table, inverse=True)
+        checksum = 0
+        for i in range(0, n, max(1, n // 32)):
+            checksum = mix32(checksum, mem.lw(re_addr + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# basicmath: cubic roots, integer square roots, angle conversions
+# --------------------------------------------------------------------- #
+
+
+def isqrt_newton(mem: TracedMemory, scratch: int, v: int) -> int:
+    """Integer square root by Newton iteration with the iterate kept in
+    memory (the MiBench basicmath kernels keep state in structs)."""
+    if v == 0:
+        return 0
+    mem.sw(scratch, v)
+    x = v
+    y = (x + 1) // 2
+    while y < x:
+        mem.sw(scratch, y)
+        x = y
+        mem.mul_tick()
+        y = (x + v // x) // 2
+        x = mem.lw(scratch)
+    return x
+
+
+class BasicmathWorkload(Workload):
+    """Cubic solving, isqrt, and angle conversion loops (MiBench basicmath)."""
+
+    name = "basicmath"
+    description = "cubic roots, integer sqrt, deg/rad conversions"
+    approx_code_bytes = 4096
+    sizes = {
+        "default": {"iterations": 250},
+        "small": {"iterations": 60},
+        "tiny": {"iterations": 8},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, iterations: int) -> int:
+        scratch = mem.alloc(16, segment="data")
+        results = mem.alloc(4 * iterations, segment="heap")
+        checksum = 0
+        for it in range(iterations):
+            mem.call("basicmath_iter")
+            v = rng.randrange(1, 1 << 28)
+            root = isqrt_newton(mem, scratch, v)
+            # MiBench basicmath solves cubics in double precision; charge
+            # the soft-double work of one cubic evaluation (no FPU).
+            mem.fmul_tick(12)
+            mem.fadd_tick(10)
+            deg = rng.randrange(0, 360 << 8)
+            mem.mul_tick()
+            rad = (deg * 182) >> 8  # pi/180 in Q8
+            mem.mul_tick()
+            deg2 = (rad * 360) // 654  # approximate inverse
+            acc = (root ^ deg2) & 0xFFFFFFFF
+            mem.sw(results + 4 * it, acc)
+            prev = mem.lw(results + 4 * (it - 1)) if it else 0
+            checksum = mix32(checksum, acc ^ prev)
+            mem.ret("basicmath_iter")
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# bitcount: four counting strategies (MiBench bitcount)
+# --------------------------------------------------------------------- #
+
+_NIBBLE_COUNTS = [bin(i).count("1") for i in range(256)]
+
+
+class BitcountWorkload(Workload):
+    """Population counts via naive shift, Kernighan, byte table (rodata),
+    and the parallel SWAR reduction; all four must agree (tested)."""
+
+    name = "bitcount"
+    description = "four popcount algorithms over PRNG words"
+    approx_code_bytes = 2048
+    sizes = {
+        "default": {"words": 700},
+        "small": {"words": 180},
+        "tiny": {"words": 20},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, words: int) -> int:
+        table = mem.alloc(256, segment="text")
+        mem.init_bytes(table, bytes(_NIBBLE_COUNTS))
+        input_addr = mem.alloc(4 * words, segment="heap")
+        counters = mem.alloc(16, segment="data")
+        values = [rng.getrandbits(32) for _ in range(words)]
+        mem.init_words(input_addr, values)
+        for i in range(4):
+            mem.sw(counters + 4 * i, 0)
+        for i in range(words):
+            v = mem.lw(input_addr + 4 * i)
+            # 1: naive shift loop.
+            mem.call("bit_shifter")
+            c = 0
+            x = v
+            while x:
+                c += x & 1
+                x >>= 1
+            mem.sw(counters + 0, (mem.lw(counters + 0) + c) & 0xFFFFFFFF)
+            mem.ret("bit_shifter")
+            # 2: Kernighan.
+            mem.call("bit_kernighan")
+            c = 0
+            x = v
+            while x:
+                x &= x - 1
+                c += 1
+            mem.sw(counters + 4, (mem.lw(counters + 4) + c) & 0xFFFFFFFF)
+            mem.ret("bit_kernighan")
+            # 3: byte table.
+            mem.call("bit_table")
+            c = (
+                mem.lb(table + (v & 0xFF))
+                + mem.lb(table + ((v >> 8) & 0xFF))
+                + mem.lb(table + ((v >> 16) & 0xFF))
+                + mem.lb(table + ((v >> 24) & 0xFF))
+            )
+            mem.sw(counters + 8, (mem.lw(counters + 8) + c) & 0xFFFFFFFF)
+            mem.ret("bit_table")
+            # 4: SWAR parallel reduction.
+            mem.call("bit_swar")
+            x = v
+            x = x - ((x >> 1) & 0x55555555)
+            x = (x & 0x33333333) + ((x >> 2) & 0x33333333)
+            x = (x + (x >> 4)) & 0x0F0F0F0F
+            mem.mul_tick()
+            c = ((x * 0x01010101) & 0xFFFFFFFF) >> 24
+            mem.sw(counters + 12, (mem.lw(counters + 12) + c) & 0xFFFFFFFF)
+            mem.ret("bit_swar")
+        checksum = 0
+        for i in range(4):
+            checksum = mix32(checksum, mem.lw(counters + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+# --------------------------------------------------------------------- #
+# randmath (tiny: completes within a power cycle, like the paper's)
+# --------------------------------------------------------------------- #
+
+
+class RandmathWorkload(Workload):
+    """A short LCG + arithmetic identity check (MiBench2's tiny randmath:
+    the paper marks it as reliably completing within one power cycle)."""
+
+    name = "randmath"
+    description = "tiny LCG sequence and arithmetic identities"
+    approx_code_bytes = 612
+    sizes = {
+        "default": {"steps": 180},
+        "small": {"steps": 45},
+        "tiny": {"steps": 4},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, steps: int) -> int:
+        state = mem.alloc(8, segment="data")
+        mem.sw(state, rng.getrandbits(31))
+        checksum = 0
+        for _ in range(steps):
+            s = mem.lw(state)
+            mem.mul_tick()
+            s = (s * 1103515245 + 12345) & 0x7FFFFFFF
+            mem.sw(state, s)
+            checksum = mix32(checksum, s)
+        mem.sw(state + 4, checksum)
+        mem.out(0, checksum)
+        return checksum

@@ -1,0 +1,142 @@
+"""The tiny MiBench2 regression benchmarks: limits, overflow, regress,
+vcflags.
+
+These mirror the suite's smallest programs (Table 1 shows them finishing in
+under a millisecond with sub-2KB binaries); the paper marks ``limits``,
+``overflow``, and ``vcflags`` as reliably completing within a single power
+cycle.  They exist to check that Clank's relative code-size overhead and
+first-boot path behave sensibly on near-trivial programs.
+"""
+
+import random
+
+from repro.mem.traced import TracedMemory
+from repro.workloads.base import Workload, mix32
+
+
+class LimitsWorkload(Workload):
+    """Compute and store integer type limits via shifts (MiBench2 limits)."""
+
+    name = "limits"
+    description = "integer type-limit computations"
+    approx_code_bytes = 1360
+    sizes = {
+        "default": {"rounds": 40},
+        "small": {"rounds": 12},
+        "tiny": {"rounds": 2},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, rounds: int) -> int:
+        results = mem.alloc(4 * 3 * 32, segment="data")
+        checksum = 0
+        for _ in range(rounds):
+            i = 0
+            for bits in range(1, 33):
+                umax = (1 << bits) - 1
+                smax = (1 << (bits - 1)) - 1
+                smin = (-(1 << (bits - 1))) & 0xFFFFFFFF
+                for v in (umax, smax, smin):
+                    mem.sw(results + 4 * i, v & 0xFFFFFFFF)
+                    i += 1
+            for i in range(3 * 32):
+                checksum = mix32(checksum, mem.lw(results + 4 * i))
+        mem.out(0, checksum)
+        return checksum
+
+
+class OverflowWorkload(Workload):
+    """Wrap-around arithmetic checks (MiBench2 overflow)."""
+
+    name = "overflow"
+    description = "integer overflow wrap-around checks"
+    approx_code_bytes = 1296
+    sizes = {
+        "default": {"rounds": 50},
+        "small": {"rounds": 15},
+        "tiny": {"rounds": 2},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, rounds: int) -> int:
+        cell = mem.alloc(16, segment="data")
+        checksum = 0
+        cases = [
+            (0x7FFFFFFF, 1),
+            (0xFFFFFFFF, 1),
+            (0x80000000, 0xFFFFFFFF),
+            (0xAAAAAAAA, 0x55555555),
+        ] + [
+            (rng.getrandbits(32), rng.getrandbits(32)) for _ in range(rounds)
+        ]
+        for i, (a, b) in enumerate(cases):
+            mem.sw(cell, a)
+            got = mem.lw(cell)
+            total = (got + b) & 0xFFFFFFFF
+            mem.sw(cell + 4, total)
+            mem.mul_tick()
+            prod = (got * b) & 0xFFFFFFFF
+            mem.sw(cell + 8, prod)
+            checksum = mix32(checksum, mem.lw(cell + 4))
+            checksum = mix32(checksum, mem.lw(cell + 8))
+        mem.out(0, checksum)
+        return checksum
+
+
+class RegressWorkload(Workload):
+    """A small arithmetic regression battery (MiBench2 regress)."""
+
+    name = "regress"
+    description = "arithmetic/shift regression checks"
+    approx_code_bytes = 864
+    sizes = {
+        "default": {"rounds": 100},
+        "small": {"rounds": 25},
+        "tiny": {"rounds": 2},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, rounds: int) -> int:
+        scratch = mem.alloc(16, segment="data")
+        checksum = 0
+        for r in range(rounds):
+            v = rng.getrandbits(32)
+            mem.sw(scratch, v)
+            x = mem.lw(scratch)
+            # Shift/mask identities a compiler test suite would exercise.
+            ident1 = ((x << 3) & 0xFFFFFFFF) >> 3 == x & 0x1FFFFFFF
+            ident2 = (x ^ x) == 0
+            ident3 = ((x | ~x) & 0xFFFFFFFF) == 0xFFFFFFFF
+            mem.sw(scratch + 4, (ident1 << 2 | ident2 << 1 | ident3) & 0xFFFFFFFF)
+            checksum = mix32(checksum, mem.lw(scratch + 4) ^ x)
+        mem.out(0, checksum)
+        return checksum
+
+
+class VcflagsWorkload(Workload):
+    """Carry/overflow condition-flag computations (MiBench2 vcflags)."""
+
+    name = "vcflags"
+    description = "carry/overflow flag computations"
+    approx_code_bytes = 1800
+    sizes = {
+        "default": {"rounds": 120},
+        "small": {"rounds": 30},
+        "tiny": {"rounds": 3},
+    }
+
+    def _run(self, mem: TracedMemory, rng: random.Random, rounds: int) -> int:
+        flags = mem.alloc(8, segment="data")
+        checksum = 0
+        for r in range(rounds):
+            a = rng.getrandbits(32)
+            b = rng.getrandbits(32)
+            total = a + b
+            carry = 1 if total > 0xFFFFFFFF else 0
+            sa = a - (1 << 32) if a & 0x80000000 else a
+            sb = b - (1 << 32) if b & 0x80000000 else b
+            sv = sa + sb
+            overflow = 1 if sv > 0x7FFFFFFF or sv < -0x80000000 else 0
+            negative = 1 if total & 0x80000000 else 0
+            zero = 1 if (total & 0xFFFFFFFF) == 0 else 0
+            mem.sw(flags, (negative << 3) | (zero << 2) | (carry << 1) | overflow)
+            checksum = mix32(checksum, mem.lw(flags) ^ (total & 0xFFFFFFFF))
+        mem.out(0, checksum)
+        return checksum

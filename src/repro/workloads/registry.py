@@ -1,0 +1,96 @@
+"""Workload registry: the paper's 23 MiBench2 benchmarks plus DINO's DS."""
+
+from typing import Dict, Iterator, List, Type
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.codecs import (
+    AdpcmDecodeWorkload,
+    AdpcmEncodeWorkload,
+    LzfxWorkload,
+    PicojpegWorkload,
+)
+from repro.workloads.crypto import (
+    AesWorkload,
+    BlowfishWorkload,
+    Rc4Workload,
+    RsaWorkload,
+    ShaWorkload,
+)
+from repro.workloads.data_structures import (
+    DijkstraWorkload,
+    PatriciaWorkload,
+    QsortWorkload,
+    StringsearchWorkload,
+    SusanWorkload,
+)
+from repro.workloads.ds import DsWorkload
+from repro.workloads.math_kernels import (
+    BasicmathWorkload,
+    BitcountWorkload,
+    CrcWorkload,
+    FftWorkload,
+    RandmathWorkload,
+)
+from repro.workloads.micro import (
+    LimitsWorkload,
+    OverflowWorkload,
+    RegressWorkload,
+    VcflagsWorkload,
+)
+
+#: The 23 MiBench2 benchmarks in Table 1's order.
+_MIBENCH2: List[Type[Workload]] = [
+    AdpcmDecodeWorkload,
+    AdpcmEncodeWorkload,
+    AesWorkload,
+    BasicmathWorkload,
+    BitcountWorkload,
+    BlowfishWorkload,
+    CrcWorkload,
+    DijkstraWorkload,
+    FftWorkload,
+    LimitsWorkload,
+    LzfxWorkload,
+    OverflowWorkload,
+    PatriciaWorkload,
+    PicojpegWorkload,
+    QsortWorkload,
+    RandmathWorkload,
+    Rc4Workload,
+    RegressWorkload,
+    RsaWorkload,
+    ShaWorkload,
+    StringsearchWorkload,
+    SusanWorkload,
+    VcflagsWorkload,
+]
+
+_REGISTRY: Dict[str, Workload] = {cls.name: cls() for cls in _MIBENCH2}
+_REGISTRY[DsWorkload.name] = DsWorkload()
+
+
+def mibench2_names() -> List[str]:
+    """The 23 MiBench2 benchmark names, in Table 1's order."""
+    return [cls.name for cls in _MIBENCH2]
+
+
+def workload_names() -> List[str]:
+    """All registered workload names (MiBench2 + ``ds``)."""
+    return mibench2_names() + [DsWorkload.name]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload instance by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choices: {workload_names()}"
+        ) from None
+
+
+def iter_workloads() -> Iterator[Workload]:
+    """Iterate over all registered workloads in registry order."""
+    for name in workload_names():
+        yield _REGISTRY[name]

@@ -1,0 +1,73 @@
+"""Tests for the ablation experiment drivers."""
+
+import pytest
+
+from repro.core.watchdogs import ProgressWatchdog
+from repro.eval import ablation_apb, ablation_compiler, ablation_progress
+from repro.eval.settings import EvalSettings
+
+QUICK = EvalSettings(size="small", sweep_size="tiny", seed=3)
+
+
+class TestProgressWatchdogAdaptiveFlag:
+    def test_fixed_never_halves(self):
+        wdt = ProgressWatchdog(1000, adaptive=False)
+        for _ in range(6):
+            wdt.on_restart()
+        assert wdt.nv_load_value == 1000
+
+    def test_adaptive_halves(self):
+        wdt = ProgressWatchdog(1000, adaptive=True)
+        for _ in range(4):
+            wdt.on_restart()
+        assert wdt.nv_load_value < 1000
+
+
+class TestProgressAblation:
+    def test_adaptive_survives_all_runt_supply(self):
+        rows = ablation_progress.run(QUICK)
+        worst = rows[-1]
+        assert worst.runt_fraction == 1.0
+        # Without the watchdog the run stalls; the adaptive design makes
+        # forward progress (the paper's motivating scenario).
+        assert worst.overhead["off"] is None
+        assert worst.overhead["adaptive"] is not None
+
+    def test_no_runts_all_equal(self):
+        rows = ablation_progress.run(QUICK)
+        clean = rows[0]
+        assert clean.runt_fraction == 0.0
+        values = [clean.overhead[v] for v in ablation_progress.VARIANTS]
+        assert all(v is not None for v in values)
+        assert max(values) - min(values) < 0.05
+
+    def test_render(self):
+        text = ablation_progress.render(ablation_progress.run(QUICK))
+        assert "stalled" in text and "adaptive" in text
+
+
+class TestCompilerAblation:
+    def test_epoch_coverage_dominates(self):
+        rows = ablation_compiler.run(QUICK)
+        assert len(rows) == 23
+        for r in rows:
+            assert r.coverage["epoch"] >= r.coverage["whole-program"] - 1e-9
+            assert r.coverage["none"] == 0.0
+
+    def test_marking_reduces_average_overhead(self):
+        rows = ablation_compiler.run(QUICK)
+        avg = lambda v: sum(r.checkpoint_overhead[v] for r in rows) / len(rows)
+        assert avg("whole-program") <= avg("none") + 1e-9
+        assert "average coverage" in ablation_compiler.render(rows)
+
+
+class TestApbAblation:
+    def test_rows_and_tradeoff(self):
+        rows = ablation_apb.run(QUICK)
+        assert [r.prefix_low_bits for r in rows] == [4, 6, 8]
+        # Storage grows with the low-bit width...
+        bits = [r.buffer_bits for r in rows]
+        assert bits == sorted(bits)
+        # ...and prefix pressure (checkpoint overhead) shrinks.
+        assert rows[0].avg_checkpoint_overhead >= rows[-1].avg_checkpoint_overhead
+        assert "low bits" in ablation_apb.render(rows)

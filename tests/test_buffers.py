@@ -1,0 +1,129 @@
+"""Unit tests for the four Clank hardware buffers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.buffers import (
+    AddressPrefixBuffer,
+    ReadFirstBuffer,
+    WriteBackBuffer,
+    WriteFirstBuffer,
+)
+
+
+class TestAddressSetBuffers:
+    @pytest.mark.parametrize("cls", [ReadFirstBuffer, WriteFirstBuffer])
+    def test_insert_until_full(self, cls):
+        buf = cls(2)
+        assert buf.insert(1)
+        assert buf.insert(2)
+        assert buf.full
+        assert not buf.insert(3)
+        assert 3 not in buf
+
+    @pytest.mark.parametrize("cls", [ReadFirstBuffer, WriteFirstBuffer])
+    def test_reinsert_existing_always_succeeds(self, cls):
+        buf = cls(1)
+        assert buf.insert(7)
+        assert buf.insert(7)  # already resident: no overflow
+        assert len(buf) == 1
+
+    def test_discard(self):
+        buf = ReadFirstBuffer(2)
+        buf.insert(1)
+        buf.discard(1)
+        assert 1 not in buf
+        buf.discard(99)  # absent: no error
+
+    def test_clear(self):
+        buf = WriteFirstBuffer(4)
+        buf.insert(1)
+        buf.insert(2)
+        buf.clear()
+        assert len(buf) == 0
+        assert not buf.full
+
+    def test_zero_capacity(self):
+        buf = WriteFirstBuffer(0)
+        assert buf.full
+        assert not buf.insert(1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ReadFirstBuffer(-1)
+
+    def test_iteration(self):
+        buf = ReadFirstBuffer(4)
+        buf.insert(3)
+        buf.insert(5)
+        assert sorted(buf) == [3, 5]
+
+
+class TestWriteBackBuffer:
+    def test_put_and_get(self):
+        wbb = WriteBackBuffer(2)
+        assert wbb.put(10, 0xAA)
+        assert wbb.get(10) == 0xAA
+        assert wbb.get(11) is None
+
+    def test_update_in_place_never_overflows(self):
+        wbb = WriteBackBuffer(1)
+        assert wbb.put(10, 1)
+        assert wbb.put(10, 2)  # update, not a new entry
+        assert wbb.get(10) == 2
+        assert not wbb.put(11, 3)  # overflow
+
+    def test_drain_removes_everything(self):
+        wbb = WriteBackBuffer(4)
+        wbb.put(1, 10)
+        wbb.put(2, 20)
+        drained = wbb.drain()
+        assert drained == {1: 10, 2: 20}
+        assert len(wbb) == 0
+
+    def test_clear_drops_without_flush(self):
+        # Volatility is the free rollback (Section 3.1.2).
+        wbb = WriteBackBuffer(4)
+        wbb.put(1, 10)
+        wbb.clear()
+        assert wbb.get(1) is None
+
+    def test_contains(self):
+        wbb = WriteBackBuffer(1)
+        wbb.put(5, 0)
+        assert 5 in wbb
+        assert 6 not in wbb
+
+
+class TestAddressPrefixBuffer:
+    def test_disabled_admits_everything(self):
+        apb = AddressPrefixBuffer(0)
+        assert not apb.enabled
+        assert apb.admit(12345)
+        assert apb.holds(99999)
+
+    def test_prefix_sharing(self):
+        apb = AddressPrefixBuffer(1, prefix_low_bits=6)
+        assert apb.admit(0)
+        assert apb.admit(63)  # same 64-word window
+        assert not apb.admit(64)  # new prefix, buffer full
+        assert len(apb) == 1
+
+    def test_prefix_of(self):
+        apb = AddressPrefixBuffer(4, prefix_low_bits=6)
+        assert apb.prefix_of(0x40) == 1
+        assert apb.prefix_of(0x3F) == 0
+
+    def test_holds(self):
+        apb = AddressPrefixBuffer(2, prefix_low_bits=6)
+        apb.admit(0)
+        assert apb.holds(5)
+        assert not apb.holds(0x100)
+
+    def test_clear_reclaims_prefixes(self):
+        # Prefixes are only reclaimed at section reset (Section 3.1.3).
+        apb = AddressPrefixBuffer(1, prefix_low_bits=6)
+        apb.admit(0)
+        assert not apb.admit(64)
+        apb.clear()
+        assert apb.admit(64)

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro.eval`` command-line interface."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["table3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "clank" in out
+        assert "completed in" in out
+
+    def test_quick_table4(self, capsys):
+        assert main(["table4", "--quick", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed" in out and "wholly-nv" in out
+
+    def test_ablation_listed(self, capsys):
+        assert main(["ablation_apb", "--quick"]) == 0
+        assert "low bits" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_verify_flag(self, capsys):
+        assert main(["table1", "--quick", "--verify"]) == 0
+        assert "average" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Unit tests for repro.common: word helpers and constants."""
+
+import pytest
+
+from repro.common import words
+from repro.common.constants import (
+    DEFAULT_AVG_ON_MS,
+    DEFAULT_CLOCK_HZ,
+    WORD_ADDRESS_BITS,
+    cycles_to_ms,
+    ms_to_cycles,
+)
+
+
+class TestWordHelpers:
+    def test_word_index_drops_two_bits(self):
+        assert words.word_index(0) == 0
+        assert words.word_index(3) == 0
+        assert words.word_index(4) == 1
+        assert words.word_index(0x2000_0007) == 0x2000_0004 >> 2
+
+    def test_word_align_down(self):
+        assert words.word_align_down(0x1003) == 0x1000
+        assert words.word_align_down(0x1004) == 0x1004
+
+    def test_is_word_aligned(self):
+        assert words.is_word_aligned(8)
+        assert not words.is_word_aligned(9)
+
+    @pytest.mark.parametrize("size,mask", [(1, 0xFF), (2, 0xFFFF), (4, 0xFFFFFFFF)])
+    def test_mask_value(self, size, mask):
+        assert words.mask_value(0xFFFFFFFFFF, size) == mask
+
+    def test_mask_value_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            words.mask_value(1, 3)
+
+    def test_sign_extend_negative(self):
+        assert words.sign_extend(0xFF, 8) == -1
+        assert words.sign_extend(0x80, 8) == -128
+
+    def test_sign_extend_positive(self):
+        assert words.sign_extend(0x7F, 8) == 127
+        assert words.sign_extend(5, 32) == 5
+
+    def test_to_u32_wraps(self):
+        assert words.to_u32(-1) == 0xFFFFFFFF
+        assert words.to_u32(1 << 33) == 0
+
+    def test_insert_extract_roundtrip(self):
+        word = 0
+        word = words.insert_bytes(word, 0xAB, 0, 1)
+        word = words.insert_bytes(word, 0xCD, 3, 1)
+        word = words.insert_bytes(word, 0x1234, 1, 2)
+        assert words.extract_bytes(word, 0, 1) == 0xAB
+        assert words.extract_bytes(word, 3, 1) == 0xCD
+        assert words.extract_bytes(word, 1, 2) == 0x1234
+
+    def test_insert_bytes_truncates(self):
+        assert words.insert_bytes(0, 0x1FF, 0, 1) == 0xFF
+
+
+class TestConstants:
+    def test_word_address_bits_is_30(self):
+        # The paper tracks word addresses: 32 - 2 (Section 3.1.1 fn 2).
+        assert WORD_ADDRESS_BITS == 30
+
+    def test_default_on_time_is_100ms(self):
+        assert DEFAULT_AVG_ON_MS == 100.0
+
+    def test_ms_cycles_roundtrip(self):
+        cycles = ms_to_cycles(100.0)
+        assert cycles == DEFAULT_CLOCK_HZ // 10
+        assert cycles_to_ms(cycles) == pytest.approx(100.0)

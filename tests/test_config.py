@@ -1,0 +1,100 @@
+"""Unit tests for ClankConfig and PolicyOptimizations."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import (
+    ClankConfig,
+    OPTIMIZATION_NAMES,
+    PolicyOptimizations,
+    TABLE2_CONFIGS,
+    table2_configs,
+)
+
+
+class TestPolicyOptimizations:
+    def test_none_and_all(self):
+        assert PolicyOptimizations.none().enabled_names() == ()
+        assert len(PolicyOptimizations.all().enabled_names()) == 5
+
+    def test_only(self):
+        opts = PolicyOptimizations.only("ignore_text")
+        assert opts.enabled_names() == ("ignore_text",)
+
+    def test_only_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            PolicyOptimizations.only("turbo")
+
+    def test_all_settings_is_32(self):
+        # The paper sweeps "over 32 policy optimization settings" (7.1).
+        settings = PolicyOptimizations.all_settings()
+        assert len(settings) == 32
+        assert len(set(settings)) == 32
+
+    def test_labels(self):
+        assert PolicyOptimizations.none().label() == "none"
+        assert PolicyOptimizations.all().label() == "all"
+        assert PolicyOptimizations.only("latest_checkpoint").label() == "ltc"
+
+
+class TestClankConfig:
+    def test_requires_read_first_buffer(self):
+        # The RF buffer is the only required component (Section 7.1).
+        with pytest.raises(ConfigError):
+            ClankConfig(rf_entries=0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigError):
+            ClankConfig(rf_entries=1, wf_entries=-1)
+
+    def test_single_rf_entry_is_30_bits(self):
+        # The dashed vertical line of Figures 5-6 / Table 4's "30".
+        assert ClankConfig.from_tuple((1, 0, 0, 0)).buffer_bits == 30
+
+    def test_bits_without_apb(self):
+        cfg = ClankConfig.from_tuple((2, 1, 1, 0))
+        # 4 address entries (2 RF + 1 WF + 1 WBB) * 30 + one 32-bit value.
+        assert cfg.buffer_bits == 4 * 30 + 32
+
+    def test_bits_with_apb_matches_paper_example(self):
+        # Section 3.1.3: 6 low bits + 2-bit tag = 8 vs 30; APB entry 24.
+        cfg = ClankConfig.from_tuple((1, 0, 0, 4))
+        assert cfg.tag_bits == 2
+        assert cfg.entry_addr_bits == 8
+        assert cfg.apb_entry_bits == 24
+        assert cfg.buffer_bits == 8 + 4 * 24
+
+    def test_label_roundtrip(self):
+        cfg = ClankConfig.from_tuple((16, 8, 4, 4))
+        assert cfg.label() == "16,8,4,4"
+
+    def test_with_optimizations(self):
+        cfg = ClankConfig.from_tuple((1, 0, 0, 0))
+        cfg2 = cfg.with_optimizations(PolicyOptimizations.none())
+        assert cfg2.optimizations.label() == "none"
+        assert cfg2.rf_entries == 1
+
+    def test_infinite_config(self):
+        cfg = ClankConfig.infinite()
+        assert cfg.rf_entries >= 1 << 20
+
+    def test_table2_configs(self):
+        configs = table2_configs()
+        assert [c.label() for c in configs] == [
+            "16,0,0,0", "8,8,0,0", "8,4,2,0", "16,8,4,4",
+        ]
+        assert TABLE2_CONFIGS[0] == (16, 0, 0, 0)
+
+    def test_bits_monotone_in_entries(self):
+        small = ClankConfig.from_tuple((1, 0, 0, 0)).buffer_bits
+        big = ClankConfig.from_tuple((16, 8, 4, 0)).buffer_bits
+        assert big > small
+
+    def test_optimization_names_stable(self):
+        assert OPTIMIZATION_NAMES == (
+            "ignore_false_writes",
+            "remove_duplicates",
+            "no_wf_overflow",
+            "ignore_text",
+            "latest_checkpoint",
+        )

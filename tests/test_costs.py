@@ -1,0 +1,44 @@
+"""Unit tests for the runtime cost model."""
+
+import pytest
+
+from repro.runtime.costs import CostModel, DEFAULT_COST_MODEL
+
+
+class TestCostModel:
+    def test_register_checkpoint_is_40_cycles(self):
+        # Anchored to the paper: "40 for our implementation" (Section 4.1).
+        assert DEFAULT_COST_MODEL.register_checkpoint_cycles == 40
+
+    def test_checkpoint_without_wbb(self):
+        assert DEFAULT_COST_MODEL.checkpoint_cycles() == 40
+
+    def test_wbb_flush_adds_per_entry_cost(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.checkpoint_cycles(wbb_entries=3) == 40 + 2 + 3 * 8
+
+    def test_mixed_volatility_words_add_cost(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.checkpoint_cycles(dirty_volatile_words=10) == 40 + 20
+
+    def test_restart_cost(self):
+        assert DEFAULT_COST_MODEL.restart_cycles() == 10 + 17 * 2
+
+    def test_restart_with_volatile_restore(self):
+        assert DEFAULT_COST_MODEL.restart_cycles(volatile_words=5) == 44 + 10
+
+    def test_reserved_bytes_structure(self):
+        cost = DEFAULT_COST_MODEL
+        base = cost.reserved_bytes(wbb_entries=0, watchdogs=False)
+        with_wbb = cost.reserved_bytes(wbb_entries=4, watchdogs=False)
+        with_wdt = cost.reserved_bytes(wbb_entries=0, watchdogs=True)
+        assert with_wbb == base + 4 * 8  # scratchpad scales with WBB
+        assert with_wdt > base
+
+    def test_custom_model(self):
+        tiny = CostModel(
+            checkpoint_reg_words=4,
+            nv_word_cycles=1,
+            checkpoint_base_cycles=0,
+        )
+        assert tiny.register_checkpoint_cycles == 4

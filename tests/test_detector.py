@@ -1,0 +1,256 @@
+"""Unit tests for the idempotency detector and every policy optimization."""
+
+import pytest
+
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.core.detector import (
+    CHECKPOINT,
+    CHECKPOINT_THEN_WRITE,
+    PROCEED,
+    PROCEED_WBB,
+    IdempotencyDetector,
+)
+
+
+def det(spec=(4, 4, 2, 0), opts=None, text=None):
+    config = ClankConfig.from_tuple(spec, opts or PolicyOptimizations.none())
+    return IdempotencyDetector(config, text)
+
+
+class TestBasicDominance:
+    def test_first_read_is_tracked(self):
+        d = det()
+        assert d.on_read(1) == (PROCEED, None)
+        assert 1 in d.rf
+
+    def test_first_write_is_tracked(self):
+        d = det()
+        assert d.on_write(1, 5, 0) == (PROCEED, None)
+        assert 1 in d.wf
+
+    def test_write_after_write_proceeds(self):
+        d = det()
+        d.on_write(1, 5, 0)
+        assert d.on_write(1, 6, 5) == (PROCEED, None)
+
+    def test_read_after_write_proceeds(self):
+        d = det()
+        d.on_write(1, 5, 0)
+        assert d.on_read(1) == (PROCEED, None)
+        assert 1 not in d.rf  # stays write-dominated
+
+    def test_violation_without_wbb_checkpoints(self):
+        d = det((4, 4, 0, 0))
+        d.on_read(1)
+        assert d.on_write(1, 5, 0) == (CHECKPOINT, "violation")
+
+    def test_violation_with_wbb_is_buffered(self):
+        d = det((4, 4, 2, 0))
+        d.on_read(1)
+        action, cause = d.on_write(1, 5, 0)
+        assert action == PROCEED_WBB
+        assert d.wbb_value(1) == 5
+
+    def test_wbb_owned_address_reads_and_writes_in_buffer(self):
+        d = det((4, 4, 2, 0))
+        d.on_read(1)
+        d.on_write(1, 5, 0)
+        assert d.on_write(1, 9, 5) == (PROCEED_WBB, None)
+        assert d.wbb_value(1) == 9
+        assert d.on_read(1) == (PROCEED, None)
+
+    def test_wbb_overflow_checkpoints(self):
+        d = det((4, 4, 1, 0))
+        d.on_read(1)
+        d.on_read(2)
+        d.on_write(1, 5, 0)
+        assert d.on_write(2, 6, 0) == (CHECKPOINT, "wbb_full")
+
+
+class TestBufferFullConditions:
+    def test_rf_full_checkpoints(self):
+        d = det((2, 4, 0, 0))
+        d.on_read(1)
+        d.on_read(2)
+        assert d.on_read(3) == (CHECKPOINT, "rf_full")
+
+    def test_wf_full_checkpoints_without_optimization(self):
+        d = det((4, 1, 0, 0))
+        d.on_write(1, 1, 0)
+        assert d.on_write(2, 2, 0) == (CHECKPOINT, "wf_full")
+
+    def test_no_wf_buffer_writes_untracked(self):
+        # R-only configuration: first-writes pass untracked (pessimistic).
+        d = det((2, 0, 0, 0))
+        assert d.on_write(1, 1, 0) == (PROCEED, None)
+        # A later read-then-write of the same address false-violates.
+        assert d.on_read(1) == (PROCEED, None)
+        assert d.on_write(1, 2, 1) == (CHECKPOINT, "violation")
+
+    def test_apb_full_on_read_checkpoints(self):
+        d = det((8, 0, 0, 1))
+        d.on_read(0)  # prefix 0
+        assert d.on_read(64) == (CHECKPOINT, "apb_full")
+
+    def test_apb_shared_across_buffers(self):
+        d = det((4, 4, 0, 1))
+        d.on_read(0)
+        # Write to the same prefix: no new prefix needed.
+        assert d.on_write(1, 1, 0) == (PROCEED, None)
+
+    def test_reset_section_clears_everything(self):
+        d = det((2, 2, 2, 1))
+        d.on_read(1)
+        d.on_write(2, 1, 0)
+        d.on_write(1, 3, 0)
+        flushed = d.reset_section()
+        assert flushed == {1: 3}
+        assert d.occupancy() == {"rf": 0, "wf": 0, "wbb": 0, "apb": 0}
+
+    def test_power_fail_discards_wbb(self):
+        d = det((2, 2, 2, 0))
+        d.on_read(1)
+        d.on_write(1, 3, 0)
+        d.power_fail()
+        assert d.wbb_value(1) is None
+        assert d.occupancy()["rf"] == 0
+
+
+class TestIgnoreFalseWrites:
+    OPT = PolicyOptimizations.only("ignore_false_writes")
+
+    def test_false_violating_write_ignored(self):
+        d = det((4, 4, 0, 0), self.OPT)
+        d.on_read(1)
+        # Writing back the same value is not a violation (3.2.1).
+        assert d.on_write(1, 7, 7) == (PROCEED, None)
+
+    def test_true_violating_write_still_detected(self):
+        d = det((4, 4, 0, 0), self.OPT)
+        d.on_read(1)
+        assert d.on_write(1, 8, 7) == (CHECKPOINT, "violation")
+
+    def test_false_first_write_still_enters_wf(self):
+        # "The write still causes updates to the write buffer" (3.2.1).
+        d = det((4, 4, 0, 0), self.OPT)
+        d.on_write(1, 7, 7)
+        assert 1 in d.wf
+
+
+class TestRemoveDuplicates:
+    OPT = PolicyOptimizations(remove_duplicates=True)
+
+    def test_buffered_violation_evicts_rf_entry(self):
+        d = det((2, 0, 2, 0), self.OPT)
+        d.on_read(1)
+        d.on_write(1, 5, 0)
+        assert 1 not in d.rf  # freed for new addresses (3.2.2)
+        assert 1 in d.wbb
+
+    def test_without_opt_rf_entry_remains(self):
+        d = det((2, 0, 2, 0), PolicyOptimizations.none())
+        d.on_read(1)
+        d.on_write(1, 5, 0)
+        assert 1 in d.rf
+
+
+class TestNoWfOverflow:
+    OPT = PolicyOptimizations(no_wf_overflow=True)
+
+    def test_wf_overflow_ignored(self):
+        d = det((4, 1, 0, 0), self.OPT)
+        d.on_write(1, 1, 0)
+        # Overflowing write passes untracked instead of checkpointing.
+        assert d.on_write(2, 2, 0) == (PROCEED, None)
+        assert 2 not in d.wf
+
+    def test_untracked_write_may_false_violate_later(self):
+        d = det((4, 1, 0, 0), self.OPT)
+        d.on_write(1, 1, 0)
+        d.on_write(2, 2, 0)  # untracked
+        d.on_read(2)  # false read-domination
+        assert d.on_write(2, 3, 2) == (CHECKPOINT, "violation")
+
+
+class TestIgnoreText:
+    OPT = PolicyOptimizations(ignore_text=True)
+    TEXT = (0, 0x1000)
+
+    def test_text_reads_untracked(self):
+        d = det((1, 0, 0, 0), self.OPT, self.TEXT)
+        for addr in range(20):
+            assert d.on_read(addr) == (PROCEED, None)
+        assert len(d.rf) == 0
+
+    def test_text_write_checkpoints_then_writes(self):
+        # Self-modifying-code safety (3.2.4).
+        d = det((4, 4, 0, 0), self.OPT, self.TEXT)
+        assert d.on_write(5, 1, 0) == (CHECKPOINT_THEN_WRITE, "text_write")
+
+    def test_non_text_tracked_normally(self):
+        d = det((4, 4, 0, 0), self.OPT, self.TEXT)
+        assert d.on_read(0x2000) == (PROCEED, None)
+        assert 0x2000 in d.rf
+
+    def test_without_opt_text_tracked_normally(self):
+        d = det((4, 4, 0, 0), PolicyOptimizations.none(), self.TEXT)
+        d.on_read(5)
+        assert 5 in d.rf
+
+
+class TestLatestCheckpoint:
+    OPT = PolicyOptimizations(latest_checkpoint=True)
+
+    def test_rf_full_enters_untracked_mode(self):
+        d = det((1, 0, 0, 0), self.OPT)
+        d.on_read(1)
+        assert d.on_read(2) == (PROCEED, None)  # deferred, not a checkpoint
+        assert d.untracked
+
+    def test_untracked_reads_flow_freely(self):
+        d = det((1, 0, 0, 0), self.OPT)
+        d.on_read(1)
+        d.on_read(2)
+        for addr in range(10, 30):
+            assert d.on_read(addr) == (PROCEED, None)
+
+    def test_first_write_after_fill_checkpoints(self):
+        d = det((1, 0, 0, 0), self.OPT)
+        d.on_read(1)
+        d.on_read(2)
+        assert d.on_write(9, 1, 0) == (CHECKPOINT, "latest_write")
+
+    def test_false_write_allowed_in_untracked_mode(self):
+        opts = PolicyOptimizations(latest_checkpoint=True, ignore_false_writes=True)
+        d = det((1, 0, 0, 0), opts)
+        d.on_read(1)
+        d.on_read(2)
+        assert d.on_write(9, 3, 3) == (PROCEED, None)
+
+    def test_reset_leaves_untracked_mode(self):
+        d = det((1, 0, 0, 0), self.OPT)
+        d.on_read(1)
+        d.on_read(2)
+        d.reset_section()
+        assert not d.untracked
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        d = det((2, 2, 2, 1), PolicyOptimizations.all(), (0, 10))
+        d.on_read(100)
+        d.on_write(101, 5, 0)
+        d.on_write(100, 9, 0)
+        state = d.snapshot()
+        d.reset_section()
+        d.restore(state)
+        assert 101 in d.wf
+        assert d.wbb_value(100) == 9
+
+    def test_snapshot_is_immutable_copy(self):
+        d = det((2, 2, 2, 0))
+        d.on_read(1)
+        state = d.snapshot()
+        d.on_read(2)
+        d.restore(state)
+        assert 2 not in d.rf

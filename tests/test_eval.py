@@ -1,0 +1,140 @@
+"""Smoke + shape tests for every experiment driver (quick settings)."""
+
+import pytest
+
+from repro.eval import table1, fig5, fig6, table2, fig7, fig8, table3, table4
+from repro.eval.pareto import pareto_frontier
+from repro.eval.settings import EvalSettings
+
+QUICK = EvalSettings(size="small", sweep_size="tiny", seed=2)
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        pts = [(10, 0.5, "a"), (20, 0.6, "b"), (20, 0.3, "c"), (30, 0.1, "d")]
+        frontier = pareto_frontier(pts)
+        assert [p[2] for p in frontier] == ["a", "c", "d"]
+
+    def test_sorted_by_cost(self):
+        pts = [(30, 0.1, "x"), (10, 0.9, "y")]
+        assert [p[0] for p in pareto_frontier(pts)] == [10, 30]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        rows = table1.run(QUICK)
+        assert len(rows) == 23
+        assert all(r.size_bytes > 0 and r.running_ms > 0 for r in rows)
+        text = table1.render(rows)
+        assert "average" in text and "crc" in text
+
+    def test_tiny_benchmarks_have_big_relative_increase(self):
+        rows = {r.name: r for r in table1.run(QUICK)}
+        assert rows["randmath"].size_increase > rows["sha"].size_increase
+
+
+class TestFig5:
+    def test_family_configs_grow(self):
+        assert len(fig5.family_configs("R")) < len(fig5.family_configs("R+W+B+A"))
+
+    @pytest.mark.slow
+    def test_frontier_shapes(self):
+        data = fig5.run(QUICK)
+        for family in fig5.FAMILIES:
+            frontier = data.frontiers[family]
+            assert frontier, family
+            values = [v for _, v, _ in frontier]
+            assert values == sorted(values, reverse=True)  # staircase down
+        text = fig5.render(data)
+        assert "R+W+B+A+C" in text
+
+
+class TestFig6:
+    @pytest.mark.slow
+    def test_profiled_is_lower_envelope(self):
+        data = fig6.run(QUICK)
+        # At every frontier point cost, profiled <= the 'none' setting.
+        prof = {c: v for c, v, _ in data.frontiers["profiled"]}
+        none = {c: v for c, v, _ in data.frontiers["none"]}
+        common = set(prof) & set(none)
+        assert common
+        assert all(prof[c] <= none[c] + 1e-9 for c in common)
+        assert "profiled" in fig6.render(data)
+
+
+class TestTable2:
+    def test_rows_and_trend(self):
+        rows = table2.run(QUICK)
+        assert [r.label for r in rows] == [
+            "16,0,0,0", "8,8,0,0", "8,4,2,0", "16,8,4,4", "16,8,4,4+C+WDT",
+        ]
+        # The best configuration beats the sole-RF configuration.
+        assert rows[-1].avg_software < rows[0].avg_software
+        assert "paper" in table2.render(rows)
+
+
+class TestFig7:
+    def test_bars_and_averages(self):
+        data = fig7.run(QUICK)
+        assert len(data.bars) == 23 * 5
+        for bar in data.bars:
+            assert bar.total >= 1.0
+        averages = dict(data.averages())
+        assert averages["16,8,4,4+C+WDT"] < averages["16,0,0,0"]
+        assert "averages:" in fig7.render(data)
+
+    def test_single_cycle_benchmarks_starred(self):
+        data = fig7.run(QUICK)
+        by_bench = data.by_benchmark()
+        # The tiny benchmarks complete within one power cycle (Figure 7's
+        # asterisks) at small sizes.
+        assert all(b.single_cycle for b in by_bench["randmath"])
+
+
+class TestFig8:
+    def test_u_shape_and_balance(self):
+        # Short on-times make the U emerge clearly at small trace sizes —
+        # the paper notes the tradeoff holds regardless of on-time.
+        data = fig8.run(EvalSettings(size="small", avg_on_ms=20, seed=2), repeats=3)
+        points = data.points
+        combined = [p.combined for p in points]
+        best = data.best()
+        # U-shape: the ends are worse than the minimum.
+        assert combined[0] > best.combined
+        assert combined[-1] > best.combined
+        # Checkpoint overhead decreases with the watchdog value.
+        assert points[0].checkpoint > points[-1].checkpoint
+        # Re-execution overhead grows with the watchdog value.
+        assert points[-1].reexec > points[0].reexec
+        assert str(data.analytic_optimum) in fig8.render(data)
+
+
+class TestTable3:
+    def test_ordering_matches_paper(self):
+        rows = {r.approach: r for r in table3.run(QUICK)}
+        assert rows["dino"].total_overhead is None  # not ported
+        assert rows["mementos"].total_overhead > rows["hibernus"].total_overhead
+        assert rows["clank"].total_overhead < rows["ratchet"].total_overhead
+        assert rows["clank"].total_overhead < rows["hibernus++"].total_overhead
+        text = table3.render(table3.run(QUICK))
+        assert "not ported" in text and "architecture" in text
+
+
+class TestTable4:
+    def test_mixed_beats_wholly_nv(self):
+        rows = table4.run(QUICK)
+        mixed = {r.budget: r for r in rows if r.composition == "mixed" and r.system == "clank"}
+        nv = {r.budget: r for r in rows if r.composition == "wholly-nv"}
+        for budget in ("30", "<100", "<400"):
+            assert mixed[budget].overhead <= nv[budget].overhead + 1e-9
+        # DINO pays far more than mixed Clank (paper: 170% vs 3%).
+        dino = next(r for r in rows if r.system == "dino")
+        assert dino.overhead > mixed["<400"].overhead
+        assert "dino" in table4.render(rows)
+
+    def test_more_bits_never_hurt_much(self):
+        rows = [r for r in table4.run(QUICK) if r.composition == "wholly-nv"]
+        assert rows[0].overhead >= rows[-1].overhead

@@ -1,0 +1,103 @@
+"""Tests for the harvester power-profile models."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.power.harvester import MarkovPower, RfHarvesterPower, SolarHarvesterPower
+
+
+class TestRfHarvester:
+    def test_deterministic_and_resettable(self):
+        a = RfHarvesterPower(seed=3)
+        first = [a.next_on_time() for _ in range(10)]
+        a.reset()
+        assert [a.next_on_time() for _ in range(10)] == first
+
+    def test_closer_is_longer(self):
+        near = RfHarvesterPower(min_m=0.5, max_m=0.6, seed=1)
+        far = RfHarvesterPower(min_m=2.8, max_m=3.0, seed=1)
+        n = sum(near.next_on_time() for _ in range(300))
+        f = sum(far.next_on_time() for _ in range(300))
+        assert n > 5 * f
+
+    def test_mean_formula(self):
+        sched = RfHarvesterPower(base_cycles=10_000, min_m=1.0, max_m=2.0, seed=0)
+        samples = [sched.next_on_time() for _ in range(6000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            sched.mean_on_time, rel=0.15
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            RfHarvesterPower(base_cycles=0)
+        with pytest.raises(ConfigError):
+            RfHarvesterPower(min_m=3.0, max_m=1.0)
+
+
+class TestSolarHarvester:
+    def test_envelope_cycles_through_day(self):
+        sched = SolarHarvesterPower(peak_cycles=100_000, floor_cycles=100,
+                                    period=20, seed=4)
+        # Average over noon ticks >> average over midnight ticks.
+        samples = [sched.next_on_time() for _ in range(400)]
+        noon = [samples[i] for i in range(len(samples)) if i % 20 == 10]
+        midnight = [samples[i] for i in range(len(samples)) if i % 20 == 0]
+        assert sum(noon) / len(noon) > 5 * sum(midnight) / len(midnight)
+
+    def test_reset_restores_phase(self):
+        sched = SolarHarvesterPower(seed=1)
+        first = [sched.next_on_time() for _ in range(7)]
+        sched.reset()
+        assert [sched.next_on_time() for _ in range(7)] == first
+
+    def test_mean(self):
+        sched = SolarHarvesterPower(peak_cycles=10_000, floor_cycles=2_000)
+        assert sched.mean_on_time == 6_000
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            SolarHarvesterPower(peak_cycles=100, floor_cycles=200)
+
+
+class TestMarkovPower:
+    def test_produces_bursts_of_both_regimes(self):
+        sched = MarkovPower(good_mean=50_000, bad_mean=200,
+                            p_good_to_bad=0.2, p_bad_to_good=0.2, seed=6)
+        samples = [sched.next_on_time() for _ in range(500)]
+        assert any(s > 20_000 for s in samples)
+        assert any(s < 500 for s in samples)
+
+    def test_stationary_mean(self):
+        sched = MarkovPower(good_mean=10_000, bad_mean=1_000,
+                            p_good_to_bad=0.5, p_bad_to_good=0.5, seed=2)
+        assert sched.mean_on_time == pytest.approx(5_500)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigError):
+            MarkovPower(p_good_to_bad=0.0)
+
+
+class TestHarvestersDriveTheSimulator:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            RfHarvesterPower(base_cycles=20_000, seed=8),
+            SolarHarvesterPower(peak_cycles=60_000, floor_cycles=800, seed=8),
+            MarkovPower(good_mean=40_000, bad_mean=900, seed=8),
+        ],
+        ids=["rf", "solar", "markov"],
+    )
+    def test_clank_verifies_under_every_profile(self, schedule):
+        from repro.core.config import ClankConfig
+        from repro.sim.simulator import simulate
+        from repro.workloads import get_trace
+
+        trace = get_trace("ds", size="tiny")
+        result = simulate(
+            trace,
+            ClankConfig.from_tuple((8, 4, 2, 0)),
+            schedule,
+            progress_watchdog="auto",
+            verify=True,
+        )
+        assert result.verified

@@ -1,0 +1,55 @@
+"""Unit tests for the hardware cost model (Table 2)."""
+
+import pytest
+
+from repro.core.config import ClankConfig, table2_configs
+from repro.hw.cost_model import (
+    PAPER_TABLE2,
+    PAPER_TABLE2_SOFTWARE,
+    hardware_overhead,
+)
+
+
+class TestHardwareModel:
+    def test_power_is_average_of_areas(self):
+        hw = hardware_overhead(ClankConfig.from_tuple((16, 0, 0, 0)))
+        expect = (hw.lut_fraction + hw.ff_fraction + hw.mem_fraction) / 3
+        assert hw.power_fraction == pytest.approx(expect)
+
+    def test_magnitude_matches_paper(self):
+        # Every Table 2 composition lands in the paper's low-single-digit
+        # percent regime.
+        for cfg in table2_configs():
+            hw = hardware_overhead(cfg)
+            lut, ff, mem, avg = hw.row()
+            assert 1.0 < lut < 6.0
+            assert 0.2 < ff < 4.0
+            assert 0.05 < mem < 1.0
+            assert 0.5 < avg < 3.0
+
+    def test_monotone_in_buffer_bits(self):
+        small = hardware_overhead(ClankConfig.from_tuple((1, 0, 0, 0)))
+        big = hardware_overhead(ClankConfig.from_tuple((24, 8, 4, 0)))
+        assert big.mem_fraction > small.mem_fraction
+        assert big.lut_fraction > small.lut_fraction
+
+    def test_watchdogs_add_logic(self):
+        cfg = ClankConfig.from_tuple((16, 8, 4, 4))
+        base = hardware_overhead(cfg, watchdogs=False)
+        wdt = hardware_overhead(cfg, watchdogs=True)
+        assert wdt.lut_fraction > base.lut_fraction
+        assert wdt.ff_fraction > base.ff_fraction
+        assert wdt.mem_fraction == base.mem_fraction
+
+    def test_paper_tables_complete(self):
+        for cfg in table2_configs():
+            assert cfg.label() in PAPER_TABLE2
+        assert "16,8,4,4+C+WDT" in PAPER_TABLE2_SOFTWARE
+
+    def test_paper_software_trend_decreasing(self):
+        values = list(PAPER_TABLE2_SOFTWARE.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_row_is_percent(self):
+        hw = hardware_overhead(ClankConfig.from_tuple((16, 0, 0, 0)))
+        assert hw.row()[0] == pytest.approx(100 * hw.lut_fraction)

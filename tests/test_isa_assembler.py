@@ -1,0 +1,151 @@
+"""Unit tests for the Thumb-subset assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+
+
+def one(src, op=None):
+    """Assemble a one-instruction program and return its Ins."""
+    prog = assemble("_start:\n    " + src + "\n    bkpt\n")
+    ins = prog.instructions[prog.entry]
+    if op:
+        assert ins.op == op
+    return ins
+
+
+class TestEncoding:
+    def test_movs_imm(self):
+        ins = one("movs r0, #42", "movs_imm")
+        assert ins.args == (0, 42)
+
+    def test_movs_reg(self):
+        assert one("movs r1, r2", "movs_reg").args == (1, 2)
+
+    def test_adds_three_forms(self):
+        assert one("adds r0, r1, r2", "adds_reg").args == (0, 1, 2)
+        assert one("adds r0, r1, #3", "adds_imm3").args == (0, 1, 3)
+        assert one("adds r0, #200", "adds_imm8").args == (0, 200)
+
+    def test_two_operand_adds_expands(self):
+        assert one("adds r0, r1", "adds_reg").args == (0, 0, 1)
+
+    def test_sp_relative(self):
+        assert one("add sp, #16", "add_sp_imm").args == (16,)
+        assert one("sub sp, #8", "sub_sp_imm").args == (8,)
+        assert one("add r2, sp, #4", "add_rd_sp").args == (2, 4)
+
+    def test_cmp_and_tst(self):
+        assert one("cmp r3, #9", "cmp_imm").args == (3, 9)
+        assert one("cmp r3, r4", "cmp_reg").args == (3, 4)
+        assert one("tst r1, r2", "tst_reg").args == (1, 2)
+
+    def test_shifts(self):
+        assert one("lsls r0, r1, #3", "lsl_imm").args == (0, 1, 3)
+        assert one("lsrs r0, r1", "lsr_reg").args == (0, 1)
+        assert one("asrs r2, r3, #31", "asr_imm").args == (2, 3, 31)
+
+    def test_alu_two_ops(self):
+        assert one("eors r0, r1", "eors").args == (0, 1)
+        assert one("muls r0, r1", "muls").args == (0, 1)
+        assert one("uxtb r2, r3", "uxtb").args == (2, 3)
+
+    def test_load_store_forms(self):
+        assert one("ldr r0, [r1]", "ldr_imm").args == (0, 1, 0)
+        assert one("ldr r0, [r1, #8]", "ldr_imm").args == (0, 1, 8)
+        assert one("str r0, [r1, r2]", "str_reg").args == (0, 1, 2)
+        assert one("ldrb r0, [r1, #1]", "ldrb_imm").args == (0, 1, 1)
+        assert one("strh r5, [r6, #2]", "strh_imm").args == (5, 6, 2)
+
+    def test_push_pop_register_lists(self):
+        assert one("push {r0, r4, lr}", "push").args == (0, 4, 14)
+        assert one("pop {r4, pc}", "pop").args == (4, 15)
+
+    def test_sp_lr_pc_aliases(self):
+        assert one("mov r0, sp", "mov_reg").args == (0, 13)
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("_start:\n    frobnicate r0\n")
+
+    def test_bad_register_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("_start:\n    movs r99, #1\n")
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("_start:\n    b nowhere\n")
+
+
+class TestLayout:
+    def test_instruction_addresses_are_halfword(self):
+        prog = assemble("_start:\n    nop\n    nop\n    bkpt\n")
+        assert sorted(prog.instructions) == [0, 2, 4]
+
+    def test_bl_is_four_bytes(self):
+        prog = assemble(
+            "_start:\n    bl f\n    bkpt\nf:\n    bx lr\n"
+        )
+        assert sorted(prog.instructions) == [0, 4, 6]
+        assert prog.symbols["f"] == 6
+
+    def test_literal_pool_after_code(self):
+        prog = assemble("_start:\n    ldr r0, =0x12345678\n    bkpt\n")
+        ins = prog.instructions[0]
+        assert ins.op == "ldr_lit"
+        pool_addr = ins.args[1]
+        assert pool_addr >= 4
+        word = sum(
+            prog.data_image.get(pool_addr + i, 0) << (8 * i) for i in range(4)
+        )
+        assert word == 0x12345678
+        assert prog.text_end > pool_addr
+
+    def test_duplicate_literals_shared(self):
+        prog = assemble(
+            "_start:\n    ldr r0, =99\n    ldr r1, =99\n    bkpt\n"
+        )
+        a = prog.instructions[0].args[1]
+        b = prog.instructions[2].args[1]
+        assert a == b
+
+    def test_data_section_and_labels(self):
+        prog = assemble(
+            """
+            .data
+x:  .word 7
+y:  .byte 1, 2
+            .align 4
+z:  .word 0xAABBCCDD
+            .text
+_start:
+    bkpt
+"""
+        )
+        assert prog.symbols["x"] == 0x2000_0000
+        image = prog.initial_word_image()
+        assert image[prog.symbols["x"] >> 2] == 7
+        assert image[prog.symbols["z"] >> 2] == 0xAABBCCDD
+
+    def test_asciz(self):
+        prog = assemble('.data\ns: .asciz "hi"\n.text\n_start:\n    bkpt\n')
+        base = prog.symbols["s"]
+        assert prog.data_image[base] == ord("h")
+        assert prog.data_image[base + 2] == 0
+
+    def test_equ_constants(self):
+        prog = assemble(
+            ".equ N, 12\n_start:\n    movs r0, #N\n    bkpt\n"
+        )
+        assert prog.instructions[0].args == (0, 12)
+
+    def test_comments_ignored(self):
+        prog = assemble(
+            "_start:   ; entry\n    nop   @ do nothing\n    bkpt // stop\n"
+        )
+        assert len(prog.instructions) == 2
+        assert prog.instructions[0].op == "nop"
+
+    def test_entry_defaults_to_text_base(self):
+        prog = assemble("begin:\n    bkpt\n")
+        assert prog.entry == 0

@@ -1,0 +1,360 @@
+"""Unit tests for the Thumb-subset CPU: semantics and timing."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, CpuError, DirectMemoryPort
+from repro.mem.main_memory import MainMemory
+
+
+def run_asm(src, max_instructions=100_000, image=None):
+    prog = assemble("_start:\n" + src)
+    mem = MainMemory(prog.initial_word_image())
+    if image:
+        for w, v in image.items():
+            mem.write_word(w, v)
+    cpu = Cpu(prog, DirectMemoryPort(mem))
+    cpu.run(max_instructions)
+    return cpu, mem, prog
+
+
+class TestArithmetic:
+    def test_movs_sets_nz(self):
+        cpu, _, _ = run_asm("    movs r0, #0\n    bkpt\n")
+        assert cpu.z and not cpu.n
+
+    def test_adds_carry_and_overflow(self):
+        cpu, _, _ = run_asm(
+            """
+    ldr r0, =0xFFFFFFFF
+    movs r1, #1
+    adds r0, r0, r1
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 0
+        assert cpu.c and cpu.z and not cpu.v
+
+    def test_signed_overflow_sets_v(self):
+        cpu, _, _ = run_asm(
+            """
+    ldr r0, =0x7FFFFFFF
+    movs r1, #1
+    adds r0, r0, r1
+    bkpt
+"""
+        )
+        assert cpu.v and cpu.n and not cpu.c
+
+    def test_subs_carry_is_not_borrow(self):
+        cpu, _, _ = run_asm("    movs r0, #5\n    subs r0, #3\n    bkpt\n")
+        assert cpu.regs[0] == 2 and cpu.c
+        cpu, _, _ = run_asm("    movs r0, #3\n    subs r0, #5\n    bkpt\n")
+        assert cpu.regs[0] == 0xFFFFFFFE and not cpu.c
+
+    def test_adcs_chain(self):
+        # 64-bit add: 0xFFFFFFFF + 1 with carry into the high word.
+        cpu, _, _ = run_asm(
+            """
+    ldr r0, =0xFFFFFFFF
+    movs r1, #0
+    movs r2, #1
+    movs r3, #0
+    adds r0, r0, r2
+    adcs r1, r3
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 0 and cpu.regs[1] == 1
+
+    def test_sbcs(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #0
+    movs r1, #1
+    subs r0, r0, r1      ; borrow: C clear
+    movs r2, #5
+    movs r3, #0
+    sbcs r2, r3          ; 5 - 0 - 1 = 4
+    bkpt
+"""
+        )
+        assert cpu.regs[2] == 4
+
+    def test_rsbs(self):
+        cpu, _, _ = run_asm("    movs r1, #7\n    rsbs r0, r1\n    bkpt\n")
+        assert cpu.regs[0] == 0xFFFFFFF9
+
+    def test_muls(self):
+        cpu, _, _ = run_asm(
+            "    movs r0, #7\n    movs r1, #6\n    muls r0, r1\n    bkpt\n"
+        )
+        assert cpu.regs[0] == 42
+
+    def test_logic_ops(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #0xF0
+    movs r1, #0x3C
+    ands r0, r1
+    movs r2, #0xF0
+    orrs r2, r1
+    movs r3, #0xF0
+    eors r3, r1
+    movs r4, #0xF0
+    bics r4, r1
+    mvns r5, r1
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 0x30
+        assert cpu.regs[2] == 0xFC
+        assert cpu.regs[3] == 0xCC
+        assert cpu.regs[4] == 0xC0
+        assert cpu.regs[5] == 0xFFFFFFC3
+
+    def test_shifts(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #1
+    lsls r0, r0, #31
+    movs r1, #0x80
+    lsrs r1, r1, #4
+    ldr r2, =0x80000000
+    asrs r2, r2, #4
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 0x8000_0000
+        assert cpu.regs[1] == 0x8
+        assert cpu.regs[2] == 0xF800_0000
+
+    def test_shift_by_register(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #1
+    movs r1, #8
+    lsls r0, r1
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 0x100
+
+    def test_extends(self):
+        cpu, _, _ = run_asm(
+            """
+    ldr r0, =0x1234FF80
+    uxtb r1, r0
+    sxtb r2, r0
+    uxth r3, r0
+    sxth r4, r0
+    rev r5, r0
+    bkpt
+"""
+        )
+        assert cpu.regs[1] == 0x80
+        assert cpu.regs[2] == 0xFFFFFF80
+        assert cpu.regs[3] == 0xFF80
+        assert cpu.regs[4] == 0xFFFFFF80
+        assert cpu.regs[5] == 0x80FF3412
+
+
+class TestMemoryOps:
+    def test_word_load_store(self):
+        cpu, mem, prog = run_asm(
+            """
+    ldr r0, =0x20000000
+    ldr r1, =0xCAFEBABE
+    str r1, [r0]
+    ldr r2, [r0]
+    bkpt
+"""
+        )
+        assert cpu.regs[2] == 0xCAFEBABE
+        assert mem.read_word(0x2000_0000 >> 2) == 0xCAFEBABE
+
+    def test_byte_and_half(self):
+        cpu, mem, _ = run_asm(
+            """
+    ldr r0, =0x20000000
+    movs r1, #0xAB
+    strb r1, [r0, #1]
+    ldrb r2, [r0, #1]
+    ldr r3, =0xBEEF
+    strh r3, [r0, #2]
+    ldrh r4, [r0, #2]
+    bkpt
+"""
+        )
+        assert cpu.regs[2] == 0xAB
+        assert cpu.regs[4] == 0xBEEF
+        assert mem.read_word(0x2000_0000 >> 2) == 0xBEEF_AB00
+
+    def test_register_offset(self):
+        cpu, _, _ = run_asm(
+            """
+    ldr r0, =0x20000000
+    movs r1, #8
+    movs r2, #77
+    str r2, [r0, r1]
+    ldr r3, [r0, r1]
+    bkpt
+"""
+        )
+        assert cpu.regs[3] == 77
+
+    def test_push_pop_roundtrip(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #1
+    movs r1, #2
+    push {r0, r1}
+    movs r0, #9
+    movs r1, #9
+    pop {r0, r1}
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 1 and cpu.regs[1] == 2
+
+    def test_stack_pointer_moves(self):
+        prog = assemble("_start:\n    push {r0}\n    bkpt\n")
+        mem = MainMemory()
+        cpu = Cpu(prog, DirectMemoryPort(mem))
+        sp0 = cpu.regs[13]
+        cpu.run()
+        assert cpu.regs[13] == sp0 - 4
+
+
+class TestControlFlow:
+    def test_conditional_branches(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #0
+    movs r1, #5
+again:
+    adds r0, #1
+    cmp r0, r1
+    bne again
+    bkpt
+"""
+        )
+        assert cpu.regs[0] == 5
+
+    def test_signed_conditions(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #0
+    subs r0, #1          ; r0 = -1
+    movs r2, #0
+    cmp r0, #1
+    blt less
+    movs r2, #99
+less:
+    bkpt
+"""
+        )
+        assert cpu.regs[2] == 0  # -1 < 1 under signed compare
+
+    def test_unsigned_conditions(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #0
+    subs r0, #1          ; 0xFFFFFFFF
+    movs r2, #0
+    cmp r0, #1
+    bhi higher
+    movs r2, #99
+higher:
+    bkpt
+"""
+        )
+        assert cpu.regs[2] == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_bl_bx_call_return(self):
+        cpu, _, _ = run_asm(
+            """
+    movs r0, #5
+    bl double
+    bkpt
+double:
+    adds r0, r0, r0
+    bx lr
+"""
+        )
+        assert cpu.regs[0] == 10
+
+    def test_pop_pc_returns(self):
+        cpu, _, _ = run_asm(
+            """
+    bl fn
+    bkpt
+fn:
+    push {lr}
+    movs r0, #3
+    pop {pc}
+"""
+        )
+        assert cpu.regs[0] == 3
+
+    def test_halt_state(self):
+        cpu, _, _ = run_asm("    bkpt\n")
+        assert cpu.halted
+        with pytest.raises(CpuError):
+            cpu.step()
+
+    def test_bad_pc_raises(self):
+        prog = assemble("_start:\n    nop\n")
+        cpu = Cpu(prog, DirectMemoryPort(MainMemory()))
+        cpu.step()
+        with pytest.raises(CpuError):
+            cpu.step()  # fell off the end
+
+    def test_instruction_budget(self):
+        prog = assemble("_start:\nspin:\n    b spin\n")
+        cpu = Cpu(prog, DirectMemoryPort(MainMemory()))
+        with pytest.raises(CpuError):
+            cpu.run(max_instructions=100)
+
+
+class TestTiming:
+    def cycles_of(self, src):
+        cpu, _, _ = run_asm(src)
+        return cpu.cycle_count
+
+    def test_m0_plus_costs(self):
+        # nop(1) + bkpt(1)
+        assert self.cycles_of("    nop\n    bkpt\n") == 2
+        # ldr_lit(2) + str(2) + bkpt(1)
+        assert self.cycles_of(
+            "    ldr r0, =0x20000000\n    str r0, [r0]\n    bkpt\n"
+        ) == 5
+        # taken branch = 2
+        assert self.cycles_of("    b next\nnext:\n    bkpt\n") == 3
+        # bl = 3, bx = 2
+        assert self.cycles_of("    bl f\n    bkpt\nf:\n    bx lr\n") == 6
+
+    def test_mul_is_32_cycles(self):
+        assert self.cycles_of(
+            "    movs r0, #2\n    movs r1, #3\n    muls r0, r1\n    bkpt\n"
+        ) == 1 + 1 + 32 + 1
+
+    def test_push_cost_scales(self):
+        two = self.cycles_of("    push {r0, r1}\n    bkpt\n")
+        three = self.cycles_of("    push {r0, r1, r2}\n    bkpt\n")
+        assert three == two + 1
+
+
+class TestCheckpointWords:
+    def test_roundtrip(self):
+        prog = assemble("_start:\n    movs r0, #7\n    bkpt\n")
+        cpu = Cpu(prog, DirectMemoryPort(MainMemory()))
+        cpu.step()
+        words = cpu.checkpoint_words()
+        assert len(words) == 17
+        other = Cpu(prog, DirectMemoryPort(MainMemory()))
+        other.load_checkpoint_words(words)
+        assert other.regs == cpu.regs
+        assert (other.n, other.z, other.c, other.v) == (
+            cpu.n, cpu.z, cpu.c, cpu.v,
+        )

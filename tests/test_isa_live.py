@@ -1,0 +1,152 @@
+"""Full-system tests: the live Clank attachment on the Thumb ISS.
+
+Every demo program runs across real power failures with real register
+checkpointing and must end in exactly the continuous run's state — the
+end-to-end recovery demonstration the FPGA prototype provides in the paper.
+"""
+
+import pytest
+
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.isa.assembler import assemble
+from repro.isa.live import (
+    LiveClankSystem,
+    run_continuous,
+    verify_against_continuous,
+)
+from repro.isa.programs import (
+    DEMO_PROGRAMS,
+    expected_bubble_sort,
+    expected_crc16,
+    expected_fib_memo,
+    expected_strlen,
+    expected_sum_array,
+)
+from repro.power.schedules import ContinuousPower, ExponentialPower, FixedPower
+
+
+class TestContinuousOracle:
+    def test_sum_array(self):
+        prog = assemble(DEMO_PROGRAMS["sum_array"])
+        mem, outs, _ = run_continuous(prog)
+        assert mem.read_word(prog.symbols["total"] >> 2) == expected_sum_array()
+        assert outs == [(0x4000_0000, expected_sum_array())]
+
+    def test_bubble_sort(self):
+        prog = assemble(DEMO_PROGRAMS["bubble_sort"])
+        mem, _, _ = run_continuous(prog)
+        base = prog.symbols["values"] >> 2
+        assert [mem.read_word(base + i) for i in range(10)] == expected_bubble_sort()
+
+    def test_crc16(self):
+        prog = assemble(DEMO_PROGRAMS["crc16"])
+        mem, _, _ = run_continuous(prog)
+        assert mem.read_word(prog.symbols["result"] >> 2) == expected_crc16()
+
+    def test_fib_memo(self):
+        prog = assemble(DEMO_PROGRAMS["fib_memo"])
+        mem, _, _ = run_continuous(prog)
+        assert mem.read_word(prog.symbols["result"] >> 2) == expected_fib_memo()
+
+    def test_strlen(self):
+        prog = assemble(DEMO_PROGRAMS["strlen_call"])
+        mem, _, _ = run_continuous(prog)
+        assert mem.read_word(prog.symbols["len1"] >> 2) == expected_strlen()
+
+
+class TestLiveIntermittent:
+    @pytest.mark.parametrize("name", sorted(DEMO_PROGRAMS))
+    @pytest.mark.parametrize("spec", [(1, 0, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)],
+                             ids=lambda s: "-".join(map(str, s)))
+    def test_program_survives_power_cycling(self, name, spec):
+        prog = assemble(DEMO_PROGRAMS[name])
+        system = LiveClankSystem(
+            prog,
+            ClankConfig.from_tuple(spec),
+            ExponentialPower(1200, seed=17),
+            progress_watchdog=400,
+        )
+        result = system.run()
+        verify_against_continuous(prog, result)
+        assert result.power_cycles >= 1
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_many_power_seeds(self, seed):
+        prog = assemble(DEMO_PROGRAMS["crc16"])
+        system = LiveClankSystem(
+            prog,
+            ClankConfig.from_tuple((4, 2, 1, 0)),
+            ExponentialPower(900, seed=seed),
+            progress_watchdog=300,
+        )
+        result = system.run()
+        verify_against_continuous(prog, result)
+        assert result.power_cycles > 1  # the run really was intermittent
+
+    def test_continuous_power_needs_no_recovery(self):
+        prog = assemble(DEMO_PROGRAMS["sum_array"])
+        system = LiveClankSystem(
+            prog, ClankConfig.from_tuple((16, 8, 4, 4)), ContinuousPower()
+        )
+        result = system.run()
+        verify_against_continuous(prog, result)
+        assert result.power_cycles == 1
+
+    def test_outputs_commit_with_checkpoints(self):
+        prog = assemble(DEMO_PROGRAMS["sum_array"])
+        system = LiveClankSystem(
+            prog, ClankConfig.from_tuple((8, 4, 2, 0)), ContinuousPower()
+        )
+        result = system.run()
+        assert result.checkpoints.get("output") == 2
+        assert result.outputs == [(0x4000_0000, expected_sum_array())]
+
+    def test_rmw_program_checkpoints_on_violations(self):
+        prog = assemble(DEMO_PROGRAMS["bubble_sort"])
+        system = LiveClankSystem(
+            prog,
+            ClankConfig.from_tuple((8, 4, 2, 0), PolicyOptimizations.all()),
+            ContinuousPower(),
+        )
+        result = system.run()
+        assert result.checkpoints.get("wbb_full", 0) > 0
+
+    def test_performance_watchdog_in_live_system(self):
+        prog = assemble(DEMO_PROGRAMS["crc16"])
+        system = LiveClankSystem(
+            prog,
+            ClankConfig.infinite(),
+            ContinuousPower(),
+            perf_watchdog=300,
+        )
+        result = system.run()
+        verify_against_continuous(prog, result)
+        assert result.checkpoints.get("perf_wdt", 0) > 0
+
+    def test_progress_watchdog_rescues_fixed_short_power(self):
+        # crc16 cannot finish in 700 cycles; the Progress Watchdog must
+        # break it into completable sections.
+        prog = assemble(DEMO_PROGRAMS["crc16"])
+        system = LiveClankSystem(
+            prog,
+            ClankConfig.from_tuple((16, 8, 4, 4)),
+            FixedPower(700),
+            progress_watchdog=400,
+        )
+        result = system.run()
+        verify_against_continuous(prog, result)
+        assert result.checkpoints.get("progress_wdt", 0) > 0
+
+    def test_instructions_reexecuted_under_power_loss(self):
+        prog = assemble(DEMO_PROGRAMS["fib_memo"])
+        continuous = LiveClankSystem(
+            prog, ClankConfig.from_tuple((16, 8, 4, 4)), ContinuousPower()
+        ).run()
+        intermittent = LiveClankSystem(
+            prog,
+            ClankConfig.from_tuple((16, 8, 4, 4)),
+            FixedPower(300),
+            progress_watchdog=150,
+        ).run()
+        verify_against_continuous(prog, intermittent)
+        assert intermittent.instructions > continuous.instructions

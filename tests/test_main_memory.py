@@ -1,0 +1,77 @@
+"""Unit tests for the sparse word memory."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.mem.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_uninitialized_reads_zero(self):
+        mem = MainMemory()
+        assert mem.read_word(0x100) == 0
+        assert mem.read(0x400, 4) == 0
+
+    def test_word_roundtrip(self):
+        mem = MainMemory()
+        mem.write_word(5, 0xDEADBEEF)
+        assert mem.read_word(5) == 0xDEADBEEF
+
+    def test_write_word_wraps_to_32_bits(self):
+        mem = MainMemory()
+        mem.write_word(1, 1 << 36)
+        assert mem.read_word(1) == 0
+
+    def test_subword_little_endian(self):
+        mem = MainMemory()
+        mem.write(0x100, 0xAABBCCDD, 4)
+        assert mem.read(0x100, 1) == 0xDD
+        assert mem.read(0x103, 1) == 0xAA
+        assert mem.read(0x102, 2) == 0xAABB
+
+    def test_byte_write_preserves_rest_of_word(self):
+        mem = MainMemory()
+        mem.write(0x100, 0x11223344, 4)
+        mem.write(0x101, 0xFF, 1)
+        assert mem.read(0x100, 4) == 0x1122FF44
+
+    def test_halfword_write(self):
+        mem = MainMemory()
+        mem.write(0x102, 0xBEEF, 2)
+        assert mem.read(0x100, 4) == 0xBEEF0000
+
+    @pytest.mark.parametrize("addr,size", [(1, 4), (2, 4), (1, 2), (3, 2)])
+    def test_misaligned_raises(self, addr, size):
+        with pytest.raises(MemoryError_):
+            MainMemory().read(addr, size)
+        with pytest.raises(MemoryError_):
+            MainMemory().write(addr, 0, size)
+
+    def test_bad_size_raises(self):
+        with pytest.raises(MemoryError_):
+            MainMemory().read(0, 3)
+
+    def test_snapshot_is_a_copy(self):
+        mem = MainMemory()
+        mem.write_word(1, 42)
+        snap = mem.snapshot()
+        mem.write_word(1, 43)
+        assert snap[1] == 42
+
+    def test_load_image_replaces(self):
+        mem = MainMemory()
+        mem.write_word(1, 42)
+        mem.load_image({2: 7})
+        assert mem.read_word(1) == 0
+        assert mem.read_word(2) == 7
+
+    def test_equality_ignores_explicit_zeros(self):
+        a = MainMemory({1: 5, 2: 0})
+        b = MainMemory({1: 5})
+        assert a == b
+
+    def test_len_counts_touched_words(self):
+        mem = MainMemory()
+        mem.write_word(1, 1)
+        mem.write_word(2, 2)
+        assert len(mem) == 2

@@ -1,0 +1,70 @@
+"""Unit tests for the memory map."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.map import MemoryMap, Segment, default_memory_map
+
+
+class TestSegment:
+    def test_basic_properties(self):
+        seg = Segment("data", 0x1000, 0x100)
+        assert seg.end == 0x1100
+        assert seg.contains(0x1000)
+        assert seg.contains(0x10FF)
+        assert not seg.contains(0x1100)
+
+    def test_word_range(self):
+        seg = Segment("data", 0x1000, 0x100)
+        assert seg.word_range == (0x400, 0x440)
+
+    def test_rejects_misaligned_base(self):
+        with pytest.raises(ConfigError):
+            Segment("x", 0x1002, 0x100)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            Segment("x", 0x1000, 0)
+        with pytest.raises(ConfigError):
+            Segment("x", 0x1000, 10)
+
+
+class TestMemoryMap:
+    def test_default_map_has_all_segments(self, mmap):
+        for name in ("text", "data", "heap", "stack", "mmio"):
+            assert mmap.segment(name).name == name
+
+    def test_requires_text_and_mmio(self):
+        with pytest.raises(ConfigError):
+            MemoryMap({"data": Segment("data", 0, 0x100)})
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ConfigError):
+            MemoryMap(
+                {
+                    "text": Segment("text", 0, 0x1000),
+                    "mmio": Segment("mmio", 0x800, 0x1000),
+                }
+            )
+
+    def test_segment_of(self, mmap):
+        assert mmap.segment_of(0x0).name == "text"
+        assert mmap.segment_of(0x2000_0000).name == "data"
+        assert mmap.segment_of(0x9000_0000) is None
+
+    def test_unknown_segment_raises(self, mmap):
+        with pytest.raises(ConfigError):
+            mmap.segment("bss")
+
+    def test_outputs_are_mmio_or_unmapped(self, mmap):
+        # Output-commit rule (Section 3.3): anything outside physical
+        # memory, including MMIO, is an output.
+        assert mmap.is_output(0x4000_0000)
+        assert mmap.is_output(0xFFFF_0000)
+        assert not mmap.is_output(0x2000_0000)
+        assert not mmap.is_output(0x100)
+
+    def test_text_word_range(self, mmap):
+        lo, hi = mmap.text_word_range
+        assert lo == 0
+        assert hi == (128 * 1024) >> 2

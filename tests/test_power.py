@@ -1,0 +1,108 @@
+"""Unit tests for power schedules."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.power.schedules import (
+    ContinuousPower,
+    ExponentialPower,
+    FixedPower,
+    ReplayPower,
+    RuntPower,
+    UniformPower,
+    default_power_schedule,
+)
+
+
+class TestFixedPower:
+    def test_constant(self):
+        sched = FixedPower(100)
+        assert [sched.next_on_time() for _ in range(3)] == [100, 100, 100]
+        assert sched.mean_on_time == 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            FixedPower(0)
+
+
+class TestContinuousPower:
+    def test_effectively_infinite(self):
+        sched = ContinuousPower()
+        assert sched.next_on_time() > 10**15
+
+
+class TestExponentialPower:
+    def test_deterministic_per_seed(self):
+        a = ExponentialPower(1000, seed=7)
+        b = ExponentialPower(1000, seed=7)
+        assert [a.next_on_time() for _ in range(20)] == [
+            b.next_on_time() for _ in range(20)
+        ]
+
+    def test_reset_rewinds(self):
+        sched = ExponentialPower(1000, seed=3)
+        first = [sched.next_on_time() for _ in range(10)]
+        sched.reset()
+        assert [sched.next_on_time() for _ in range(10)] == first
+
+    def test_mean_approximately_right(self):
+        sched = ExponentialPower(5000, seed=1)
+        samples = [sched.next_on_time() for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(5000, rel=0.1)
+
+    def test_minimum_enforced(self):
+        sched = ExponentialPower(2, seed=0, min_cycles=1)
+        assert all(sched.next_on_time() >= 1 for _ in range(200))
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigError):
+            ExponentialPower(0)
+
+
+class TestUniformPower:
+    def test_bounds(self):
+        sched = UniformPower(10, 20, seed=2)
+        samples = [sched.next_on_time() for _ in range(200)]
+        assert all(10 <= s <= 20 for s in samples)
+        assert sched.mean_on_time == 15.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigError):
+            UniformPower(20, 10)
+
+
+class TestReplayPower:
+    def test_replays_then_repeats_last(self):
+        sched = ReplayPower([5, 6, 7])
+        assert [sched.next_on_time() for _ in range(5)] == [5, 6, 7, 7, 7]
+        sched.reset()
+        assert sched.next_on_time() == 5
+        assert sched.mean_on_time == 6.0
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ReplayPower([])
+        with pytest.raises(ConfigError):
+            ReplayPower([1, 0])
+
+
+class TestRuntPower:
+    def test_mixture_mean(self):
+        sched = RuntPower(10000, 100, runt_fraction=0.5, seed=1)
+        assert sched.mean_on_time == pytest.approx(5050.0)
+
+    def test_produces_runts(self):
+        sched = RuntPower(10000, 50, runt_fraction=0.9, seed=1)
+        samples = [sched.next_on_time() for _ in range(300)]
+        assert sum(1 for s in samples if s < 200) > 150
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            RuntPower(100, 10, runt_fraction=1.5)
+
+
+class TestDefault:
+    def test_default_is_100ms_exponential(self):
+        sched = default_power_schedule(seed=0)
+        assert isinstance(sched, ExponentialPower)
+        assert sched.mean_on_time == 100_000  # 100 ms at the scaled 1 MHz

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property mirrors the paper's formal claim: for *any* program
+(access sequence) under *any* power schedule and *any* buffer
+configuration, intermittent execution under Clank is indistinguishable from
+one continuous execution — enforced here by the simulator's dynamic
+verifier, which raises on any divergence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.core.detector import (
+    CHECKPOINT,
+    CHECKPOINT_THEN_WRITE,
+    PROCEED,
+    PROCEED_WBB,
+    IdempotencyDetector,
+)
+from repro.power.schedules import ExponentialPower, ReplayPower
+from repro.sim.simulator import simulate
+from repro.trace.access import READ, WRITE
+from repro.verify.bounded import check_against_monitor
+from repro.verify.monitor import ReferenceMonitor
+
+from tests.conftest import make_trace
+
+# ---- strategies -------------------------------------------------------- #
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from([READ, WRITE]),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=120,
+).map(lambda raw: [(k, off) if k == READ else (k, off, v) for k, off, v in raw])
+
+configs = st.tuples(
+    st.integers(1, 4), st.integers(0, 3), st.integers(0, 3), st.integers(0, 2)
+)
+
+opt_settings = st.sampled_from(PolicyOptimizations.all_settings())
+
+
+# ---- the headline property -------------------------------------------- #
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=ops, spec=configs, opts=opt_settings, seed=st.integers(0, 1000))
+def test_intermittent_execution_matches_oracle(program, spec, opts, seed):
+    """Any program, any config, any optimization setting, any power stream:
+    every replayed read sees the oracle's value and the final memory equals
+    the oracle's (simulate() raises VerificationError otherwise)."""
+    trace = make_trace(program)
+    config = ClankConfig.from_tuple(spec, opts)
+    result = simulate(
+        trace,
+        config,
+        ExponentialPower(max(60, trace.total_cycles // 3), seed=seed),
+        progress_watchdog=200,
+        verify=True,
+    )
+    assert result.verified
+    assert result.useful_cycles == trace.total_cycles
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    program=ops,
+    on_times=st.lists(st.integers(90, 2000), min_size=1, max_size=30),
+)
+def test_adversarial_power_placement(program, on_times):
+    """Replay-driven power schedules let hypothesis place failures at
+    pathological points (right after outputs, mid-section, etc.)."""
+    trace = make_trace(program)
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((2, 1, 1, 1)),
+        ReplayPower(on_times + [10_000_000]),
+        progress_watchdog=150,
+        verify=True,
+    )
+    assert result.verified
+
+
+# ---- detector-level properties ----------------------------------------- #
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=ops, spec=configs, opts=opt_settings)
+def test_detector_never_commits_true_violation(program, spec, opts):
+    """The layering property against the infinite-resource monitor."""
+    seq = [
+        (k, 0x100 + op[1], op[2] if k == WRITE else 0)
+        for op in program
+        for k in [op[0]]
+    ]
+    check_against_monitor(seq, ClankConfig.from_tuple(spec, opts))
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=ops, spec=configs, opts=opt_settings)
+def test_detector_buffer_disjointness(program, spec, opts):
+    """No address is simultaneously read- and write-dominated, and buffer
+    occupancy never exceeds capacity."""
+    config = ClankConfig.from_tuple(spec, opts)
+    det = IdempotencyDetector(config)
+    nv = {}
+    for op in program:
+        kind, off = op[0], op[1]
+        w = 0x100 + off
+        if kind == READ:
+            action, _ = det.on_read(w)
+        else:
+            cur = det.wbb_value(w)
+            if cur is None:
+                cur = nv.get(w, 0)
+            action, _ = det.on_write(w, op[2], cur)
+            if action in (CHECKPOINT, CHECKPOINT_THEN_WRITE):
+                nv.update(det.reset_section())
+                continue
+            if action == PROCEED:
+                nv[w] = op[2]
+        if action == CHECKPOINT:
+            nv.update(det.reset_section())
+            continue
+        rf = set(det.rf)
+        wf = set(det.wf)
+        assert rf.isdisjoint(wf)
+        occ = det.occupancy()
+        assert occ["rf"] <= config.rf_entries
+        assert occ["wf"] <= config.wf_entries
+        assert occ["wbb"] <= config.wbb_entries
+        if config.apb_entries:
+            assert occ["apb"] <= config.apb_entries
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seq=st.lists(
+        st.tuples(st.sampled_from([READ, WRITE]), st.integers(0, 5)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_monitor_partition_invariant(seq):
+    """Reference-monitor P1/P14 under arbitrary drives."""
+    m = ReferenceMonitor()
+    for kind, addr in seq:
+        m.access(kind, addr)
+        m.check_partition()
+        assert m.accessed() == m.read_dominated | m.write_dominated
+
+
+# ---- accounting properties --------------------------------------------- #
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=ops, seed=st.integers(0, 50))
+def test_cycle_accounting_identity(program, seed):
+    """total == useful + checkpoint + restart + reexec + wasted, always."""
+    trace = make_trace(program)
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((2, 2, 1, 0)),
+        ExponentialPower(500, seed=seed),
+        progress_watchdog=150,
+        verify=True,
+    )
+    assert result.total_cycles == (
+        result.useful_cycles
+        + result.checkpoint_cycles
+        + result.restart_cycles
+        + result.reexec_cycles
+        + result.wasted_cycles
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_power_schedule_determinism(seed):
+    a = ExponentialPower(1000, seed=seed)
+    b = ExponentialPower(1000, seed=seed)
+    assert [a.next_on_time() for _ in range(5)] == [
+        b.next_on_time() for _ in range(5)
+    ]

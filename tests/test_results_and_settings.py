@@ -1,0 +1,95 @@
+"""Unit tests for SimulationResult accounting and experiment settings."""
+
+import pytest
+
+from repro.eval.runner import average, benchmark_traces, pi_words_for
+from repro.eval.settings import EvalSettings
+from repro.sim.result import SimulationResult
+from repro.workloads.cache import get_trace
+
+
+class TestSimulationResult:
+    def make(self, **kw):
+        base = dict(
+            name="w",
+            config_label="1,0,0,0",
+            baseline_cycles=1000,
+            useful_cycles=1000,
+            checkpoint_cycles=100,
+            restart_cycles=50,
+            reexec_cycles=200,
+            wasted_cycles=25,
+            checkpoints_by_cause={"violation": 3, "final": 1},
+            power_cycles=4,
+        )
+        base.update(kw)
+        return SimulationResult(**base)
+
+    def test_total_cycles_is_sum_of_buckets(self):
+        res = self.make()
+        assert res.total_cycles == 1000 + 100 + 50 + 200 + 25
+
+    def test_overhead_fractions(self):
+        res = self.make()
+        assert res.checkpoint_overhead == pytest.approx(0.1)
+        assert res.reexec_overhead == pytest.approx(0.225)
+        assert res.restart_overhead == pytest.approx(0.05)
+        assert res.run_time_overhead == pytest.approx(0.375)
+
+    def test_total_overhead_includes_hardware(self):
+        res = self.make()
+        assert res.total_overhead(0.02) == pytest.approx(1.395)
+
+    def test_num_checkpoints(self):
+        assert self.make().num_checkpoints == 4
+
+    def test_avg_section_cycles(self):
+        res = self.make()
+        assert res.avg_section_cycles == pytest.approx(res.total_cycles / 4)
+
+    def test_summary_is_one_line(self):
+        assert "\n" not in self.make().summary()
+
+
+class TestEvalSettings:
+    def test_default_is_100ms(self):
+        s = EvalSettings()
+        assert s.avg_on_cycles == 100_000
+
+    def test_schedule_salting_changes_stream(self):
+        s = EvalSettings(seed=2)
+        a = s.schedule(0)
+        b = s.schedule(1)
+        assert [a.next_on_time() for _ in range(5)] != [
+            b.next_on_time() for _ in range(5)
+        ]
+
+    def test_schedule_reproducible(self):
+        s = EvalSettings(seed=2)
+        a = s.schedule(3)
+        b = s.schedule(3)
+        assert [a.next_on_time() for _ in range(5)] == [
+            b.next_on_time() for _ in range(5)
+        ]
+
+    def test_quick_shrinks_sizes(self):
+        q = EvalSettings().quick()
+        assert q.size == "small"
+        assert q.sweep_size == "tiny"
+
+
+class TestRunnerHelpers:
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+        assert average([]) == 0.0
+
+    def test_benchmark_traces_returns_23(self):
+        s = EvalSettings(size="tiny")
+        traces = benchmark_traces(s)
+        assert len(traces) == 23
+        names = [n for n, _ in traces]
+        assert names[0] == "adpcm_decode"
+
+    def test_pi_cache_stable(self):
+        trace = get_trace("crc", size="tiny")
+        assert pi_words_for(trace) is pi_words_for(trace)

@@ -1,0 +1,111 @@
+"""Unit tests for the reference monitor and its fifteen properties."""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.trace.access import READ, WRITE
+from repro.verify.monitor import MONITOR_PROPERTIES, ReferenceMonitor
+
+
+class TestBasicBehaviour:
+    def test_read_then_write_violates(self):
+        m = ReferenceMonitor()
+        assert not m.access(READ, 1)
+        assert m.access(WRITE, 1)  # P5
+
+    def test_write_then_write_never_violates(self):
+        m = ReferenceMonitor()
+        assert not m.access(WRITE, 1)
+        assert not m.access(WRITE, 1)  # P6
+
+    def test_write_then_read_then_write_never_violates(self):
+        m = ReferenceMonitor()
+        m.access(WRITE, 1)
+        assert not m.access(READ, 1)  # P7
+        assert not m.access(WRITE, 1)
+
+    def test_reads_never_violate(self):
+        m = ReferenceMonitor()
+        for _ in range(5):
+            assert not m.access(READ, 3)  # P4
+
+    def test_reset_clears(self):
+        m = ReferenceMonitor()
+        m.access(READ, 1)
+        m.reset()
+        assert not m.access(WRITE, 1)  # P9: fresh section
+
+    def test_power_fail_clears(self):
+        m = ReferenceMonitor()
+        m.access(READ, 1)
+        m.power_fail()
+        assert not m.read_dominated  # P10
+
+    def test_is_violation_is_pure(self):
+        m = ReferenceMonitor()
+        m.access(READ, 1)
+        assert m.is_violation(WRITE, 1)
+        assert m.is_violation(WRITE, 1)  # unchanged state
+        assert not m.is_violation(READ, 1)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(VerificationError):
+            ReferenceMonitor().access(7, 1)
+
+    def test_property_names(self):
+        assert len(MONITOR_PROPERTIES) == 15
+
+
+class TestPropertiesExhaustively:
+    """Check the structural properties over every short access sequence —
+    the reproduction of proving the monitor against its property list."""
+
+    ADDRS = (0, 1)
+
+    def all_sequences(self, length):
+        symbols = [(READ, a) for a in self.ADDRS] + [(WRITE, a) for a in self.ADDRS]
+        return itertools.product(symbols, repeat=length)
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+    def test_partition_and_dominance(self, length):
+        for seq in self.all_sequences(length):
+            m = ReferenceMonitor()
+            first_kind = {}
+            for kind, addr in seq:
+                violated = m.access(kind, addr)
+                first_kind.setdefault(addr, kind)
+                # P1/P14: the sets partition the accessed addresses.
+                m.check_partition()
+                assert m.accessed() == set(first_kind)
+                # P2/P3/P12/P13: dominance equals the first access kind.
+                for a, k in first_kind.items():
+                    if k == READ:
+                        assert a in m.read_dominated
+                    else:
+                        assert a in m.write_dominated
+                # P5/P11: violation iff write to read-dominated.
+                expected = kind == WRITE and first_kind[addr] == READ
+                assert violated == expected
+
+    def test_determinism(self):
+        # P15: identical sequences produce identical signal streams.
+        seq = [(READ, 0), (WRITE, 0), (WRITE, 1), (READ, 1), (WRITE, 1)]
+
+        def signals():
+            m = ReferenceMonitor()
+            return [m.access(k, a) for k, a in seq]
+
+        assert signals() == signals()
+
+    def test_sets_only_grow_within_section(self):
+        # P8: no access removes an address.
+        for seq in self.all_sequences(4):
+            m = ReferenceMonitor()
+            prev = set()
+            for kind, addr in seq:
+                m.access(kind, addr)
+                cur = m.accessed()
+                assert prev <= cur
+                prev = cur

@@ -1,0 +1,116 @@
+"""Unit tests for the two watchdog timers (Section 3.1.4)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.watchdogs import (
+    PerformanceWatchdog,
+    ProgressWatchdog,
+    optimal_watchdog_value,
+)
+
+
+class TestPerformanceWatchdog:
+    def test_disabled_never_fires(self):
+        wdt = PerformanceWatchdog(0)
+        assert not wdt.enabled
+        assert not wdt.advance(10**9)
+
+    def test_fires_after_load_cycles(self):
+        wdt = PerformanceWatchdog(100)
+        assert not wdt.advance(99)
+        assert wdt.advance(1)
+
+    def test_reload_restarts_countdown(self):
+        wdt = PerformanceWatchdog(100)
+        wdt.advance(90)
+        wdt.reload()
+        assert not wdt.advance(99)
+        assert wdt.advance(1)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigError):
+            PerformanceWatchdog(-1)
+
+
+class TestProgressWatchdog:
+    def test_unconfigured_is_inert(self):
+        wdt = ProgressWatchdog(0)
+        wdt.on_restart()
+        assert not wdt.enabled
+        assert not wdt.advance(10**9)
+
+    def test_stays_disabled_after_productive_cycle(self):
+        # Paper: variable==0 -> set to 1, leave disabled.
+        wdt = ProgressWatchdog(1000)
+        wdt.on_restart()
+        assert not wdt.enabled
+
+    def test_enables_with_default_after_barren_cycle(self):
+        wdt = ProgressWatchdog(1000)
+        wdt.on_restart()  # productive-looking first cycle: arms the flag
+        wdt.on_restart()  # no checkpoint happened: enable with default
+        assert wdt.enabled
+        assert wdt.nv_load_value == 1000
+
+    def test_halves_across_repeated_barren_cycles(self):
+        wdt = ProgressWatchdog(1000)
+        wdt.on_restart()
+        wdt.on_restart()
+        wdt.on_restart()
+        assert wdt.nv_load_value == 500
+        wdt.on_restart()
+        assert wdt.nv_load_value == 250
+
+    def test_halving_floors_at_one(self):
+        wdt = ProgressWatchdog(2)
+        for _ in range(10):
+            wdt.on_restart()
+        assert wdt.nv_load_value == 1
+
+    def test_checkpoint_disables_and_clears(self):
+        wdt = ProgressWatchdog(1000)
+        wdt.on_restart()
+        wdt.on_restart()
+        assert wdt.enabled
+        wdt.on_checkpoint()
+        assert not wdt.enabled
+        assert wdt.nv_load_value == 0
+        assert not wdt.nv_no_checkpoint
+        # Next restart: back to the disabled state.
+        wdt.on_restart()
+        assert not wdt.enabled
+
+    def test_fires_when_enabled(self):
+        wdt = ProgressWatchdog(100)
+        wdt.on_restart()
+        wdt.on_restart()
+        assert not wdt.advance(99)
+        assert wdt.advance(1)
+
+    def test_rejects_negative_default(self):
+        with pytest.raises(ConfigError):
+            ProgressWatchdog(-5)
+
+
+class TestOptimalWatchdogValue:
+    def test_matches_closed_form(self):
+        # P* = sqrt(2 C T): checkpoint and re-execution overhead balance.
+        assert optimal_watchdog_value(100_000, 40) == pytest.approx(2828, abs=1)
+
+    def test_scales_with_sqrt(self):
+        p1 = optimal_watchdog_value(10_000, 40)
+        p2 = optimal_watchdog_value(40_000, 40)
+        assert p2 == pytest.approx(2 * p1, rel=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            optimal_watchdog_value(0, 40)
+        with pytest.raises(ConfigError):
+            optimal_watchdog_value(100, 0)
+
+    def test_balance_property(self):
+        # At P*, C/P == P/(2T) (within rounding).
+        T, C = 200_000, 60
+        p = optimal_watchdog_value(T, C)
+        assert C / p == pytest.approx(p / (2 * T), rel=0.01)

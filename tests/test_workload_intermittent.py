@@ -1,0 +1,92 @@
+"""Dynamic verification of intermittent execution on every workload.
+
+The paper dynamically verifies *every experimental trial* with the
+reference-monitor check; here every workload runs through the policy
+simulator with verification enabled across representative configurations,
+policy settings, and power seeds.  A VerificationError anywhere means Clank
+corrupted program semantics.
+"""
+
+import pytest
+
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.power.schedules import ExponentialPower, FixedPower
+from repro.sim.simulator import simulate
+from repro.workloads import get_trace, workload_names
+
+CONFIGS = [(1, 0, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)]
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("spec", CONFIGS, ids=lambda s: "-".join(map(str, s)))
+def test_workload_verifies_under_power_cycling(name, spec):
+    trace = get_trace(name, size="small")
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple(spec),
+        ExponentialPower(8000, seed=13),
+        progress_watchdog="auto",
+        verify=True,
+    )
+    assert result.verified
+    assert result.useful_cycles == trace.total_cycles
+
+
+@pytest.mark.parametrize("name", ["crc", "rc4", "qsort", "ds", "sha"])
+def test_severe_power_cycling_still_verifies(name):
+    # Fixed short on-times: heavy re-execution, many checkpoints.
+    trace = get_trace(name, size="tiny")
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((4, 2, 1, 0)),
+        FixedPower(600),
+        progress_watchdog=200,
+        verify=True,
+    )
+    assert result.verified
+    assert result.power_cycles > 1
+
+
+@pytest.mark.parametrize(
+    "opts", PolicyOptimizations.all_settings()[::5], ids=lambda o: o.label()
+)
+def test_policy_settings_verify_on_real_workload(opts):
+    trace = get_trace("rc4", size="tiny")
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((4, 2, 2, 2), opts),
+        ExponentialPower(3000, seed=7),
+        progress_watchdog="auto",
+        verify=True,
+    )
+    assert result.verified
+
+
+def test_compiler_marking_verifies():
+    from repro.compiler import profile_program_idempotent
+
+    trace = get_trace("crc", size="small")
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((2, 1, 1, 1)),
+        ExponentialPower(5000, seed=3),
+        pi_words=profile_program_idempotent(trace),
+        progress_watchdog="auto",
+        verify=True,
+    )
+    assert result.verified
+
+
+def test_mixed_volatility_ds_verifies():
+    trace = get_trace("ds", size="small")
+    vol = (trace.memory_map.word_range("stack"),)
+    result = simulate(
+        trace,
+        ClankConfig.from_tuple((2, 1, 1, 0)),
+        ExponentialPower(6000, seed=9),
+        progress_watchdog="auto",
+        perf_watchdog="auto",
+        volatile_ranges=vol,
+        verify=True,
+    )
+    assert result.verified
