@@ -1,0 +1,76 @@
+"""CI micro-benchmark guard: recording-off must cost nothing.
+
+Times a Figure 5-style sweep (several buffer configurations x several
+benchmarks, ``verify=False``, progress watchdog on — the shape of the
+paper's design-space runs) twice: once with no recorder and once with a
+:class:`repro.obs.recorder.NullRecorder` attached.  The simulator
+normalizes a NullRecorder to "no recorder" before its hot loop, so the two
+must be within noise of each other; the guard fails if the NullRecorder
+sweep exceeds the baseline by more than the threshold (default 5%).
+
+Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.config import ClankConfig
+from repro.eval.runner import run_clank
+from repro.eval.settings import EvalSettings
+from repro.obs.recorder import NullRecorder
+from repro.workloads.cache import get_trace
+
+CONFIGS = [(1, 0, 0, 0), (8, 4, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)]
+WORKLOADS = ("crc", "fft", "rc4", "qsort")
+
+
+def sweep_seconds(traces, settings, recorder, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of the full sweep."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for salt, trace in enumerate(traces):
+            for spec in CONFIGS:
+                run_clank(
+                    trace,
+                    ClankConfig.from_tuple(spec),
+                    settings,
+                    salt=salt,
+                    recorder=recorder,
+                )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=1.05,
+                        help="max allowed NullRecorder/baseline ratio")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="sweep repetitions (best-of timing)")
+    parser.add_argument("--size", default="small", help="workload size preset")
+    args = parser.parse_args(argv)
+
+    # profile=False: the guard times the runner itself.
+    settings = EvalSettings(size=args.size, verify=False, profile=False)
+    traces = [get_trace(name, size=args.size) for name in WORKLOADS]
+
+    # Warm-up pass so trace building and imports are off the clock.
+    sweep_seconds(traces, settings, None, 1)
+
+    base = sweep_seconds(traces, settings, None, args.repeats)
+    null = sweep_seconds(traces, settings, NullRecorder(), args.repeats)
+    ratio = null / base
+    print(f"baseline (no recorder):  {base:.3f}s")
+    print(f"NullRecorder attached:   {null:.3f}s")
+    print(f"ratio: {ratio:.4f} (threshold {args.threshold:.2f})")
+    if ratio > args.threshold:
+        print("FAIL: NullRecorder added measurable per-access overhead")
+        return 1
+    print("OK: recording off is free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,8 @@ Package layout:
 * :mod:`repro.workloads` — the 23 MiBench2-class kernels + DINO's DS.
 * :mod:`repro.baselines` — Mementos/Hibernus/Ratchet/DINO models.
 * :mod:`repro.eval` — drivers regenerating every table and figure.
+* :mod:`repro.obs` — event recording, metrics, Chrome-trace export,
+  sweep profiling, and the ``python -m repro.obs.inspect`` log summarizer.
 """
 
 from repro.core.config import ClankConfig, PolicyOptimizations, table2_configs
@@ -66,6 +68,15 @@ from repro.trace.stats import TraceStats, compute_stats
 from repro.compiler.program_idempotence import profile_program_idempotent
 from repro.compiler.codesize import code_size_increase
 from repro.hw.cost_model import HardwareOverhead, hardware_overhead
+from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+    read_events,
+)
 from repro.verify.monitor import ReferenceMonitor
 from repro.verify.bounded import BoundedChecker
 
@@ -114,6 +125,14 @@ __all__ = [
     "hardware_overhead",
     "ReferenceMonitor",
     "BoundedChecker",
+    "Recorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "read_events",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "get_workload",
     "workload_names",
 ]

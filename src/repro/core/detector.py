@@ -29,6 +29,7 @@ from repro.core.buffers import (
     WriteFirstBuffer,
 )
 from repro.core.config import ClankConfig
+from repro.obs.events import BufferOverflow
 
 PROCEED = 0
 PROCEED_WBB = 1
@@ -49,12 +50,19 @@ class IdempotencyDetector:
         config: Buffer composition and policy-optimization setting.
         text_word_range: Half-open word-address range of the text segment;
             required only when ``ignore_text`` is enabled.
+        recorder: Optional :class:`repro.obs.recorder.Recorder` receiving a
+            :class:`~repro.obs.events.BufferOverflow` event whenever a
+            buffer hits a full condition (even tolerated ones under
+            no-WF-overflow).  ``None`` keeps the decision paths free of any
+            recording work beyond one attribute check on the (rare)
+            full-condition branches.
     """
 
     def __init__(
         self,
         config: ClankConfig,
         text_word_range: Optional[Tuple[int, int]] = None,
+        recorder=None,
     ):
         self.config = config
         self.opts = config.optimizations
@@ -66,6 +74,7 @@ class IdempotencyDetector:
             text_word_range = (0, 0)
         self._text_lo, self._text_hi = text_word_range or (0, 0)
         self._ignore_text = self.opts.ignore_text
+        self.recorder = recorder
         #: Latest-checkpoint mode: tracking stopped after a read-side fill;
         #: reads pass untracked, the next write checkpoints (Section 3.2.5).
         self.untracked = False
@@ -84,9 +93,9 @@ class IdempotencyDetector:
             return _PROCEED
         # A fresh read-dominated address must enter the Read-first Buffer.
         if self.rf.full:
-            return self._read_side_full("rf_full")
+            return self._read_side_full("rf_full", waddr)
         if not self.apb.admit(waddr):
-            return self._read_side_full("apb_full")
+            return self._read_side_full("apb_full", waddr)
         self.rf.insert(waddr)
         return _PROCEED
 
@@ -124,6 +133,10 @@ class IdempotencyDetector:
             # The address is in the RF buffer, so its prefix is already
             # resident in the APB; only WBB capacity can fail here.
             if not self.wbb.put(waddr, new_value):
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        BufferOverflow(buffer="wbb", waddr=waddr, op="write")
+                    )
                 return (CHECKPOINT, "wbb_full")
             if self.opts.remove_duplicates:
                 self.rf.discard(waddr)
@@ -135,20 +148,36 @@ class IdempotencyDetector:
             # will look like a violation.
             return _PROCEED
         if self.wf.full:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    BufferOverflow(buffer="wf", waddr=waddr, op="write")
+                )
             if self.opts.no_wf_overflow:
                 return _PROCEED
             return (CHECKPOINT, "wf_full")
         if not self.apb.admit(waddr):
+            if self.recorder is not None:
+                self.recorder.emit(
+                    BufferOverflow(buffer="apb", waddr=waddr, op="write")
+                )
             if self.opts.no_wf_overflow:
                 return _PROCEED
             return (CHECKPOINT, "apb_full")
         self.wf.insert(waddr)
         return _PROCEED
 
-    def _read_side_full(self, cause: str) -> Decision:
+    def _read_side_full(self, cause: str, waddr: int) -> Decision:
         """A read could not be tracked: either defer via latest-checkpoint
         (stop tracking, checkpoint before the next write) or checkpoint
         now."""
+        if self.recorder is not None:
+            self.recorder.emit(
+                BufferOverflow(
+                    buffer="rf" if cause == "rf_full" else "apb",
+                    waddr=waddr,
+                    op="read",
+                )
+            )
         if self.opts.latest_checkpoint:
             self.untracked = True
             return _PROCEED

@@ -14,6 +14,7 @@ dominates total overhead (Section 7.4).
 import math
 
 from repro.common.errors import ConfigError
+from repro.obs.events import WatchdogHalved
 
 
 class PerformanceWatchdog:
@@ -78,6 +79,10 @@ class ProgressWatchdog:
         adaptive: Halve the stored load value across checkpoint-free power
             cycles (the paper's design).  ``False`` keeps a fixed period —
             an ablation of the halving mechanism.
+        recorder: Optional :class:`repro.obs.recorder.Recorder`; each
+            adaptive halving emits a
+            :class:`~repro.obs.events.WatchdogHalved` event so runs can
+            show *when* the watchdog ratcheted down and to what period.
     """
 
     __slots__ = (
@@ -87,13 +92,15 @@ class ProgressWatchdog:
         "nv_no_checkpoint",
         "enabled",
         "_remaining",
+        "recorder",
     )
 
-    def __init__(self, default_load: int = 0, adaptive: bool = True):
+    def __init__(self, default_load: int = 0, adaptive: bool = True, recorder=None):
         if default_load < 0:
             raise ConfigError("default_load must be >= 0")
         self.default_load = default_load
         self.adaptive = adaptive
+        self.recorder = recorder
         # Non-volatile state.
         self.nv_load_value = 0
         self.nv_no_checkpoint = False  # the paper's 0/1 variable
@@ -120,6 +127,8 @@ class ProgressWatchdog:
         if self.nv_load_value > 0 and self.adaptive:
             # Still none even with the watchdog on: halve the period.
             self.nv_load_value = max(1, self.nv_load_value // 2)
+            if self.recorder is not None:
+                self.recorder.emit(WatchdogHalved(load_value=self.nv_load_value))
         elif self.nv_load_value == 0:
             self.nv_load_value = self.default_load
         self.enabled = True

@@ -2,18 +2,26 @@
 
 Experiments: table1, fig5, fig6, table2, fig7, fig8, table3, table4, all.
 Pass ``--quick`` for smoke-test sizes.
+
+Every invocation prints a run profile (wall-clock per experiment driver,
+simulator time per workload, trace-cache hit rate); full-size runs also
+write it to ``results/profile.txt``.
 """
 
 import argparse
+import os
 import sys
-import time
 
 from repro.eval.settings import EvalSettings
+from repro.obs.profile import PROFILER
+from repro.workloads.cache import cache_stats, reset_cache_stats
 
 _EXPERIMENTS = (
     "table1", "fig5", "fig6", "table2", "fig7", "fig8", "table3", "table4",
     "ablation_compiler", "ablation_progress", "ablation_apb", "ablation_undo",
 )
+
+_PROFILE_PATH = os.path.join("results", "profile.txt")
 
 
 def main(argv=None) -> int:
@@ -26,20 +34,36 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--verify", action="store_true",
                         help="dynamically verify every simulation")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip per-workload simulator timing")
     args = parser.parse_args(argv)
 
-    settings = EvalSettings(seed=args.seed, verify=args.verify)
+    settings = EvalSettings(
+        seed=args.seed, verify=args.verify, profile=not args.no_profile
+    )
     if args.quick:
         settings = settings.quick()
+
+    PROFILER.reset()
+    reset_cache_stats()
 
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         module = __import__(f"repro.eval.{name}", fromlist=["run", "render"])
-        start = time.time()
-        data = module.run(settings)
-        elapsed = time.time() - start
+        with PROFILER.phase(name):
+            data = module.run(settings)
         print(module.render(data))
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        print(f"[{name} completed in {PROFILER.phases[name]:.1f}s]\n")
+
+    profile = PROFILER.table(cache_stats=cache_stats())
+    print(profile)
+    if not args.quick:
+        # Quick smoke runs (and the test suite) must not clobber the
+        # committed full-run profile.
+        os.makedirs(os.path.dirname(_PROFILE_PATH), exist_ok=True)
+        with open(_PROFILE_PATH, "w", encoding="utf-8") as fh:
+            fh.write(profile + "\n")
+        print(f"[profile written to {_PROFILE_PATH}]")
     return 0
 
 

@@ -1,23 +1,34 @@
 """Shared simulation plumbing for the experiment drivers."""
 
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compiler.program_idempotence import profile_program_idempotent
 from repro.core.config import ClankConfig
 from repro.eval.settings import EvalSettings
+from repro.obs.profile import PROFILER
 from repro.sim.result import SimulationResult
 from repro.sim.simulator import IntermittentSimulator
 from repro.trace.trace import Trace
 from repro.workloads.cache import get_trace
 from repro.workloads.registry import mibench2_names
 
-#: Cache of per-trace Program-Idempotence profiles.
-_PI_CACHE: Dict[int, frozenset] = {}
+#: Cache of per-trace Program-Idempotence profiles, keyed by trace *content*
+#: (name, access count, total cycles, checksum).  Keying by ``id(trace)``
+#: would be wrong twice over: a garbage-collected trace's id can be reused
+#: by a fresh object (silently returning another trace's profile), and the
+#: mapping would grow without bound across sweeps.
+_PI_CACHE: Dict[Tuple[str, int, int, int], frozenset] = {}
+
+
+def _trace_key(trace: Trace) -> Tuple[str, int, int, int]:
+    """A content-derived cache key for ``trace``."""
+    return (trace.name, len(trace.accesses), trace.total_cycles, trace.checksum)
 
 
 def pi_words_for(trace: Trace) -> frozenset:
-    """Cached Program-Idempotent word set of a trace."""
-    key = id(trace)
+    """Cached Program-Idempotence word set of a trace."""
+    key = _trace_key(trace)
     if key not in _PI_CACHE:
         _PI_CACHE[key] = profile_program_idempotent(trace)
     return _PI_CACHE[key]
@@ -31,6 +42,7 @@ def run_clank(
     use_compiler: bool = False,
     perf_watchdog=0,
     volatile_ranges=None,
+    recorder=None,
 ) -> SimulationResult:
     """One policy-simulator run under the experiment's standard conditions.
 
@@ -38,6 +50,10 @@ def run_clank(
     it — Table 1's code-size column includes both watchdog timers); the
     Performance Watchdog and the compiler's Program-Idempotent marking are
     per-experiment choices (the ``+C+WDT`` rows).
+
+    With ``settings.profile`` on (the default), wall-clock time inside the
+    simulator is accounted per workload into the shared
+    :data:`~repro.obs.profile.PROFILER`.
     """
     sim = IntermittentSimulator(
         trace,
@@ -48,8 +64,14 @@ def run_clank(
         pi_words=pi_words_for(trace) if use_compiler else None,
         volatile_ranges=volatile_ranges,
         verify=settings.verify,
+        recorder=recorder,
     )
-    return sim.run()
+    if not settings.profile:
+        return sim.run()
+    start = time.perf_counter()
+    result = sim.run()
+    PROFILER.record_sim(trace.name, time.perf_counter() - start)
+    return result
 
 
 def benchmark_traces(settings: EvalSettings, size: Optional[str] = None) -> List[Tuple[str, Trace]]:

@@ -1,0 +1,73 @@
+"""Observability for the intermittent simulator and the sweep drivers.
+
+The policy simulator reproduces the paper's overhead numbers but is a black
+box in between: this package opens it up without slowing it down.
+
+* :mod:`repro.obs.events` — typed events for everything the paper's run-time
+  machinery decides: power failures, checkpoint commits/aborts, rollbacks,
+  buffer overflows, watchdog firings, output commits, section closures.
+* :mod:`repro.obs.recorder` — the event bus: a tiny ``Recorder`` protocol
+  with in-memory, JSON Lines, and null implementations.  Recording is
+  strictly opt-in; with no recorder attached the simulator's per-access hot
+  path is untouched.
+* :mod:`repro.obs.metrics` — counters and fixed-bucket histograms aggregated
+  into :attr:`repro.sim.result.SimulationResult.metrics`.
+* :mod:`repro.obs.chrome_trace` — renders an event log as a Chrome
+  trace-event (``chrome://tracing`` / Perfetto) timeline.
+* :mod:`repro.obs.profile` — wall-clock profiling of the experiment drivers
+  (per-driver phases, per-workload simulator time, trace-cache hit rates).
+* :mod:`repro.obs.inspect` — ``python -m repro.obs.inspect run.jsonl``
+  summarizes a recorded event log.
+"""
+
+from repro.obs.events import (
+    BufferOverflow,
+    CheckpointAborted,
+    CheckpointCommitted,
+    Event,
+    OutputCommitted,
+    PowerFailure,
+    Rollback,
+    SectionClosed,
+    WatchdogFired,
+    WatchdogHalved,
+    event_from_dict,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+    live_recorder,
+    read_events,
+)
+from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.profile import PROFILER, Profiler
+
+__all__ = [
+    "Event",
+    "PowerFailure",
+    "CheckpointCommitted",
+    "CheckpointAborted",
+    "Rollback",
+    "BufferOverflow",
+    "WatchdogFired",
+    "WatchdogHalved",
+    "OutputCommitted",
+    "SectionClosed",
+    "event_from_dict",
+    "Recorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "live_recorder",
+    "read_events",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "Profiler",
+    "PROFILER",
+]

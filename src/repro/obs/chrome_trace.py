@@ -1,0 +1,195 @@
+"""Render an event log as a Chrome trace-event timeline.
+
+The output dict follows the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: load the written JSON file
+directly.  One simulated cycle is rendered as one microsecond.
+
+Lanes (threads):
+
+* ``power``      — one span per power-on period, instants at power failures.
+* ``execution``  — re-execution windows after rollbacks (span end is
+  approximated by the next checkpoint commit or power failure, the latest
+  instant re-execution can still be in progress).
+* ``checkpoints``— one span per committed checkpoint routine; aborted
+  attempts are instants.
+* ``signals``    — watchdog firings/halvings, buffer overflows, outputs.
+"""
+
+import json
+from typing import Iterable, List
+
+from repro.obs.events import Event
+
+_PID = 1
+_LANE_POWER = 1
+_LANE_EXEC = 2
+_LANE_CKPT = 3
+_LANE_SIGNAL = 4
+
+_LANE_NAMES = {
+    _LANE_POWER: "power",
+    _LANE_EXEC: "execution",
+    _LANE_CKPT: "checkpoints",
+    _LANE_SIGNAL: "signals",
+}
+
+
+def _span(name, ts, dur, tid, args=None):
+    ev = {
+        "name": name,
+        "ph": "X",
+        "ts": ts,
+        "dur": max(0, dur),
+        "pid": _PID,
+        "tid": tid,
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _instant(name, ts, tid, args=None):
+    ev = {"name": name, "ph": "i", "ts": ts, "s": "t", "pid": _PID, "tid": tid}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def to_chrome_trace(events: Iterable[Event], name: str = "intermittent run") -> dict:
+    """Build a Chrome trace-event dict from an ordered event sequence."""
+    out: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": name},
+        }
+    ]
+    for tid, lane in _LANE_NAMES.items():
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+
+    period_start = 0
+    period_no = 1
+    cursor = 0  # last known timestamp, for unclocked events
+    reexec_start = None
+
+    def close_reexec(end):
+        nonlocal reexec_start
+        if reexec_start is not None:
+            out.append(_span("re-execution", reexec_start, end - reexec_start, _LANE_EXEC))
+            reexec_start = None
+
+    for e in events:
+        if e.t is not None:
+            cursor = e.t
+        kind = e.kind
+        if kind == "power_failure":
+            close_reexec(e.t)
+            out.append(
+                _span(
+                    f"power-on #{e.power_cycle}",
+                    period_start,
+                    e.t - period_start,
+                    _LANE_POWER,
+                    {"progress": e.progress, "phase": e.phase},
+                )
+            )
+            out.append(_instant("power failure", e.t, _LANE_POWER, {"phase": e.phase}))
+            period_start = e.t
+            period_no = e.power_cycle + 1
+        elif kind == "checkpoint_committed":
+            close_reexec(e.t - e.cycles)
+            out.append(
+                _span(
+                    f"checkpoint[{e.cause}]",
+                    e.t - e.cycles,
+                    e.cycles,
+                    _LANE_CKPT,
+                    {"index": e.index, "flushed_words": e.flushed_words},
+                )
+            )
+        elif kind == "rollback":
+            if e.from_index > e.to_index:
+                reexec_start = e.t
+            out.append(
+                _instant(
+                    "rollback",
+                    e.t,
+                    _LANE_EXEC,
+                    {"from": e.from_index, "to": e.to_index},
+                )
+            )
+        elif kind == "checkpoint_aborted":
+            out.append(
+                _instant(
+                    f"aborted[{e.cause}]",
+                    e.t,
+                    _LANE_CKPT,
+                    {"needed": e.needed_cycles, "available": e.available_cycles},
+                )
+            )
+        elif kind == "watchdog_fired":
+            out.append(
+                _instant(
+                    f"{e.watchdog} watchdog",
+                    e.t,
+                    _LANE_SIGNAL,
+                    {"load_value": e.load_value},
+                )
+            )
+        elif kind == "watchdog_halved":
+            out.append(
+                _instant(
+                    "watchdog halved", cursor, _LANE_SIGNAL, {"load_value": e.load_value}
+                )
+            )
+        elif kind == "buffer_overflow":
+            out.append(
+                _instant(
+                    f"{e.buffer} overflow",
+                    cursor,
+                    _LANE_SIGNAL,
+                    {"waddr": e.waddr, "op": e.op},
+                )
+            )
+        elif kind == "output_committed":
+            out.append(
+                _instant(
+                    "output",
+                    e.t,
+                    _LANE_SIGNAL,
+                    {"waddr": e.waddr, "duplicate": e.duplicate},
+                )
+            )
+        # section_closed carries no extra geometry: the checkpoint span
+        # that follows it already delimits the section.
+
+    close_reexec(cursor)
+    if cursor > period_start:
+        out.append(
+            _span(f"power-on #{period_no}", period_start, cursor - period_start, _LANE_POWER)
+        )
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"cycles_per_us": 1, "source": "repro.obs"},
+    }
+
+
+def write_chrome_trace(
+    events: Iterable[Event], path: str, name: str = "intermittent run"
+) -> dict:
+    """Write the Chrome trace JSON for ``events`` to ``path``; returns it."""
+    trace = to_chrome_trace(events, name=name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return trace

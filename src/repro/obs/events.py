@@ -1,0 +1,192 @@
+"""Typed observability events.
+
+Each event names one run-time decision of the Clank machinery.  Timestamps
+(``t``) count *consumed* cycles since the start of the run — every cycle of
+useful work, re-execution, checkpointing, restarting, and power-failure
+waste advances the clock, so consecutive power-on periods tile the timeline
+exactly.  Components without access to the simulator's clock (the detector,
+the watchdogs) emit events with ``t=None``; their position in the log still
+orders them between the clocked events around them.
+
+Events serialize to flat dicts (``to_dict``) for the JSON Lines log and
+deserialize with :func:`event_from_dict`.
+"""
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Optional, Type
+
+
+@dataclass
+class Event:
+    """Base event: ``kind`` identifies the concrete type in serialized form."""
+
+    kind: ClassVar[str] = "event"
+
+    t: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        """Flat JSON-serializable form, ``kind`` first."""
+        d = {"kind": self.kind}
+        for f in fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+@dataclass
+class PowerFailure(Event):
+    """Power was lost.
+
+    Attributes:
+        power_cycle: Number of the power-on period that just ended (1-based).
+        index: Trace position at the failure (None during restart).
+        phase: ``"run"`` for failures during execution, ``"restart"`` when
+            the start-up routine itself was cut short (a runt power cycle).
+        progress: Whether the ended period made forward progress.
+    """
+
+    kind: ClassVar[str] = "power_failure"
+
+    power_cycle: int = 0
+    index: Optional[int] = None
+    phase: str = "run"
+    progress: bool = False
+
+
+@dataclass
+class Rollback(Event):
+    """Execution rolled back to the last committed checkpoint."""
+
+    kind: ClassVar[str] = "rollback"
+
+    from_index: int = 0
+    to_index: int = 0
+
+    @property
+    def accesses_discarded(self) -> int:
+        """Accesses that must re-execute."""
+        return self.from_index - self.to_index
+
+
+@dataclass
+class CheckpointCommitted(Event):
+    """A checkpoint routine ran to its commit instant.
+
+    ``t`` is the commit instant; the routine occupied ``[t - cycles, t]``.
+    """
+
+    kind: ClassVar[str] = "checkpoint_committed"
+
+    cause: str = ""
+    cycles: int = 0
+    index: int = 0
+    flushed_words: int = 0
+    power_cycle: int = 0
+
+
+@dataclass
+class CheckpointAborted(Event):
+    """Power failed before the commit instant; double buffering discarded
+    the attempt."""
+
+    kind: ClassVar[str] = "checkpoint_aborted"
+
+    cause: str = ""
+    needed_cycles: int = 0
+    available_cycles: int = 0
+    index: int = 0
+
+
+@dataclass
+class SectionClosed(Event):
+    """An idempotent section ended (a checkpoint committed after it).
+
+    ``accesses`` counts trace positions covered since the previous committed
+    checkpoint; ``cycles`` counts all consumed cycles in between (including
+    re-execution and restart time spent inside the section).
+    """
+
+    kind: ClassVar[str] = "section_closed"
+
+    cause: str = ""
+    accesses: int = 0
+    cycles: int = 0
+
+
+@dataclass
+class BufferOverflow(Event):
+    """A tracking buffer could not admit an address (a full condition).
+
+    Attributes:
+        buffer: ``"rf"``, ``"wf"``, ``"wbb"``, or ``"apb"``.
+        waddr: The word address that could not be tracked.
+        op: The access kind that hit the full condition (``"read"``/``"write"``).
+    """
+
+    kind: ClassVar[str] = "buffer_overflow"
+
+    buffer: str = ""
+    waddr: int = 0
+    op: str = ""
+
+
+@dataclass
+class WatchdogFired(Event):
+    """A watchdog timer expired and forced a checkpoint."""
+
+    kind: ClassVar[str] = "watchdog_fired"
+
+    watchdog: str = ""  # "progress" | "performance"
+    index: int = 0
+    load_value: int = 0
+
+
+@dataclass
+class WatchdogHalved(Event):
+    """The Progress Watchdog halved its period after a checkpoint-free
+    power cycle (Section 3.1.4's adaptive mechanism)."""
+
+    kind: ClassVar[str] = "watchdog_halved"
+
+    load_value: int = 0
+
+
+@dataclass
+class OutputCommitted(Event):
+    """An output (MMIO write) committed under the output-commit rule."""
+
+    kind: ClassVar[str] = "output_committed"
+
+    index: int = 0
+    waddr: int = 0
+    duplicate: bool = False
+
+
+#: Registry of serializable event types, keyed by ``kind``.
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        PowerFailure,
+        Rollback,
+        CheckpointCommitted,
+        CheckpointAborted,
+        SectionClosed,
+        BufferOverflow,
+        WatchdogFired,
+        WatchdogHalved,
+        OutputCommitted,
+    )
+}
+
+
+def event_from_dict(d: dict) -> Event:
+    """Rebuild a typed event from its :meth:`Event.to_dict` form.
+
+    Unknown keys are ignored (forward compatibility with logs written by
+    newer versions); an unknown ``kind`` raises ``ValueError``.
+    """
+    kind = d.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind: {kind!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in d.items() if k in names})

@@ -1,0 +1,111 @@
+"""Summarize a recorded event log: ``python -m repro.obs.inspect run.jsonl``.
+
+Answers the questions the raw overhead numbers cannot: which causes forced
+checkpoints, which addresses kept overflowing which buffer, when the
+Progress Watchdog fired and how far it halved itself, and how much of the
+run's power-cycle budget made no progress.
+"""
+
+import argparse
+import sys
+from collections import Counter, defaultdict
+from typing import List
+
+from repro.obs.events import Event
+from repro.obs.recorder import read_events
+
+
+def summarize(events: List[Event], top: int = 10) -> str:
+    """Human-readable multi-section summary of an event log."""
+    lines = [f"event log: {len(events)} events"]
+
+    counts = Counter(e.kind for e in events)
+    lines.append("-- event counts")
+    for kind, n in counts.most_common():
+        lines.append(f"   {kind:<22s} {n}")
+
+    committed = Counter(e.cause for e in events if e.kind == "checkpoint_committed")
+    aborted = Counter(e.cause for e in events if e.kind == "checkpoint_aborted")
+    if committed or aborted:
+        lines.append("-- checkpoints by cause (committed / aborted)")
+        for cause in sorted(set(committed) | set(aborted)):
+            lines.append(
+                f"   {cause:<16s} {committed.get(cause, 0):6d} / "
+                f"{aborted.get(cause, 0)}"
+            )
+
+    overflows = [e for e in events if e.kind == "buffer_overflow"]
+    if overflows:
+        lines.append("-- buffer overflows (hot addresses)")
+        by_buffer = defaultdict(Counter)
+        for e in overflows:
+            by_buffer[e.buffer][e.waddr] += 1
+        for buffer in sorted(by_buffer):
+            addrs = by_buffer[buffer]
+            lines.append(f"   {buffer}: {sum(addrs.values())} overflows, "
+                         f"{len(addrs)} distinct words")
+            for waddr, n in addrs.most_common(top):
+                lines.append(f"      word {waddr:#010x}  x{n}")
+
+    fired = [e for e in events if e.kind == "watchdog_fired"]
+    halved = [e for e in events if e.kind == "watchdog_halved"]
+    if fired or halved:
+        lines.append("-- watchdog timeline")
+        by_dog = Counter(e.watchdog for e in fired)
+        for dog, n in sorted(by_dog.items()):
+            ts = [e.t for e in fired if e.watchdog == dog and e.t is not None]
+            span = f", t={min(ts)}..{max(ts)}" if ts else ""
+            lines.append(f"   {dog}: fired {n} time{'s' if n != 1 else ''}{span}")
+        if halved:
+            loads = [e.load_value for e in halved]
+            lines.append(
+                f"   progress halvings: {len(halved)} "
+                f"(load {loads[0]} -> {loads[-1]})"
+            )
+
+    failures = [e for e in events if e.kind == "power_failure"]
+    if failures:
+        runts = sum(1 for e in failures if e.phase == "restart")
+        stalls = sum(1 for e in failures if not e.progress)
+        lines.append(
+            f"-- power: {len(failures)} failures "
+            f"({runts} during restart, {stalls} cycles without progress)"
+        )
+
+    sections = [e for e in events if e.kind == "section_closed"]
+    if sections:
+        acc = [e.accesses for e in sections]
+        lines.append(
+            f"-- sections: {len(sections)} closed, accesses "
+            f"min/mean/max = {min(acc)}/{sum(acc) / len(acc):.1f}/{max(acc)}"
+        )
+
+    outputs = [e for e in events if e.kind == "output_committed"]
+    if outputs:
+        dups = sum(1 for e in outputs if e.duplicate)
+        lines.append(f"-- outputs: {len(outputs)} committed, {dups} duplicates")
+
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.inspect",
+        description="Summarize a JSON Lines event log recorded by repro.obs.",
+    )
+    parser.add_argument("log", help="path to a .jsonl event log")
+    parser.add_argument(
+        "--top", type=int, default=10, help="hot addresses to list per buffer"
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = read_events(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(events, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Counters and fixed-bucket histograms for simulation metrics.
+
+The registry is deliberately tiny: metric creation is get-or-create by name,
+observation is O(log buckets), and the whole registry renders to a plain
+JSON-serializable dict that rides along inside
+:attr:`repro.sim.result.SimulationResult.metrics`.
+"""
+
+import bisect
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Idempotent-section length (accesses between committed checkpoints).
+SECTION_ACCESS_BUCKETS: Tuple[int, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+#: Write-back Buffer flush size (words per committed checkpoint).
+FLUSH_BUCKETS: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+#: Cycles between committed checkpoints.
+SECTION_CYCLE_BUCKETS: Tuple[int, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``bounds`` are inclusive upper bounds; observations above the last bound
+    land in an overflow bin, so ``counts`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms; get-or-create access."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(bounds)
+        return h
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }

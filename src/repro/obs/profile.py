@@ -1,0 +1,111 @@
+"""Wall-clock profiling of the experiment drivers.
+
+The sweep drivers (Figures 5-8, Tables 1-4) replay cached traces through
+thousands of simulator runs; making them "as fast as the hardware allows"
+starts with knowing where the time goes.  A :class:`Profiler` accumulates
+
+* *phases* — wall-clock per experiment driver (``with PROFILER.phase("fig5")``),
+* *simulator time* — per-workload time inside ``IntermittentSimulator.run()``
+  (recorded by :func:`repro.eval.runner.run_clank`),
+
+and renders both, plus the trace-cache hit/miss counts from
+:mod:`repro.workloads.cache`, as an aligned text table
+(``results/profile.txt``).
+"""
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class Profiler:
+    """Accumulates named wall-clock phases and per-workload simulator time."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+        self.sim_seconds: Dict[str, float] = {}
+        self.sim_runs: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Drop all accumulated data (tests and fresh CLI runs)."""
+        self.phases.clear()
+        self.phase_calls.clear()
+        self.sim_seconds.clear()
+        self.sim_runs.clear()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a block of work under ``name`` (accumulates across calls)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def record_sim(self, workload: str, seconds: float) -> None:
+        """Account one simulator run of ``workload``."""
+        self.sim_seconds[workload] = self.sim_seconds.get(workload, 0.0) + seconds
+        self.sim_runs[workload] = self.sim_runs.get(workload, 0) + 1
+
+    @property
+    def total_sim_seconds(self) -> float:
+        return sum(self.sim_seconds.values())
+
+    @property
+    def total_sim_runs(self) -> int:
+        return sum(self.sim_runs.values())
+
+    def table(self, cache_stats: Optional[dict] = None, top: int = 10) -> str:
+        """Aligned text profile: phases, top workloads, cache hit rate.
+
+        Args:
+            cache_stats: ``{"hits": int, "misses": int}`` from
+                :func:`repro.workloads.cache.cache_stats`.
+            top: Number of slowest workloads to list.
+        """
+        lines = ["run profile"]
+        if self.phases:
+            lines.append("-- experiment drivers (wall-clock)")
+            total = sum(self.phases.values())
+            for name, secs in sorted(self.phases.items(), key=lambda kv: -kv[1]):
+                share = secs / total if total else 0.0
+                lines.append(
+                    f"   {name:<20s} {secs:9.3f}s  {share:6.1%}  "
+                    f"({self.phase_calls[name]} run"
+                    f"{'s' if self.phase_calls[name] != 1 else ''})"
+                )
+            lines.append(f"   {'total':<20s} {total:9.3f}s")
+        if self.sim_seconds:
+            lines.append(
+                f"-- simulator time by workload "
+                f"({self.total_sim_runs} runs, {self.total_sim_seconds:.3f}s total)"
+            )
+            ranked = sorted(self.sim_seconds.items(), key=lambda kv: -kv[1])
+            for name, secs in ranked[:top]:
+                runs = self.sim_runs[name]
+                lines.append(
+                    f"   {name:<20s} {secs:9.3f}s  {runs:6d} runs  "
+                    f"{1000.0 * secs / runs:8.2f} ms/run"
+                )
+            if len(ranked) > top:
+                rest = sum(secs for _, secs in ranked[top:])
+                lines.append(
+                    f"   ({len(ranked) - top} more workloads, {rest:.3f}s)"
+                )
+        if cache_stats is not None:
+            hits = cache_stats.get("hits", 0)
+            misses = cache_stats.get("misses", 0)
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            lines.append(
+                f"-- trace cache: {hits} hits / {misses} misses "
+                f"({rate:.1%} hit rate)"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide profiler the eval drivers share.
+PROFILER = Profiler()

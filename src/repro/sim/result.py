@@ -1,7 +1,8 @@
 """Results of one intermittent execution."""
 
-from dataclasses import dataclass, field
-from typing import Dict
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict
 
 
 @dataclass
@@ -40,6 +41,9 @@ class SimulationResult:
         verified: True when the run executed with dynamic verification on
             and every check passed.
         completed: True when the program ran to completion.
+        metrics: Observability metrics (``{"counters": ..., "histograms":
+            ...}``, see :mod:`repro.obs.metrics`) collected when the run had
+            a recorder attached; empty otherwise.
     """
 
     name: str
@@ -58,6 +62,7 @@ class SimulationResult:
     wbb_words_flushed: int = 0
     verified: bool = False
     completed: bool = True
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_checkpoints(self) -> int:
@@ -112,6 +117,42 @@ class SimulationResult:
         """Average cycles between committed checkpoints."""
         n = self.num_checkpoints
         return self.total_cycles / n if n else float(self.total_cycles)
+
+    def to_dict(self, include_derived: bool = True) -> Dict[str, Any]:
+        """JSON-serializable form: every field, plus (by default) a
+        ``"derived"`` sub-dict of the computed overhead properties.
+
+        The field portion round-trips through :meth:`from_dict`.
+        """
+        d: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            d[f.name] = dict(value) if isinstance(value, dict) else value
+        if include_derived:
+            d["derived"] = {
+                "total_cycles": self.total_cycles,
+                "num_checkpoints": self.num_checkpoints,
+                "checkpoint_overhead": self.checkpoint_overhead,
+                "reexec_overhead": self.reexec_overhead,
+                "restart_overhead": self.restart_overhead,
+                "run_time_overhead": self.run_time_overhead,
+                "avg_section_cycles": self.avg_section_cycles,
+            }
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Non-field keys (``"derived"``, keys from newer versions) are
+        ignored; the derived properties are recomputed from the fields.
+        """
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})
+
+    def to_json(self, indent=None) -> str:
+        """JSON string of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

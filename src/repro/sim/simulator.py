@@ -36,6 +36,22 @@ from repro.core.watchdogs import (
     ProgressWatchdog,
     optimal_watchdog_value,
 )
+from repro.obs.events import (
+    CheckpointAborted,
+    CheckpointCommitted,
+    OutputCommitted,
+    PowerFailure,
+    Rollback,
+    SectionClosed,
+    WatchdogFired,
+)
+from repro.obs.metrics import (
+    FLUSH_BUCKETS,
+    MetricsRegistry,
+    SECTION_ACCESS_BUCKETS,
+    SECTION_CYCLE_BUCKETS,
+)
+from repro.obs.recorder import Recorder, live_recorder
 from repro.power.schedules import PowerSchedule
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.result import SimulationResult
@@ -78,6 +94,13 @@ class IntermittentSimulator:
         verify: Run the dynamic verifier (read-value and final-state
             checks).  Disable only for large design-space sweeps.
         max_power_cycles: Abort threshold; None picks a generous default.
+        recorder: Optional event recorder (:mod:`repro.obs`).  When set,
+            the run emits typed events (power failures, rollbacks,
+            checkpoint commits/aborts, buffer overflows, watchdog firings,
+            output commits, section closures) and aggregates metrics into
+            :attr:`SimulationResult.metrics`.  ``None`` — or a
+            :class:`~repro.obs.recorder.NullRecorder` — adds strictly zero
+            work to the per-access hot path.
     """
 
     def __init__(
@@ -95,6 +118,7 @@ class IntermittentSimulator:
         verify: bool = True,
         max_power_cycles: Optional[int] = None,
         progress_watchdog_adaptive: bool = True,
+        recorder: Optional[Recorder] = None,
     ):
         self.trace = trace
         self.config = config
@@ -118,6 +142,7 @@ class IntermittentSimulator:
             expected = trace.total_cycles / max(1.0, schedule.mean_on_time)
             max_power_cycles = int(1000 + 200 * expected)
         self.max_power_cycles = max_power_cycles
+        self.recorder = recorder
 
     # ------------------------------------------------------------------ #
 
@@ -146,11 +171,21 @@ class IntermittentSimulator:
         schedule = self.schedule
         schedule.reset()
 
-        detector = IdempotencyDetector(self.config, mmap.text_word_range)
+        # Observability: normalize the recorder once so the hot loop only
+        # ever checks a cached `rec is not None`; with recording off every
+        # emission site below is the untouched original code path.
+        rec = live_recorder(self.recorder)
+        metrics = MetricsRegistry() if rec is not None else None
+
+        detector = IdempotencyDetector(
+            self.config, mmap.text_word_range, recorder=rec
+        )
         wbb = detector.wbb
         perf_wdt = PerformanceWatchdog(self.perf_watchdog_load)
         prog_wdt = ProgressWatchdog(
-            self.progress_watchdog_load, adaptive=self.progress_watchdog_adaptive
+            self.progress_watchdog_load,
+            adaptive=self.progress_watchdog_adaptive,
+            recorder=rec,
         )
 
         # Memory state. Volatile words are split out of the NV image.
@@ -185,8 +220,16 @@ class IntermittentSimulator:
         furthest = 0  # number of accesses ever completed
         output_ready = -1  # index whose output pre-checkpoint committed
         progress_this_cycle = False
+        last_commit_t = 0  # consumed-cycle clock at the last commit (recording)
 
         # --- helpers bound over the local state --------------------------
+
+        def elapsed() -> int:
+            """Consumed cycles since the start of the run — the event
+            timestamp clock.  Every on-time cycle lands in exactly one
+            accounting bucket, so consecutive power-on periods tile this
+            timeline without gaps."""
+            return useful + reexec + wasted + ckpt_cycles + restart_cycles
 
         def restart_sequence() -> int:
             """Start a power cycle: sample on-time, run the start-up
@@ -204,6 +247,15 @@ class IntermittentSimulator:
                     perf_wdt.reload()
                     return on_left - rcost
                 restart_cycles += on_left
+                if rec is not None:
+                    rec.emit(
+                        PowerFailure(
+                            t=elapsed(),
+                            power_cycle=power_cycles,
+                            phase="restart",
+                        )
+                    )
+                    metrics.counter("power_failures").inc()
                 power_cycles += 1
                 wasted_power_cycles += 1
                 if power_cycles > self.max_power_cycles:
@@ -217,6 +269,20 @@ class IntermittentSimulator:
             """Volatile state vanishes; resume from the last checkpoint."""
             nonlocal i, power_cycles, wasted_power_cycles, output_ready
             nonlocal vol_mem
+            if rec is not None:
+                t = elapsed()
+                rec.emit(
+                    PowerFailure(
+                        t=t,
+                        power_cycle=power_cycles,
+                        index=i,
+                        progress=progress_this_cycle,
+                    )
+                )
+                if i != ckpt_i:
+                    rec.emit(Rollback(t=t, from_index=i, to_index=ckpt_i))
+                    metrics.counter("rollbacks").inc()
+                metrics.counter("power_failures").inc()
             if not progress_this_cycle:
                 wasted_power_cycles += 1
             power_cycles += 1
@@ -236,7 +302,7 @@ class IntermittentSimulator:
         def do_checkpoint(on_left: int, cause: str):
             """Attempt a checkpoint; returns (success, remaining on-time)."""
             nonlocal ckpt_cycles, wasted, ckpt_i, wbb_flushed
-            nonlocal vol_snapshot, progress_this_cycle
+            nonlocal vol_snapshot, progress_this_cycle, last_commit_t
             c = cost.checkpoint_cycles(
                 len(wbb), len(vol_dirty) if has_vol else 0
             )
@@ -244,6 +310,17 @@ class IntermittentSimulator:
                 # Power failed before the commit instant: the double
                 # buffering discards the attempt.
                 wasted += on_left
+                if rec is not None:
+                    rec.emit(
+                        CheckpointAborted(
+                            t=elapsed(),
+                            cause=cause,
+                            needed_cycles=c,
+                            available_cycles=on_left,
+                            index=i,
+                        )
+                    )
+                    metrics.counter("checkpoints_aborted").inc()
                 return False, power_loss()
             flushed = detector.reset_section()
             if flushed:
@@ -254,6 +331,38 @@ class IntermittentSimulator:
                     vol_snapshot[w] = vol_mem[w]
                 vol_dirty.clear()
             ckpt_cycles += c
+            if rec is not None:
+                t = elapsed()
+                section_cycles = (t - c) - last_commit_t
+                rec.emit(
+                    SectionClosed(
+                        t=t - c,
+                        cause=cause,
+                        accesses=i - ckpt_i,
+                        cycles=section_cycles,
+                    )
+                )
+                rec.emit(
+                    CheckpointCommitted(
+                        t=t,
+                        cause=cause,
+                        cycles=c,
+                        index=i,
+                        flushed_words=len(flushed),
+                        power_cycle=power_cycles,
+                    )
+                )
+                last_commit_t = t
+                metrics.counter("checkpoints_committed").inc()
+                metrics.histogram(
+                    "section_accesses", SECTION_ACCESS_BUCKETS
+                ).observe(i - ckpt_i)
+                metrics.histogram(
+                    "section_cycles", SECTION_CYCLE_BUCKETS
+                ).observe(section_cycles)
+                metrics.histogram("wbb_flush_words", FLUSH_BUCKETS).observe(
+                    len(flushed)
+                )
             ckpt_i = i
             ckpt_counts[cause] = ckpt_counts.get(cause, 0) + 1
             perf_wdt.reload()
@@ -321,6 +430,13 @@ class IntermittentSimulator:
                 outputs += 1
                 if i < furthest:
                     duplicate_outputs += 1
+                if rec is not None:
+                    rec.emit(
+                        OutputCommitted(
+                            t=elapsed(), index=i, waddr=w, duplicate=i < furthest
+                        )
+                    )
+                    metrics.counter("outputs").inc()
                 on_left -= c
                 output_ready = -1
                 if i < furthest:
@@ -396,8 +512,28 @@ class IntermittentSimulator:
             prog_fired = prog_wdt.advance(c)
             perf_fired = perf_wdt.advance(c)
             if prog_fired:
+                if rec is not None:
+                    rec.emit(
+                        WatchdogFired(
+                            t=elapsed(),
+                            watchdog="progress",
+                            index=i,
+                            load_value=prog_wdt.nv_load_value,
+                        )
+                    )
+                    metrics.counter("watchdog_fired.progress").inc()
                 ok, on_left = do_checkpoint(on_left, "progress_wdt")
             elif perf_fired:
+                if rec is not None:
+                    rec.emit(
+                        WatchdogFired(
+                            t=elapsed(),
+                            watchdog="performance",
+                            index=i,
+                            load_value=perf_wdt.load_value,
+                        )
+                    )
+                    metrics.counter("watchdog_fired.performance").inc()
                 ok, on_left = do_checkpoint(on_left, "perf_wdt")
 
         # --- final verification -------------------------------------------
@@ -433,6 +569,7 @@ class IntermittentSimulator:
             wbb_words_flushed=wbb_flushed,
             verified=verified,
             completed=True,
+            metrics=metrics.to_dict() if metrics is not None else {},
         )
 
 

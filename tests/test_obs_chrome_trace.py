@@ -1,0 +1,76 @@
+"""Chrome trace-event export: span geometry and JSON validity."""
+
+import json
+
+from repro.core.config import ClankConfig
+from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.recorder import MemoryRecorder
+from repro.power.schedules import ExponentialPower
+from repro.sim.simulator import simulate
+
+from tests.conftest import rmw_trace
+
+CFG = ClankConfig.from_tuple((4, 2, 2, 0))
+
+
+def recorded_run(seed=5):
+    rec = MemoryRecorder()
+    result = simulate(
+        rmw_trace(400, addrs=16), CFG, ExponentialPower(800, seed=seed),
+        progress_watchdog=300, verify=True, recorder=rec,
+    )
+    return result, rec
+
+
+def spans(trace, lane):
+    names = {
+        e["args"]["name"]: e["tid"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    return [
+        e for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e["tid"] == names[lane]
+    ]
+
+
+class TestChromeTrace:
+    def test_json_round_trip(self, tmp_path):
+        result, rec = recorded_run()
+        path = str(tmp_path / "run.trace.json")
+        write_chrome_trace(rec.events, path, name=result.name)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded["traceEvents"]
+
+    def test_one_span_per_power_on_period(self):
+        result, rec = recorded_run()
+        power = spans(to_chrome_trace(rec.events), "power")
+        assert len(power) == result.power_cycles
+        # Periods tile the consumed-cycle timeline without gaps.
+        power.sort(key=lambda e: e["ts"])
+        assert power[0]["ts"] == 0
+        for prev, cur in zip(power, power[1:]):
+            assert prev["ts"] + prev["dur"] == cur["ts"]
+        end = power[-1]["ts"] + power[-1]["dur"]
+        assert end == result.total_cycles
+
+    def test_one_span_per_committed_checkpoint(self):
+        result, rec = recorded_run()
+        ckpts = spans(to_chrome_trace(rec.events), "checkpoints")
+        assert len(ckpts) == result.num_checkpoints
+        assert sum(e["dur"] for e in ckpts) == result.checkpoint_cycles
+
+    def test_rollbacks_produce_reexec_spans(self):
+        result, rec = recorded_run()
+        rollbacks = [e for e in rec.events
+                     if e.kind == "rollback" and e.from_index > e.to_index]
+        reexec = [e for e in spans(to_chrome_trace(rec.events), "execution")
+                  if e["name"] == "re-execution"]
+        assert len(reexec) == len(rollbacks)
+
+    def test_durations_never_negative(self):
+        _, rec = recorded_run()
+        for e in to_chrome_trace(rec.events)["traceEvents"]:
+            if e.get("ph") == "X":
+                assert e["dur"] >= 0

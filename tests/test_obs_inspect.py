@@ -1,0 +1,55 @@
+"""The ``python -m repro.obs.inspect`` event-log summarizer."""
+
+from repro.core.config import ClankConfig
+from repro.obs.inspect import main, summarize
+from repro.obs.recorder import JsonlRecorder, read_events
+from repro.power.schedules import ExponentialPower
+from repro.sim.simulator import simulate
+
+from tests.conftest import rmw_trace
+
+
+def record_log(path):
+    with JsonlRecorder(path) as rec:
+        result = simulate(
+            rmw_trace(400, addrs=16),
+            ClankConfig.from_tuple((4, 2, 2, 0)),
+            ExponentialPower(800, seed=5),
+            progress_watchdog=300,
+            verify=True,
+            recorder=rec,
+        )
+    return result
+
+
+class TestSummarize:
+    def test_sections_present(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        result = record_log(path)
+        text = summarize(read_events(path))
+        assert "event counts" in text
+        assert "checkpoints by cause" in text
+        assert "power:" in text
+        assert f"{result.power_cycles - 1} failures" in text
+        # every committed cause is named
+        for cause in result.checkpoints_by_cause:
+            assert cause in text
+
+    def test_empty_log(self):
+        assert summarize([]).startswith("event log: 0 events")
+
+
+class TestCli:
+    def test_main_prints_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        record_log(path)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "event counts" in out
+        assert "checkpoint_committed" in out
+
+    def test_module_is_runnable(self):
+        # ``python -m repro.obs.inspect`` resolves to this module's main().
+        import repro.obs.inspect as mod
+
+        assert callable(mod.main)

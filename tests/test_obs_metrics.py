@@ -1,0 +1,64 @@
+"""Unit tests for the metrics registry (counters + fixed-bucket histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestHistogram:
+    def test_bucket_assignment_inclusive_upper_bounds(self):
+        h = Histogram((1, 2, 4))
+        for v in (0, 1, 2, 3, 4, 5):
+            h.observe(v)
+        # <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5}
+        assert h.counts == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.total == 15
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 0 and h.max == 5
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((4, 2))
+        with pytest.raises(ValueError):
+            Histogram((1, 1, 2))
+
+    def test_empty_histogram_mean(self):
+        h = Histogram((1,))
+        assert h.mean == 0.0
+        assert h.min is None and h.max is None
+
+    def test_to_dict_is_json_serializable(self):
+        h = Histogram((1, 10))
+        h.observe(3)
+        d = h.to_dict()
+        json.dumps(d)
+        assert d["counts"] == [0, 1, 0]
+        assert d["count"] == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_semantics(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", (1, 2)) is reg.histogram("h", (1, 2))
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ckpt").inc(3)
+        reg.histogram("len", (2, 8)).observe(5)
+        d = reg.to_dict()
+        assert d["counters"] == {"ckpt": 3}
+        assert d["histograms"]["len"]["counts"] == [0, 1, 0]
+        json.dumps(d)

@@ -1,0 +1,108 @@
+"""Unit tests for the observability event types and recorders."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    BufferOverflow,
+    CheckpointAborted,
+    CheckpointCommitted,
+    OutputCommitted,
+    PowerFailure,
+    Rollback,
+    SectionClosed,
+    WatchdogFired,
+    WatchdogHalved,
+    event_from_dict,
+)
+from repro.obs.recorder import (
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    live_recorder,
+    read_events,
+)
+
+SAMPLE_EVENTS = [
+    PowerFailure(t=10, power_cycle=1, index=5, phase="run", progress=True),
+    PowerFailure(t=12, power_cycle=2, phase="restart"),
+    Rollback(t=10, from_index=5, to_index=2),
+    CheckpointCommitted(t=40, cause="rf_full", cycles=8, index=7,
+                        flushed_words=2, power_cycle=3),
+    CheckpointAborted(t=55, cause="final", needed_cycles=9,
+                      available_cycles=3, index=9),
+    SectionClosed(t=32, cause="rf_full", accesses=5, cycles=30),
+    BufferOverflow(buffer="wbb", waddr=0x0800_0000, op="write"),
+    WatchdogFired(t=70, watchdog="progress", index=11, load_value=150),
+    WatchdogHalved(load_value=75),
+    OutputCommitted(t=90, index=12, waddr=0x1000_0000, duplicate=True),
+]
+
+
+class TestEvents:
+    def test_every_kind_registered(self):
+        kinds = {e.kind for e in SAMPLE_EVENTS}
+        assert kinds == set(EVENT_TYPES)
+
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: e.kind)
+    def test_dict_round_trip(self, event):
+        d = event.to_dict()
+        assert d["kind"] == event.kind
+        json.dumps(d)  # must be JSON-serializable
+        assert event_from_dict(d) == event
+
+    def test_from_dict_ignores_unknown_keys(self):
+        d = Rollback(t=1, from_index=3, to_index=1).to_dict()
+        d["future_field"] = "whatever"
+        assert event_from_dict(d) == Rollback(t=1, from_index=3, to_index=1)
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "no_such_event"})
+
+    def test_rollback_accesses_discarded(self):
+        assert Rollback(from_index=7, to_index=3).accesses_discarded == 4
+
+
+class TestRecorders:
+    def test_null_recorder_drops_everything(self):
+        rec = NullRecorder()
+        for e in SAMPLE_EVENTS:
+            rec.emit(e)  # no storage, no error
+
+    def test_memory_recorder_collects_in_order(self):
+        rec = MemoryRecorder()
+        for e in SAMPLE_EVENTS:
+            rec.emit(e)
+        assert list(rec) == SAMPLE_EVENTS
+        assert len(rec) == len(SAMPLE_EVENTS)
+        assert rec.of_kind("power_failure") == SAMPLE_EVENTS[:2]
+        assert rec.counts()["power_failure"] == 2
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JsonlRecorder(path) as rec:
+            for e in SAMPLE_EVENTS:
+                rec.emit(e)
+        assert rec.count == len(SAMPLE_EVENTS)
+        # Each line is a standalone JSON object.
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == len(SAMPLE_EVENTS)
+        for line in lines:
+            json.loads(line)
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_read_events_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "rollback"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            read_events(str(path))
+
+    def test_live_recorder_normalization(self):
+        mem = MemoryRecorder()
+        assert live_recorder(None) is None
+        assert live_recorder(NullRecorder()) is None
+        assert live_recorder(mem) is mem

@@ -1,5 +1,7 @@
 """Unit tests for SimulationResult accounting and experiment settings."""
 
+import json
+
 import pytest
 
 from repro.eval.runner import average, benchmark_traces, pi_words_for
@@ -8,22 +10,26 @@ from repro.sim.result import SimulationResult
 from repro.workloads.cache import get_trace
 
 
+def make_result(**kw):
+    base = dict(
+        name="w",
+        config_label="1,0,0,0",
+        baseline_cycles=1000,
+        useful_cycles=1000,
+        checkpoint_cycles=100,
+        restart_cycles=50,
+        reexec_cycles=200,
+        wasted_cycles=25,
+        checkpoints_by_cause={"violation": 3, "final": 1},
+        power_cycles=4,
+    )
+    base.update(kw)
+    return SimulationResult(**base)
+
+
 class TestSimulationResult:
     def make(self, **kw):
-        base = dict(
-            name="w",
-            config_label="1,0,0,0",
-            baseline_cycles=1000,
-            useful_cycles=1000,
-            checkpoint_cycles=100,
-            restart_cycles=50,
-            reexec_cycles=200,
-            wasted_cycles=25,
-            checkpoints_by_cause={"violation": 3, "final": 1},
-            power_cycles=4,
-        )
-        base.update(kw)
-        return SimulationResult(**base)
+        return make_result(**kw)
 
     def test_total_cycles_is_sum_of_buckets(self):
         res = self.make()
@@ -49,6 +55,70 @@ class TestSimulationResult:
 
     def test_summary_is_one_line(self):
         assert "\n" not in self.make().summary()
+
+
+class TestSimulationResultSerialization:
+    make = staticmethod(make_result)
+
+    def test_dict_round_trip(self):
+        res = self.make(
+            metrics={"counters": {"checkpoints_committed": 4}, "histograms": {}}
+        )
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone == res
+
+    def test_round_trip_does_not_alias_mutables(self):
+        res = self.make()
+        clone = SimulationResult.from_dict(res.to_dict())
+        clone.checkpoints_by_cause["violation"] = 999
+        assert res.checkpoints_by_cause["violation"] == 3
+
+    def test_to_dict_derived_block(self):
+        res = self.make()
+        d = res.to_dict()
+        assert d["derived"]["run_time_overhead"] == pytest.approx(0.375)
+        assert d["derived"]["num_checkpoints"] == 4
+        assert "derived" not in res.to_dict(include_derived=False)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        d = self.make().to_dict()
+        d["from_the_future"] = 1
+        assert SimulationResult.from_dict(d) == self.make()
+
+    def test_to_json_loads_back(self):
+        res = self.make()
+        loaded = json.loads(res.to_json(indent=2))
+        assert loaded["name"] == "w"
+        assert SimulationResult.from_dict(loaded) == res
+
+
+class TestSimulationResultEdgeCases:
+    make = staticmethod(make_result)
+
+    def test_zero_committed_checkpoints(self):
+        res = self.make(checkpoints_by_cause={}, checkpoint_cycles=0)
+        assert res.num_checkpoints == 0
+        assert res.checkpoint_overhead == 0.0
+        # avg_section_cycles degrades to the whole run, not a ZeroDivision.
+        assert res.avg_section_cycles == res.total_cycles
+        assert SimulationResult.from_dict(res.to_dict()) == res
+
+    def test_incomplete_run(self):
+        res = self.make(completed=False, useful_cycles=400)
+        assert not res.completed
+        assert res.total_cycles == 400 + 100 + 50 + 200 + 25
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone.completed is False
+
+    def test_total_overhead_with_hardware_fraction(self):
+        res = self.make()
+        assert res.total_overhead(0.0) == pytest.approx(1.375)
+        # hardware power adds linearly on top of software overhead
+        assert res.total_overhead(0.13) == pytest.approx(1.505)
+        assert res.total_overhead(0.13) > res.total_overhead()
+
+    def test_default_metrics_empty(self):
+        assert self.make().metrics == {}
 
 
 class TestEvalSettings:
