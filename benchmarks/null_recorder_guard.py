@@ -1,4 +1,5 @@
-"""CI micro-benchmark guard: recording-off must cost nothing.
+"""CI micro-benchmark guard: recording-off must cost nothing, and
+compiled-trace replay must be stable run-to-run.
 
 Times a Figure 5-style sweep (several buffer configurations x several
 benchmarks, ``verify=False``, progress watchdog on — the shape of the
@@ -7,6 +8,14 @@ paper's design-space runs) twice: once with no recorder and once with a
 normalizes a NullRecorder to "no recorder" before its hot loop, so the two
 must be within noise of each other; the guard fails if the NullRecorder
 sweep exceeds the baseline by more than the threshold (default 5%).
+
+A second check guards the array-compiled replay path: the simulator's hot
+loop runs over ``Trace.compiled()`` arrays that are built lazily once and
+cached on the trace.  The guard asserts the cache is actually hit (the
+same object comes back) and that two back-to-back sweeps over compiled
+traces land within the threshold of each other — a regression that
+recompiled per run, or fell back to per-``Access`` attribute lookups on
+some runs, shows up as run-to-run spread.
 
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
@@ -69,6 +78,27 @@ def main(argv=None) -> int:
         print("FAIL: NullRecorder added measurable per-access overhead")
         return 1
     print("OK: recording off is free")
+
+    # Compiled-replay guard: the lazy compile must be cached (same object
+    # back every time) and repeat sweeps over compiled traces must agree
+    # run-to-run within the same threshold.
+    for trace in traces:
+        if trace.compiled() is not trace.compiled():
+            print(f"FAIL: {trace.name}: Trace.compiled() rebuilt on reuse")
+            return 1
+    # Best-of-N on both sides; extra repeats keep the tiny sweep times
+    # from turning scheduler noise into a spurious failure.
+    stability_repeats = max(args.repeats, 5)
+    first = sweep_seconds(traces, settings, None, stability_repeats)
+    second = sweep_seconds(traces, settings, None, stability_repeats)
+    spread = max(first, second) / min(first, second)
+    print(f"compiled replay, sweep 1: {first:.3f}s")
+    print(f"compiled replay, sweep 2: {second:.3f}s")
+    print(f"run-to-run spread: {spread:.4f} (threshold {args.threshold:.2f})")
+    if spread > args.threshold:
+        print("FAIL: compiled-trace replay is unstable run-to-run")
+        return 1
+    print("OK: compiled replay cached and stable")
     return 0
 
 

@@ -120,9 +120,13 @@ class WriteBackBuffer:
         return True
 
     def drain(self) -> Dict[int, int]:
-        """Remove and return all entries (checkpoint flush)."""
-        entries = self._entries
-        self._entries = {}
+        """Remove and return all entries (checkpoint flush).
+
+        Clears the entry dict in place (rather than swapping in a fresh
+        dict) so hot-path callers may cache a reference to it.
+        """
+        entries = dict(self._entries)
+        self._entries.clear()
         return entries
 
     def clear(self) -> None:

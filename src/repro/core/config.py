@@ -203,6 +203,15 @@ class ClankConfig:
             optimizations=optimizations or PolicyOptimizations.all(),
         )
 
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """The paper's ``(R, W, WB, AP)`` entry-count tuple.
+
+        The inverse of :meth:`from_tuple` (modulo optimizations), and the
+        canonical memo/job key for sweeps: unlike :meth:`label` strings,
+        tuples cannot collide between distinct compositions.
+        """
+        return (self.rf_entries, self.wf_entries, self.wbb_entries, self.apb_entries)
+
     def label(self) -> str:
         """Paper-style label, e.g. ``"16,8,4,4"``."""
         return f"{self.rf_entries},{self.wf_entries},{self.wbb_entries},{self.apb_entries}"

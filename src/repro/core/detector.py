@@ -73,7 +73,25 @@ class IdempotencyDetector:
         if self.opts.ignore_text and text_word_range is None:
             text_word_range = (0, 0)
         self._text_lo, self._text_hi = text_word_range or (0, 0)
+        # The policy flags are consulted on every access of every replay;
+        # flatten them out of the nested dataclass so the decision paths do
+        # a single attribute fetch.
         self._ignore_text = self.opts.ignore_text
+        self._ignore_false_writes = self.opts.ignore_false_writes
+        self._remove_duplicates = self.opts.remove_duplicates
+        self._no_wf_overflow = self.opts.no_wf_overflow
+        self._latest_checkpoint = self.opts.latest_checkpoint
+        # Direct references to the buffers' backing containers: membership
+        # tests run once or twice per replayed access, and a set/dict probe
+        # is several times cheaper than a __contains__ method call.  All
+        # buffer operations (insert/discard/clear/drain/restore) mutate
+        # these containers in place, so the references never go stale.
+        self._rf_set = self.rf._addrs
+        self._wf_set = self.wf._addrs
+        self._wbb_map = self.wbb._entries
+        self._rf_capacity = self.rf.capacity
+        self._wf_capacity = self.wf.capacity
+        self._apb_enabled = self.apb.capacity > 0
         self.recorder = recorder
         #: Latest-checkpoint mode: tracking stopped after a read-side fill;
         #: reads pass untracked, the next write checkpoints (Section 3.2.5).
@@ -89,14 +107,15 @@ class IdempotencyDetector:
             return _PROCEED
         if self._ignore_text and self._text_lo <= waddr < self._text_hi:
             return _PROCEED
-        if waddr in self.wbb or waddr in self.rf or waddr in self.wf:
+        rf_set = self._rf_set
+        if waddr in rf_set or waddr in self._wbb_map or waddr in self._wf_set:
             return _PROCEED
         # A fresh read-dominated address must enter the Read-first Buffer.
-        if self.rf.full:
+        if len(rf_set) >= self._rf_capacity:
             return self._read_side_full("rf_full", waddr)
-        if not self.apb.admit(waddr):
+        if self._apb_enabled and not self.apb.admit(waddr):
             return self._read_side_full("apb_full", waddr)
-        self.rf.insert(waddr)
+        rf_set.add(waddr)
         return _PROCEED
 
     def on_write(self, waddr: int, new_value: int, cur_value: int) -> Decision:
@@ -110,7 +129,7 @@ class IdempotencyDetector:
                 the ignore-false-writes optimization.
         """
         if self.untracked:
-            if self.opts.ignore_false_writes and new_value == cur_value:
+            if self._ignore_false_writes and new_value == cur_value:
                 return _PROCEED
             return (CHECKPOINT, "latest_write")
         if self._ignore_text and self._text_lo <= waddr < self._text_hi:
@@ -118,15 +137,17 @@ class IdempotencyDetector:
             # the write then commits directly: after the checkpoint it is
             # the first access to the address, hence write-dominated.
             return (CHECKPOINT_THEN_WRITE, "text_write")
-        if waddr in self.wbb:
+        wbb_map = self._wbb_map
+        if waddr in wbb_map:
             # Address owned by the Write-back Buffer; update in place.
-            self.wbb.put(waddr, new_value)
+            wbb_map[waddr] = new_value
             return _PROCEED_WBB
-        if waddr in self.wf:
+        wf_set = self._wf_set
+        if waddr in wf_set:
             return _PROCEED
-        if waddr in self.rf:
+        if waddr in self._rf_set:
             # Idempotency violation: write to a read-dominated address.
-            if self.opts.ignore_false_writes and new_value == cur_value:
+            if self._ignore_false_writes and new_value == cur_value:
                 return _PROCEED
             if self.wbb.capacity == 0:
                 return (CHECKPOINT, "violation")
@@ -138,32 +159,32 @@ class IdempotencyDetector:
                         BufferOverflow(buffer="wbb", waddr=waddr, op="write")
                     )
                 return (CHECKPOINT, "wbb_full")
-            if self.opts.remove_duplicates:
-                self.rf.discard(waddr)
+            if self._remove_duplicates:
+                self._rf_set.discard(waddr)
             return _PROCEED_WBB
         # Fresh address: write-dominated.
-        if self.wf.capacity == 0:
+        if self._wf_capacity == 0:
             # No Write-first Buffer configured: the write is untracked.
             # Safe but pessimistic — a later read then write of this address
             # will look like a violation.
             return _PROCEED
-        if self.wf.full:
+        if len(wf_set) >= self._wf_capacity:
             if self.recorder is not None:
                 self.recorder.emit(
                     BufferOverflow(buffer="wf", waddr=waddr, op="write")
                 )
-            if self.opts.no_wf_overflow:
+            if self._no_wf_overflow:
                 return _PROCEED
             return (CHECKPOINT, "wf_full")
-        if not self.apb.admit(waddr):
+        if self._apb_enabled and not self.apb.admit(waddr):
             if self.recorder is not None:
                 self.recorder.emit(
                     BufferOverflow(buffer="apb", waddr=waddr, op="write")
                 )
-            if self.opts.no_wf_overflow:
+            if self._no_wf_overflow:
                 return _PROCEED
             return (CHECKPOINT, "apb_full")
-        self.wf.insert(waddr)
+        wf_set.add(waddr)
         return _PROCEED
 
     def _read_side_full(self, cause: str, waddr: int) -> Decision:
@@ -178,7 +199,7 @@ class IdempotencyDetector:
                     op="read",
                 )
             )
-        if self.opts.latest_checkpoint:
+        if self._latest_checkpoint:
             self.untracked = True
             return _PROCEED
         return (CHECKPOINT, cause)
@@ -233,10 +254,16 @@ class IdempotencyDetector:
     def restore(self, state: Tuple) -> None:
         """Restore a state captured by :meth:`snapshot`."""
         rf, wf, wbb_items, prefixes, untracked = state
-        self.rf._addrs = set(rf)
-        self.wf._addrs = set(wf)
-        self.wbb._entries = dict(wbb_items)
-        self.apb._prefixes = set(prefixes)
+        # Mutate the backing containers in place: the decision paths hold
+        # direct references to them (see __init__).
+        self.rf._addrs.clear()
+        self.rf._addrs.update(rf)
+        self.wf._addrs.clear()
+        self.wf._addrs.update(wf)
+        self.wbb._entries.clear()
+        self.wbb._entries.update(wbb_items)
+        self.apb._prefixes.clear()
+        self.apb._prefixes.update(prefixes)
         self.untracked = untracked
 
     def occupancy(self) -> Dict[str, int]:

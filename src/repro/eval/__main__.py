@@ -1,17 +1,25 @@
 """Command-line entry point: ``python -m repro.eval <experiment>``.
 
 Experiments: table1, fig5, fig6, table2, fig7, fig8, table3, table4, all.
-Pass ``--quick`` for smoke-test sizes.
+Pass ``--quick`` for smoke-test sizes and ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) to run the sweep drivers on N worker
+processes (``--jobs 0`` = all CPUs); results are bit-identical at any
+worker count.
 
 Every invocation prints a run profile (wall-clock per experiment driver,
 simulator time per workload, trace-cache hit rate); full-size runs also
-write it to ``results/profile.txt``.
+write it to ``results/profile.txt`` and append a machine-readable entry to
+the performance trajectory in ``results/BENCH_sweep.json``.
 """
 
 import argparse
+import json
 import os
 import sys
+import time
+from datetime import datetime, timezone
 
+from repro.eval.parallel import resolve_workers
 from repro.eval.settings import EvalSettings
 from repro.obs.profile import PROFILER
 from repro.workloads.cache import cache_stats, reset_cache_stats
@@ -21,7 +29,31 @@ _EXPERIMENTS = (
     "ablation_compiler", "ablation_progress", "ablation_apb", "ablation_undo",
 )
 
+#: Drivers refactored onto the parallel sweep engine (accept ``n_workers``).
+PARALLEL_DRIVERS = frozenset(
+    ("fig5", "fig6", "fig7", "fig8", "table2",
+     "ablation_compiler", "ablation_progress", "ablation_apb",
+     "ablation_undo")
+)
+
 _PROFILE_PATH = os.path.join("results", "profile.txt")
+_BENCH_PATH = os.path.join("results", "BENCH_sweep.json")
+
+
+def _append_bench_entry(path: str, entry: dict) -> None:
+    """Append ``entry`` to the bench history file (creating it if absent)."""
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                history = json.load(fh).get("history", [])
+        except (OSError, ValueError):
+            history = []
+    history.append(entry)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"history": history}, fh, indent=2)
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
@@ -36,6 +68,9 @@ def main(argv=None) -> int:
                         help="dynamically verify every simulation")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip per-workload simulator timing")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep drivers "
+                             "(0 = all CPUs; default: $REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
 
     settings = EvalSettings(
@@ -43,27 +78,59 @@ def main(argv=None) -> int:
     )
     if args.quick:
         settings = settings.quick()
+    n_workers = resolve_workers(args.jobs)
 
     PROFILER.reset()
     reset_cache_stats()
 
+    driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    wall_start = time.perf_counter()
     for name in names:
         module = __import__(f"repro.eval.{name}", fromlist=["run", "render"])
+        runs_before = PROFILER.total_sim_runs
         with PROFILER.phase(name):
-            data = module.run(settings)
+            if name in PARALLEL_DRIVERS:
+                data = module.run(settings, n_workers=n_workers)
+            else:
+                data = module.run(settings)
+        runs = PROFILER.total_sim_runs - runs_before
+        seconds = PROFILER.phases[name]
+        driver_stats[name] = {
+            "seconds": round(seconds, 3),
+            "runs": runs,
+            "ms_per_run": round(1000.0 * seconds / runs, 3) if runs else None,
+        }
         print(module.render(data))
-        print(f"[{name} completed in {PROFILER.phases[name]:.1f}s]\n")
+        print(f"[{name} completed in {seconds:.1f}s]\n")
+    wall_clock = time.perf_counter() - wall_start
 
     profile = PROFILER.table(cache_stats=cache_stats())
     print(profile)
     if not args.quick:
         # Quick smoke runs (and the test suite) must not clobber the
-        # committed full-run profile.
+        # committed full-run profile or the bench trajectory.
         os.makedirs(os.path.dirname(_PROFILE_PATH), exist_ok=True)
         with open(_PROFILE_PATH, "w", encoding="utf-8") as fh:
             fh.write(profile + "\n")
         print(f"[profile written to {_PROFILE_PATH}]")
+        sim_runs = PROFILER.total_sim_runs
+        sim_seconds = PROFILER.total_sim_seconds
+        _append_bench_entry(_BENCH_PATH, {
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "experiments": list(names),
+            "jobs": n_workers,
+            "cpus": os.cpu_count(),
+            "wall_clock_s": round(wall_clock, 3),
+            "sim_runs": sim_runs,
+            "sim_seconds": round(sim_seconds, 3),
+            "ms_per_run": round(1000.0 * sim_seconds / sim_runs, 3)
+            if sim_runs else None,
+            "drivers": driver_stats,
+        })
+        print(f"[bench entry appended to {_BENCH_PATH}]")
     return 0
 
 

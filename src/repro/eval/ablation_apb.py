@@ -11,11 +11,13 @@ composition (a 2-entry APB keeps prefix pressure visible).
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import ClankConfig, PolicyOptimizations
-from repro.eval.runner import average, benchmark_traces, run_clank
+from repro.eval.parallel import SimJob, run_jobs
+from repro.eval.runner import average
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.workloads.registry import mibench2_names
 
 #: Entry counts held fixed across the sweep; a 2-entry APB keeps prefix
 #: pressure visible.  Latest-checkpoint is disabled so APB fills appear as
@@ -39,9 +41,25 @@ class ApbAblationRow:
     apb_full_fraction: float  # share of checkpoints caused by APB fills
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[ApbAblationRow]:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> List[ApbAblationRow]:
     """Sweep the prefix split across the benchmark suite."""
-    traces = benchmark_traces(settings, size=settings.sweep_size)
+    names = mibench2_names()
+    jobs = [
+        SimJob(
+            workload=name,
+            config=BASE_SPEC,
+            size=settings.sweep_size,
+            salt=salt,
+            opts=_OPTS,
+            prefix_low_bits=low,
+        )
+        for low in LOW_BITS
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     rows = []
     for low in LOW_BITS:
         config = dataclasses.replace(
@@ -49,8 +67,8 @@ def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[ApbAblationRow]:
         )
         overheads = []
         apb_full = total_ckpt = 0
-        for salt, (name, trace) in enumerate(traces):
-            result = run_clank(trace, config, settings, salt=salt)
+        for name in names:
+            result = next(results)
             overheads.append(result.checkpoint_overhead)
             apb_full += result.checkpoints_by_cause.get("apb_full", 0)
             total_ckpt += result.num_checkpoints

@@ -18,17 +18,13 @@ of future exploration".
 """
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.compiler.epoch_analysis import compile_with_epochs
-from repro.compiler.program_idempotence import (
-    ignorable_access_count,
-    profile_program_idempotent,
-)
-from repro.core.config import ClankConfig
-from repro.eval.runner import average, benchmark_traces
+from repro.compiler.program_idempotence import ignorable_access_count
+from repro.eval.parallel import SimJob, run_jobs
+from repro.eval.runner import average, benchmark_traces, pi_words_for
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
-from repro.sim.simulator import IntermittentSimulator
 
 #: Small budget where marking matters (Figure 5's left region).
 ABLATION_CONFIG = (2, 1, 1, 1)
@@ -48,33 +44,42 @@ class CompilerAblationRow:
     checkpoint_overhead: Dict[str, float]  # variant -> fraction
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[CompilerAblationRow]:
-    """Measure every benchmark under the three variants."""
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> List[CompilerAblationRow]:
+    """Measure every benchmark under the three variants.
+
+    Coverage is a pure static-analysis figure computed in-process; the
+    simulations go through the parallel engine, whose workers re-derive
+    the same (cached) compiler plans from the job descriptors.
+    """
+    traces = benchmark_traces(settings, size=settings.sweep_size)
+    jobs = [
+        SimJob(
+            workload=name,
+            config=ABLATION_CONFIG,
+            size=settings.sweep_size,
+            salt=salt,
+            use_compiler=(variant == "whole-program"),
+            epoch_cycles=EPOCH_CYCLES if variant == "epoch" else 0,
+        )
+        for salt, (name, trace) in enumerate(traces)
+        for variant in VARIANTS
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     rows = []
-    config = ClankConfig.from_tuple(ABLATION_CONFIG)
-    for salt, (name, trace) in enumerate(
-        benchmark_traces(settings, size=settings.sweep_size)
-    ):
-        pi_words = profile_program_idempotent(trace)
+    for name, trace in traces:
+        pi_words = pi_words_for(trace)
         plan = compile_with_epochs(trace, EPOCH_CYCLES)
         coverage = {
             "none": 0.0,
             "whole-program": ignorable_access_count(trace, pi_words) / max(1, len(trace)),
             "epoch": plan.coverage(trace),
         }
-        overheads = {}
-        for variant in VARIANTS:
-            sim = IntermittentSimulator(
-                trace,
-                config,
-                settings.schedule(salt),
-                progress_watchdog="auto",
-                pi_words=pi_words if variant == "whole-program" else None,
-                pi_access_indices=plan.ignorable if variant == "epoch" else None,
-                forced_checkpoints=plan.boundaries if variant == "epoch" else None,
-                verify=settings.verify,
-            )
-            overheads[variant] = sim.run().checkpoint_overhead
+        overheads = {
+            variant: next(results).checkpoint_overhead for variant in VARIANTS
+        }
         rows.append(CompilerAblationRow(name, coverage, overheads))
     return rows
 

@@ -15,12 +15,8 @@ workload (whose natural sections exceed the runt length):
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.common.errors import SimulationError
-from repro.core.config import ClankConfig
+from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
-from repro.power.schedules import RuntPower
-from repro.sim.simulator import IntermittentSimulator
-from repro.workloads.cache import get_trace
 
 #: A long, violation-free workload (table-driven CRC-32 never writes what
 #: it read): its natural idempotent section is the whole program, so
@@ -47,39 +43,44 @@ class ProgressAblationRow:
     wasted_power_cycles: Dict[str, int]
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[ProgressAblationRow]:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> List[ProgressAblationRow]:
     """Sweep runt fractions across the three watchdog designs."""
-    trace = get_trace(WORKLOAD, size=settings.size)
-    config = ClankConfig.from_tuple((16, 8, 4, 4))
+    jobs = [
+        SimJob(
+            workload=WORKLOAD,
+            config=(16, 8, 4, 4),
+            size=settings.size,
+            schedule="runt",
+            runt_mean=RUNT_MEAN,
+            runt_fraction=fraction,
+            # The fixed variant is provisioned for the *nominal*
+            # (runt-free) supply; only the adaptive design can shrink
+            # its period when conditions degrade.
+            progress_watchdog=0 if variant == "off"
+            else settings.avg_on_cycles // 2,
+            progress_watchdog_adaptive=(variant == "adaptive"),
+            max_power_cycles=30_000,
+            allow_stall=True,  # stalling *is* the measured failure mode
+        )
+        for fraction in RUNT_FRACTIONS
+        for variant in VARIANTS
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     rows = []
     for fraction in RUNT_FRACTIONS:
         overhead: Dict[str, Optional[float]] = {}
         wasted: Dict[str, int] = {}
         for variant in VARIANTS:
-            schedule = RuntPower(
-                settings.avg_on_cycles, RUNT_MEAN,
-                runt_fraction=fraction, seed=settings.seed,
-            )
-            sim = IntermittentSimulator(
-                trace,
-                config,
-                schedule,
-                # The fixed variant is provisioned for the *nominal*
-                # (runt-free) supply; only the adaptive design can shrink
-                # its period when conditions degrade.
-                progress_watchdog=0 if variant == "off"
-                else settings.avg_on_cycles // 2,
-                progress_watchdog_adaptive=(variant == "adaptive"),
-                verify=settings.verify,
-                max_power_cycles=30_000,
-            )
-            try:
-                result = sim.run()
+            result = next(results)
+            if result is None:  # stalled: no forward progress
+                overhead[variant] = None
+                wasted[variant] = -1
+            else:
                 overhead[variant] = 1.0 + result.run_time_overhead
                 wasted[variant] = result.wasted_power_cycles
-            except SimulationError:
-                overhead[variant] = None  # stalled: no forward progress
-                wasted[variant] = -1
         rows.append(ProgressAblationRow(fraction, overhead, wasted))
     return rows
 

@@ -14,13 +14,12 @@ why this is a per-benchmark table.
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.core.config import ClankConfig
-from repro.eval.runner import average, benchmark_traces
+from repro.eval.parallel import SimJob, run_jobs
+from repro.eval.runner import average
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
-from repro.sim.simulator import IntermittentSimulator
-from repro.sim.undo_log import UndoLogSimulator
+from repro.workloads.registry import mibench2_names
 
 #: Clank side: the paper's 8,4,2,0 build (2-entry volatile WBB).
 CLANK_SPEC = (8, 4, 2, 0)
@@ -41,27 +40,37 @@ class UndoAblationRow:
     undo_entries: int
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[UndoAblationRow]:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> List[UndoAblationRow]:
     """Compare the two designs on every benchmark."""
+    names = mibench2_names()
+    jobs = []
+    for salt, name in enumerate(names):
+        jobs.append(
+            SimJob(
+                workload=name,
+                config=CLANK_SPEC,
+                size=settings.sweep_size,
+                salt=salt,
+            )
+        )
+        jobs.append(
+            SimJob(
+                workload=name,
+                config=UNDO_SPEC,
+                size=settings.sweep_size,
+                salt=salt,
+                engine="undo",
+                log_entries=UNDO_LOG_ENTRIES,
+            )
+        )
+    results = iter(run_jobs(jobs, settings, n_workers))
     rows = []
-    for salt, (name, trace) in enumerate(
-        benchmark_traces(settings, size=settings.sweep_size)
-    ):
-        clank = IntermittentSimulator(
-            trace,
-            ClankConfig.from_tuple(CLANK_SPEC),
-            settings.schedule(salt),
-            progress_watchdog="auto",
-            verify=settings.verify,
-        ).run()
-        undo = UndoLogSimulator(
-            trace,
-            ClankConfig.from_tuple(UNDO_SPEC),
-            settings.schedule(salt),
-            log_entries=UNDO_LOG_ENTRIES,
-            progress_watchdog="auto",
-            verify=settings.verify,
-        ).run()
+    for name in names:
+        clank = next(results)
+        undo = next(results)
         rows.append(
             UndoAblationRow(
                 benchmark=name,

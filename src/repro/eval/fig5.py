@@ -18,12 +18,14 @@ the ``R`` family.
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ClankConfig
+from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.pareto import Point, pareto_frontier
-from repro.eval.runner import average, benchmark_traces, run_clank
+from repro.eval.runner import average
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.workloads.registry import mibench2_names
 
 #: Entry-count grids per buffer.  Kept modest: the full cross product over
 #: five families and 23 benchmarks is the shape of the paper's 8-CPU-month
@@ -60,25 +62,53 @@ class Fig5Data:
     frontiers: Dict[str, List[Point]]
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> Fig5Data:
-    """Sweep all families over the benchmark suite (sweep-size traces)."""
-    traces = benchmark_traces(settings, size=settings.sweep_size)
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> Fig5Data:
+    """Sweep all families over the benchmark suite (sweep-size traces).
+
+    Families share grid points, so the sweep first de-duplicates the
+    (composition, compiler) pairs — keyed by the entry-count *tuple*, not
+    the label string, so distinct compositions can never collide — then
+    runs one benchmark-suite job batch per unique pair through the
+    parallel engine.
+    """
+    names = mibench2_names()
+    keys: List[Tuple[int, int, int, int, bool]] = []
+    seen = set()
+    for family in FAMILIES:
+        use_compiler = family.endswith("+C")
+        for config in family_configs(family.replace("+C", "")):
+            key = config.as_tuple() + (use_compiler,)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    jobs = [
+        SimJob(
+            workload=name,
+            config=key[:4],
+            size=settings.sweep_size,
+            salt=salt,
+            use_compiler=key[4],
+        )
+        for key in keys
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
+    overhead: Dict[Tuple[int, int, int, int, bool], float] = {}
+    for key in keys:
+        overhead[key] = average(
+            next(results).checkpoint_overhead for _ in names
+        )
+
     frontiers: Dict[str, List[Point]] = {}
-    cache: Dict[Tuple[str, bool], float] = {}
     for family in FAMILIES:
         use_compiler = family.endswith("+C")
         points: List[Point] = []
         for config in family_configs(family.replace("+C", "")):
-            key = (config.label(), use_compiler)
-            if key not in cache:
-                overheads = []
-                for salt, (name, trace) in enumerate(traces):
-                    result = run_clank(
-                        trace, config, settings, salt=salt, use_compiler=use_compiler
-                    )
-                    overheads.append(result.checkpoint_overhead)
-                cache[key] = average(overheads)
-            points.append((config.buffer_bits, cache[key], config.label()))
+            value = overhead[config.as_tuple() + (use_compiler,)]
+            points.append((config.buffer_bits, value, config.label()))
         frontiers[family] = pareto_frontier(points)
     return Fig5Data(frontiers=frontiers)
 

@@ -9,16 +9,18 @@ overhead.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import (
     ClankConfig,
     OPTIMIZATION_NAMES,
     PolicyOptimizations,
 )
+from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.pareto import Point, pareto_frontier
-from repro.eval.runner import average, benchmark_traces, run_clank
+from repro.eval.runner import average
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.workloads.registry import mibench2_names
 
 #: Buffer grid for the policy sweep (Pareto-relevant sizes).
 _GRID = ((1, 0, 0, 0), (2, 1, 0, 0), (4, 2, 1, 0), (8, 4, 2, 0),
@@ -44,27 +46,40 @@ def _settings_for(label: str) -> List[PolicyOptimizations]:
     return [PolicyOptimizations.only(label)]
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> Fig6Data:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> Fig6Data:
     """Sweep the 32 policy settings over the buffer grid.
 
     ``profiled`` picks, per benchmark and per buffer composition, the best
     of all 32 settings before averaging — exactly the paper's definition.
     """
-    traces = benchmark_traces(settings, size=settings.sweep_size)
+    names = mibench2_names()
+    all_opts = PolicyOptimizations.all_settings()
+    jobs = [
+        SimJob(
+            workload=name,
+            config=spec,
+            size=settings.sweep_size,
+            salt=salt,
+            opts=opts,
+        )
+        for spec in _GRID
+        for opts in all_opts
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     # overhead[(spec, opt_label)][benchmark] -> checkpoint overhead
     per_bench: Dict[tuple, List[float]] = {}
-    all_opts = PolicyOptimizations.all_settings()
     for spec in _GRID:
         for opts in all_opts:
-            config = ClankConfig.from_tuple(spec, opts)
-            overheads = []
-            for salt, (name, trace) in enumerate(traces):
-                result = run_clank(trace, config, settings, salt=salt)
-                overheads.append(result.checkpoint_overhead)
-            per_bench[(spec, opts.label())] = overheads
+            per_bench[(spec, opts.label())] = [
+                next(results).checkpoint_overhead for _ in names
+            ]
 
     frontiers: Dict[str, List[Point]] = {}
-    nbench = len(traces)
+    nbench = len(names)
     for label in SETTING_LABELS:
         points: List[Point] = []
         for spec in _GRID:

@@ -8,12 +8,13 @@ are starred, as in the paper.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ClankConfig, TABLE2_CONFIGS
-from repro.eval.runner import benchmark_traces, run_clank
+from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
 from repro.hw.cost_model import hardware_overhead
+from repro.workloads.registry import mibench2_names
 
 
 @dataclass(frozen=True)
@@ -63,21 +64,34 @@ class Fig7Data:
         return [(cfg, sum(v) / len(v)) for cfg, v in grouped.items()]
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> Fig7Data:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> Fig7Data:
     """Simulate every benchmark under the five Table 2 configurations."""
-    traces = benchmark_traces(settings)
+    names = mibench2_names()
     variants = [(spec, False, 0) for spec in TABLE2_CONFIGS]
     variants.append((TABLE2_CONFIGS[-1], True, "auto"))
+    jobs = [
+        SimJob(
+            workload=name,
+            config=spec,
+            size=settings.size,
+            salt=salt,
+            use_compiler=use_compiler,
+            perf_watchdog=wdt,
+        )
+        for spec, use_compiler, wdt in variants
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     bars: List[Fig7Bar] = []
     for spec, use_compiler, wdt in variants:
         config = ClankConfig.from_tuple(spec)
         label = config.label() + ("+C+WDT" if use_compiler else "")
         hw = hardware_overhead(config, watchdogs=use_compiler).power_fraction
-        for salt, (name, trace) in enumerate(traces):
-            result = run_clank(
-                trace, config, settings, salt=salt,
-                use_compiler=use_compiler, perf_watchdog=wdt,
-            )
+        for name in names:
+            result = next(results)
             bars.append(
                 Fig7Bar(
                     benchmark=name,

@@ -11,14 +11,12 @@ the analytic ``P* = sqrt(2·C·T)`` (see
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import ClankConfig
 from repro.core.watchdogs import optimal_watchdog_value
+from repro.eval.parallel import FIXED_COST_MODEL, SimJob, run_jobs
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
-from repro.runtime.costs import CostModel
-from repro.sim.simulator import IntermittentSimulator
-from repro.workloads.cache import get_trace
 
 #: Fixed-cost checkpoints, as the paper's Section 7.4 analysis assumes
 #: ("it is possible to calculate the optimal watchdog value given the
@@ -26,7 +24,7 @@ from repro.workloads.cache import get_trace
 #: required to save a checkpoint").  With infinite buffers a real flush
 #: would grow linearly with section length and hide the 1/P decay of the
 #: checkpoint curve.
-FIG8_COST_MODEL = CostModel(wbb_entry_flush_cycles=0, wbb_flush_base_cycles=0)
+FIG8_COST_MODEL = FIXED_COST_MODEL
 
 #: Workload used for the sweep: a long benchmark, so each run spans many
 #: power cycles; with infinite buffers no checkpoint is program-induced
@@ -64,27 +62,37 @@ class Fig8Data:
         return min(self.points, key=lambda p: p.combined)
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS, repeats: int = 6) -> Fig8Data:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    repeats: int = 6,
+    n_workers: Optional[int] = None,
+) -> Fig8Data:
     """Sweep the Performance Watchdog with infinite buffers.
 
     Args:
         settings: Experiment settings.
         repeats: Runs (with different power seeds) averaged per point.
+        n_workers: Parallel sweep workers (None = serial / REPRO_JOBS).
     """
-    trace = get_trace(SWEEP_WORKLOAD, size=settings.size)
-    config = ClankConfig.infinite()
+    spec = ClankConfig.infinite().as_tuple()
+    jobs = [
+        SimJob(
+            workload=SWEEP_WORKLOAD,
+            config=spec,
+            size=settings.size,
+            salt=1000 * value + rep,
+            perf_watchdog=value,
+            cost_model="fixed",
+        )
+        for value in SWEEP_VALUES
+        for rep in range(repeats)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     points = []
     for value in SWEEP_VALUES:
         ck = rx = 0.0
         for rep in range(repeats):
-            sim = IntermittentSimulator(
-                trace, config, settings.schedule(1000 * value + rep),
-                cost_model=FIG8_COST_MODEL,
-                perf_watchdog=value,
-                progress_watchdog="auto",
-                verify=settings.verify,
-            )
-            result = sim.run()
+            result = next(results)
             ck += result.checkpoint_overhead
             rx += result.reexec_overhead + result.restart_overhead
         points.append(Fig8Point(value, ck / repeats, rx / repeats))

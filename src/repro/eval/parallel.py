@@ -1,0 +1,350 @@
+"""Parallel sweep engine for the experiment drivers.
+
+The paper's design-space exploration is embarrassingly parallel — "several
+million configurations" across "over eight CPU-months" (Section 7.1) — and
+so are this repo's scaled-down sweeps: every simulator run is a pure
+function of (workload, configuration, power schedule).  This module turns
+that purity into a process-parallel executor with three invariants:
+
+* **Determinism** — results are bit-identical to the serial path.  Every
+  run's power schedule is seeded from the settings and the job's salt, and
+  results are merged in submission order regardless of completion order.
+* **Tiny job descriptors** — a :class:`SimJob` names its workload; it never
+  carries a trace.  Workers materialize traces from the in-process cache
+  (:mod:`repro.workloads.cache`), so a descriptor pickles in ~tens of
+  bytes while a trace would pickle in megabytes.  Each worker's trace and
+  Program-Idempotence caches (:data:`repro.eval.runner._PI_CACHE`) warm up
+  on first use and amortize across all jobs it drains.
+* **Cost-aware dispatch** — jobs are handed to workers heaviest-workload
+  first (aes, rsa, blowfish lead; weights from measured ms/run), so a
+  straggling heavy job cannot serialize the tail of a sweep.
+
+``run_jobs(jobs, settings, n_workers=1)`` is the single entry point; with
+``n_workers=1`` (the default) it executes in-process on the exact serial
+path — no pool, no pickling — which is also the fallback when a platform
+lacks ``fork``-ed multiprocessing.
+"""
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import SimulationError
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.eval.settings import EvalSettings
+from repro.obs.profile import PROFILER
+from repro.power.schedules import RuntPower
+from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import IntermittentSimulator
+from repro.sim.undo_log import UndoLogSimulator
+from repro.workloads import cache as trace_cache
+from repro.workloads.cache import get_trace
+
+#: Fixed-cost checkpoints (no per-word flush cost), as Section 7.4's
+#: analytic treatment assumes.  Lives here (not in fig8) so job descriptors
+#: can name it with a string and fig8 can reuse it without a cycle.
+FIXED_COST_MODEL = CostModel(wbb_entry_flush_cycles=0, wbb_flush_base_cycles=0)
+
+_COST_MODELS: Dict[str, CostModel] = {
+    "default": DEFAULT_COST_MODEL,
+    "fixed": FIXED_COST_MODEL,
+}
+
+#: Static dispatch weights: measured simulator ms/run per workload from a
+#: full-size evaluation (results/profile.txt).  Only the *ordering*
+#: matters — heavy workloads leave the queue first so no worker is left
+#: finishing an aes run alone while the others idle.
+_WORKLOAD_WEIGHTS: Dict[str, float] = {
+    "aes": 18.1,
+    "rsa": 16.8,
+    "blowfish": 15.4,
+    "picojpeg": 14.5,
+    "fft": 12.3,
+    "rc4": 12.2,
+    "adpcm_encode": 10.1,
+    "susan": 9.2,
+    "adpcm_decode": 8.6,
+    "qsort": 7.1,
+}
+_DEFAULT_WEIGHT = 8.0
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One policy-simulator run, described by value (picklable, ~50 bytes).
+
+    Attributes:
+        workload: Workload name (resolved via the worker's trace cache).
+        config: ``(R, W, WB, AP)`` entry counts (Table 2 notation).
+        size: Workload size preset the trace is built at.
+        trace_seed: Workload-input seed passed to the trace builder.
+        opts: Policy-optimization setting; ``None`` means all enabled
+            (mirroring :meth:`ClankConfig.from_tuple`).
+        prefix_low_bits: APB geometry (the APB ablation sweeps this).
+        salt: Power-schedule salt (``settings.schedule(salt)``).
+        use_compiler: Mark whole-program Program-Idempotent accesses.
+        epoch_cycles: When > 0, use the epoch-scoped compiler plan with
+            this target epoch length (inserted checkpoints + epoch-scoped
+            marking) instead of whole-program marking.
+        perf_watchdog: Performance Watchdog load (0 off, int, or "auto").
+        progress_watchdog: Progress Watchdog load (0 off, int, or "auto").
+        progress_watchdog_adaptive: The paper's halving behavior.
+        volatile_segments: Memory-map segment names treated as volatile
+            (mixed-volatility mode); workers resolve them to word ranges.
+        schedule: ``"exp"`` (exponential, seeded from settings + salt) or
+            ``"runt"`` (runt mixture, seeded from settings only — matching
+            the progress-watchdog ablation).
+        runt_mean: Mean runt on-time in cycles (``schedule="runt"``).
+        runt_fraction: Fraction of runt cycles (``schedule="runt"``).
+        engine: ``"clank"`` or ``"undo"`` (the undo-log alternative).
+        log_entries: Undo-log capacity (``engine="undo"``).
+        cost_model: ``"default"`` or ``"fixed"`` (Figure 8's analytic one).
+        max_power_cycles: Abort threshold override (None = generous default).
+        allow_stall: Treat a no-forward-progress abort as a ``None`` result
+            instead of an error (the progress ablation's "stalled" cells).
+    """
+
+    workload: str
+    config: Tuple[int, int, int, int]
+    size: str = "default"
+    trace_seed: int = 0
+    opts: Optional[PolicyOptimizations] = None
+    prefix_low_bits: int = 6
+    salt: int = 0
+    use_compiler: bool = False
+    epoch_cycles: int = 0
+    perf_watchdog: Union[int, str] = 0
+    progress_watchdog: Union[int, str] = "auto"
+    progress_watchdog_adaptive: bool = True
+    volatile_segments: Tuple[str, ...] = ()
+    schedule: str = "exp"
+    runt_mean: int = 400
+    runt_fraction: float = 0.0
+    engine: str = "clank"
+    log_entries: int = 64
+    cost_model: str = "default"
+    max_power_cycles: Optional[int] = None
+    allow_stall: bool = False
+
+    def clank_config(self) -> ClankConfig:
+        """The job's hardware configuration object."""
+        config = ClankConfig.from_tuple(self.config, self.opts)
+        if self.prefix_low_bits != 6:
+            import dataclasses
+
+            config = dataclasses.replace(
+                config, prefix_low_bits=self.prefix_low_bits
+            )
+        return config
+
+    def weight(self) -> float:
+        """Dispatch weight (expected relative cost)."""
+        return _WORKLOAD_WEIGHTS.get(self.workload, _DEFAULT_WEIGHT)
+
+
+#: Cache of epoch compilation plans, content-keyed like ``_PI_CACHE``.
+_EPOCH_CACHE: Dict[tuple, object] = {}
+
+
+def _epoch_plan(trace, epoch_cycles: int):
+    from repro.compiler.epoch_analysis import compile_with_epochs
+    from repro.eval.runner import _trace_key
+
+    key = _trace_key(trace) + (epoch_cycles,)
+    if key not in _EPOCH_CACHE:
+        _EPOCH_CACHE[key] = compile_with_epochs(trace, epoch_cycles)
+    return _EPOCH_CACHE[key]
+
+
+def execute_job(
+    job: SimJob, settings: EvalSettings
+) -> Tuple[Optional[SimulationResult], float]:
+    """Run one job; returns ``(result, simulator_seconds)``.
+
+    ``result`` is ``None`` only when the run stalled and the job allows it.
+    Pure with respect to the job and settings: this is the function whose
+    outputs the parallel path must reproduce bit-identically.
+    """
+    from repro.eval.runner import pi_words_for
+
+    trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
+    config = job.clank_config()
+
+    if job.schedule == "runt":
+        schedule = RuntPower(
+            settings.avg_on_cycles,
+            job.runt_mean,
+            runt_fraction=job.runt_fraction,
+            seed=settings.seed,
+        )
+    else:
+        schedule = settings.schedule(job.salt)
+
+    if job.engine == "undo":
+        sim = UndoLogSimulator(
+            trace,
+            config,
+            schedule,
+            log_entries=job.log_entries,
+            cost_model=_COST_MODELS[job.cost_model],
+            progress_watchdog=job.progress_watchdog,
+            verify=settings.verify,
+            max_power_cycles=job.max_power_cycles,
+        )
+    else:
+        pi_words = pi_access_indices = forced_checkpoints = None
+        if job.epoch_cycles > 0:
+            plan = _epoch_plan(trace, job.epoch_cycles)
+            pi_access_indices = plan.ignorable
+            forced_checkpoints = plan.boundaries
+        elif job.use_compiler:
+            pi_words = pi_words_for(trace)
+        volatile_ranges = None
+        if job.volatile_segments:
+            volatile_ranges = tuple(
+                trace.memory_map.word_range(name)
+                for name in job.volatile_segments
+            )
+        sim = IntermittentSimulator(
+            trace,
+            config,
+            schedule,
+            cost_model=_COST_MODELS[job.cost_model],
+            perf_watchdog=job.perf_watchdog,
+            progress_watchdog=job.progress_watchdog,
+            progress_watchdog_adaptive=job.progress_watchdog_adaptive,
+            pi_words=pi_words,
+            pi_access_indices=pi_access_indices,
+            forced_checkpoints=forced_checkpoints,
+            volatile_ranges=volatile_ranges,
+            verify=settings.verify,
+            max_power_cycles=job.max_power_cycles,
+        )
+
+    start = time.perf_counter()
+    try:
+        result = sim.run()
+    except SimulationError:
+        if not job.allow_stall:
+            raise
+        return None, time.perf_counter() - start
+    return result, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------- #
+# Worker side.
+# --------------------------------------------------------------------- #
+
+_WORKER_SETTINGS: Optional[EvalSettings] = None
+
+
+def _worker_init(settings: EvalSettings) -> None:
+    global _WORKER_SETTINGS
+    _WORKER_SETTINGS = settings
+
+
+def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
+    """Execute one job in a worker; returns its submission index and a
+    small payload dict (never a pickled trace or simulator)."""
+    idx, job = item
+    stats_before = trace_cache.cache_stats()
+    result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
+    stats_after = trace_cache.cache_stats()
+    return idx, {
+        "workload": job.workload,
+        "result": None if result is None else result.to_dict(include_derived=False),
+        "sim_seconds": sim_seconds,
+        "cache_hits": stats_after["hits"] - stats_before["hits"],
+        "cache_misses": stats_after["misses"] - stats_before["misses"],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Parent side.
+# --------------------------------------------------------------------- #
+
+
+def resolve_workers(n_workers: Optional[int] = None) -> int:
+    """Worker-count resolution: explicit argument, then the ``REPRO_JOBS``
+    environment variable, then 1 (serial).  0 means "all CPUs"."""
+    if n_workers is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                n_workers = 1
+        else:
+            n_workers = 1
+    if n_workers == 0:
+        n_workers = os.cpu_count() or 1
+    return max(1, n_workers)
+
+
+def _make_pool(n_workers: int, settings: EvalSettings):
+    """A worker pool (separated out so tests can intercept creation)."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    return ctx.Pool(
+        processes=n_workers, initializer=_worker_init, initargs=(settings,)
+    )
+
+
+def run_jobs(
+    jobs: List[SimJob],
+    settings: EvalSettings,
+    n_workers: Optional[int] = None,
+) -> List[Optional[SimulationResult]]:
+    """Execute ``jobs`` and return their results in submission order.
+
+    With ``n_workers`` resolving to 1 every job runs in-process — the
+    exact serial path the drivers always had.  Otherwise jobs are
+    dispatched (heaviest workload first) to a pool of fork-ed workers and
+    the payloads are merged back in submission order, so the returned list
+    is bit-identical either way.
+
+    Per-worker simulator time and trace-cache hit/miss counts are merged
+    into the shared :data:`~repro.obs.profile.PROFILER` (under
+    ``settings.profile``), exactly as serial runs account themselves.
+    """
+    n_workers = resolve_workers(n_workers)
+    if n_workers <= 1 or len(jobs) <= 1:
+        results: List[Optional[SimulationResult]] = []
+        for job in jobs:
+            result, sim_seconds = execute_job(job, settings)
+            if settings.profile:
+                PROFILER.record_sim(job.workload, sim_seconds)
+            results.append(result)
+        return results
+
+    # Heaviest-first dispatch; ties keep submission order.
+    order = sorted(
+        range(len(jobs)), key=lambda i: (-jobs[i].weight(), i)
+    )
+    payloads: Dict[int, dict] = {}
+    pool = _make_pool(n_workers, settings)
+    try:
+        for idx, payload in pool.imap_unordered(
+            _worker_run, [(i, jobs[i]) for i in order], chunksize=1
+        ):
+            payloads[idx] = payload
+    finally:
+        pool.close()
+        pool.join()
+
+    results = []
+    for i in range(len(jobs)):
+        payload = payloads[i]
+        if settings.profile:
+            PROFILER.record_sim(payload["workload"], payload["sim_seconds"])
+        PROFILER.record_worker_cache(
+            payload["cache_hits"], payload["cache_misses"]
+        )
+        raw = payload["result"]
+        results.append(None if raw is None else SimulationResult.from_dict(raw))
+    return results

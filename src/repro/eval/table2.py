@@ -11,13 +11,15 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.config import ClankConfig, TABLE2_CONFIGS
-from repro.eval.runner import average, benchmark_traces, run_clank
+from repro.eval.parallel import SimJob, run_jobs
+from repro.eval.runner import average
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
 from repro.hw.cost_model import (
     PAPER_TABLE2,
     PAPER_TABLE2_SOFTWARE,
     hardware_overhead,
 )
+from repro.workloads.registry import mibench2_names
 
 
 @dataclass(frozen=True)
@@ -42,23 +44,33 @@ class Table2Row:
     paper_software: Optional[float]
 
 
-def run(settings: EvalSettings = DEFAULT_SETTINGS) -> List[Table2Row]:
+def run(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    n_workers: Optional[int] = None,
+) -> List[Table2Row]:
     """Measure all five rows."""
-    traces = benchmark_traces(settings)
+    names = mibench2_names()
     rows: List[Table2Row] = []
     variants = [(spec, False, 0) for spec in TABLE2_CONFIGS]
     variants.append((TABLE2_CONFIGS[-1], True, "auto"))
+    jobs = [
+        SimJob(
+            workload=name,
+            config=spec,
+            size=settings.size,
+            salt=salt,
+            use_compiler=use_compiler,
+            perf_watchdog=wdt,
+        )
+        for spec, use_compiler, wdt in variants
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
     for spec, use_compiler, wdt in variants:
         config = ClankConfig.from_tuple(spec)
         label = config.label() + ("+C+WDT" if use_compiler else "")
         hw = hardware_overhead(config, watchdogs=use_compiler)
-        overheads = []
-        for salt, (name, trace) in enumerate(traces):
-            result = run_clank(
-                trace, config, settings, salt=salt,
-                use_compiler=use_compiler, perf_watchdog=wdt,
-            )
-            overheads.append(result.run_time_overhead)
+        overheads = [next(results).run_time_overhead for _ in names]
         lut, ff, mem, power = hw.row()
         rows.append(
             Table2Row(

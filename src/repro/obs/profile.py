@@ -26,6 +26,8 @@ class Profiler:
         self.phase_calls: Dict[str, int] = {}
         self.sim_seconds: Dict[str, float] = {}
         self.sim_runs: Dict[str, int] = {}
+        self.worker_cache_hits = 0
+        self.worker_cache_misses = 0
 
     def reset(self) -> None:
         """Drop all accumulated data (tests and fresh CLI runs)."""
@@ -33,6 +35,8 @@ class Profiler:
         self.phase_calls.clear()
         self.sim_seconds.clear()
         self.sim_runs.clear()
+        self.worker_cache_hits = 0
+        self.worker_cache_misses = 0
 
     @contextmanager
     def phase(self, name: str):
@@ -49,6 +53,13 @@ class Profiler:
         """Account one simulator run of ``workload``."""
         self.sim_seconds[workload] = self.sim_seconds.get(workload, 0.0) + seconds
         self.sim_runs[workload] = self.sim_runs.get(workload, 0) + 1
+
+    def record_worker_cache(self, hits: int, misses: int) -> None:
+        """Merge one parallel worker job's trace-cache hit/miss deltas
+        (:func:`repro.eval.parallel.run_jobs` reports them per payload;
+        worker processes cannot touch the parent's cache counters)."""
+        self.worker_cache_hits += hits
+        self.worker_cache_misses += misses
 
     @property
     def total_sim_seconds(self) -> float:
@@ -103,6 +114,13 @@ class Profiler:
             lines.append(
                 f"-- trace cache: {hits} hits / {misses} misses "
                 f"({rate:.1%} hit rate)"
+            )
+        if self.worker_cache_hits or self.worker_cache_misses:
+            total = self.worker_cache_hits + self.worker_cache_misses
+            rate = self.worker_cache_hits / total if total else 0.0
+            lines.append(
+                f"-- worker trace caches: {self.worker_cache_hits} hits / "
+                f"{self.worker_cache_misses} misses ({rate:.1%} hit rate)"
             )
         return "\n".join(lines)
 

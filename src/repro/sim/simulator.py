@@ -163,8 +163,17 @@ class IntermittentSimulator:
                 ``max_power_cycles`` power cycles.
         """
         trace = self.trace
-        accesses = trace.accesses
-        n = len(accesses)
+        # Array-compiled replay: one indexed tuple fetch per attribute in
+        # the hot loop instead of per-Access attribute lookups.  The
+        # compiled form is a pure view of the access list, so replay is
+        # bit-identical to iterating Access objects.
+        ct = trace.compiled()
+        n = ct.n
+        kinds = ct.kinds
+        waddrs = ct.waddrs
+        acc_values = ct.values
+        acc_cycles = ct.cycles
+        out_writes = ct.out_writes
         mmap = trace.memory_map
         cost = self.cost_model
         verify = self.verify
@@ -205,7 +214,6 @@ class IntermittentSimulator:
         pi_indices = self.pi_access_indices
         forced = self.forced_checkpoints
         forced_done = -1  # index whose compiler checkpoint committed
-        mmio_lo, mmio_hi = mmap.word_range("mmio")
 
         # Cycle accounting buckets.
         useful = reexec = wasted = ckpt_cycles = restart_cycles = 0
@@ -374,7 +382,17 @@ class IntermittentSimulator:
 
         on_left = restart_sequence()  # first boot
         nv_get = nv.get
-        wbb_get = wbb.get
+        # Bind the WBB's backing dict directly: drain()/clear() mutate it in
+        # place, so the reference stays valid across checkpoints.
+        wbb_get = wbb._entries.get
+        det_read = detector.on_read
+        det_write = detector.on_write
+        prog_advance = prog_wdt.advance
+        perf_advance = perf_wdt.advance
+        # Disabled watchdogs never fire; hoist the checks out of the loop.
+        perf_enabled = perf_wdt.load_value > 0
+        prog_configured = prog_wdt.configured
+        has_pi = bool(pi_words) or bool(pi_indices)
 
         while True:
             if i >= n:
@@ -383,10 +401,10 @@ class IntermittentSimulator:
                     break
                 continue
 
-            acc = accesses[i]
-            w = acc.waddr
-            kind = acc.kind
-            c = acc.cycles
+            w = waddrs[i]
+            kind = kinds[i]
+            c = acc_cycles[i]
+            value = acc_values[i]
 
             if forced and i in forced and forced_done != i:
                 # Compiler-inserted checkpoint call (epoch boundary).
@@ -409,24 +427,24 @@ class IntermittentSimulator:
                 # Volatile accesses are untracked; writes ride along with
                 # the next checkpoint.
                 if kind == READ:
-                    if verify and vol_mem.get(w, 0) != acc.value:
+                    if verify and vol_mem.get(w, 0) != value:
                         raise VerificationError(
                             f"{trace.name}@{i}: volatile read of word "
                             f"{w:#x} saw {vol_mem.get(w, 0):#x}, oracle "
-                            f"read {acc.value:#x}"
+                            f"read {value:#x}"
                         )
                 else:
-                    vol_mem[w] = acc.value
+                    vol_mem[w] = value
                     vol_dirty.add(w)
                 on_left -= c
-            elif kind != READ and mmio_lo <= w < mmio_hi:
+            elif out_writes[i]:
                 # Output-commit: surround the output with checkpoints.
                 if output_ready != i:
                     ok, on_left = do_checkpoint(on_left, "output")
                     if ok:
                         output_ready = i
                     continue
-                nv[w] = acc.value
+                nv[w] = value
                 outputs += 1
                 if i < furthest:
                     duplicate_outputs += 1
@@ -448,30 +466,30 @@ class IntermittentSimulator:
                 i += 1
                 ok, on_left = do_checkpoint(on_left, "output")
                 continue
-            elif w in pi_words or (pi_indices and i in pi_indices):
+            elif has_pi and (w in pi_words or (pi_indices and i in pi_indices)):
                 # Compiler-marked Program Idempotent: hardware ignores it.
                 if kind == READ:
                     if verify:
                         got = wbb_get(w)
                         if got is None:
                             got = nv_get(w, 0)
-                        if got != acc.value:
+                        if got != value:
                             raise VerificationError(
                                 f"{trace.name}@{i}: PI read of word {w:#x} "
-                                f"saw {got:#x}, oracle read {acc.value:#x}"
+                                f"saw {got:#x}, oracle read {value:#x}"
                             )
                 else:
-                    nv[w] = acc.value
+                    nv[w] = value
                 on_left -= c
             else:
                 # The tracked path: consult the detector.
                 if kind == READ:
-                    action, cause = detector.on_read(w)
+                    action, cause = det_read(w)
                 else:
                     cur = wbb_get(w)
                     if cur is None:
                         cur = nv_get(w, 0)
-                    action, cause = detector.on_write(w, acc.value, cur)
+                    action, cause = det_write(w, value, cur)
                 if action == CHECKPOINT:
                     ok, on_left = do_checkpoint(on_left, cause)
                     continue  # retry the access with fresh buffers
@@ -489,13 +507,13 @@ class IntermittentSimulator:
                         got = wbb_get(w)
                         if got is None:
                             got = nv_get(w, 0)
-                        if got != acc.value:
+                        if got != value:
                             raise VerificationError(
                                 f"{trace.name}@{i}: read of word {w:#x} saw "
-                                f"{got:#x}, oracle read {acc.value:#x}"
+                                f"{got:#x}, oracle read {value:#x}"
                             )
                 elif action == PROCEED or direct_write:
-                    nv[w] = acc.value
+                    nv[w] = value
                 # PROCEED_WBB: the detector already captured the value.
                 on_left -= c
 
@@ -509,8 +527,8 @@ class IntermittentSimulator:
             i += 1
 
             # Watchdogs tick at access granularity.
-            prog_fired = prog_wdt.advance(c)
-            perf_fired = perf_wdt.advance(c)
+            prog_fired = prog_configured and prog_advance(c)
+            perf_fired = perf_enabled and perf_advance(c)
             if prog_fired:
                 if rec is not None:
                     rec.emit(

@@ -8,7 +8,7 @@ log format and its statistics.
 """
 
 from repro.trace.access import Access, READ, WRITE, kind_name
-from repro.trace.trace import Trace, Marker
+from repro.trace.trace import CompiledTrace, Trace, Marker
 from repro.trace.stats import TraceStats, compute_stats
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "READ",
     "WRITE",
     "kind_name",
+    "CompiledTrace",
     "Trace",
     "Marker",
     "TraceStats",

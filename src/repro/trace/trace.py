@@ -1,11 +1,50 @@
 """The memory-access log of one program execution."""
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.mem.map import MemoryMap, default_memory_map
 from repro.trace.access import Access, READ, WRITE
+
+
+class CompiledTrace:
+    """A :class:`Trace` flattened into parallel tuples for hot-loop replay.
+
+    The policy simulator replays a trace hundreds of times per sweep; per-
+    :class:`~repro.trace.access.Access` attribute lookups dominate its inner
+    loop.  The compiled form stores one immutable tuple per attribute so the
+    loop does a single indexed fetch instead, plus a precomputed per-access
+    classification against the trace's memory map:
+
+    Attributes:
+        n: Number of accesses.
+        kinds: ``accesses[i].kind`` (``READ``/``WRITE``).
+        waddrs: ``accesses[i].waddr``.
+        values: ``accesses[i].value``.
+        cycles: ``accesses[i].cycles``.
+        out_writes: True where access ``i`` is a write into the MMIO/output
+            region (the output-commit rule of Section 3.3) — the only
+            memory-map test the simulator's hot loop needs per access.
+
+    The compiled form is a pure view: replaying it is bit-identical to
+    replaying ``accesses`` (the dynamic verifier and the event stream see
+    exactly the same values in the same order).
+    """
+
+    __slots__ = ("n", "kinds", "waddrs", "values", "cycles", "out_writes")
+
+    def __init__(self, trace: "Trace"):
+        accesses = trace.accesses
+        self.n = len(accesses)
+        self.kinds = tuple(a.kind for a in accesses)
+        self.waddrs = tuple(a.waddr for a in accesses)
+        self.values = tuple(a.value for a in accesses)
+        self.cycles = tuple(a.cycles for a in accesses)
+        mmio_lo, mmio_hi = trace.memory_map.word_range("mmio")
+        self.out_writes = tuple(
+            a.kind != READ and mmio_lo <= a.waddr < mmio_hi for a in accesses
+        )
 
 #: Marker kinds emitted by the tracing memory at function boundaries.  The
 #: Ratchet baseline (compiler-only idempotency, Section 2.2 / Table 3)
@@ -57,10 +96,24 @@ class Trace:
     final_cycles: int = 0
     checksum: int = 0
     code_bytes: int = 0
+    _compiled: Optional[CompiledTrace] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.final_cycles == 0:
             self.final_cycles = sum(a.cycles for a in self.accesses)
+
+    def compiled(self) -> CompiledTrace:
+        """The lazily-built array form of this trace (cached).
+
+        The access list must not be mutated after the first call; all trace
+        producers in this repository build the list once and never touch it
+        again.
+        """
+        if self._compiled is None or self._compiled.n != len(self.accesses):
+            self._compiled = CompiledTrace(self)
+        return self._compiled
 
     def __len__(self) -> int:
         return len(self.accesses)
