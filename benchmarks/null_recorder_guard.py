@@ -17,6 +17,14 @@ traces land within the threshold of each other — a regression that
 recompiled per run, or fell back to per-``Access`` attribute lookups on
 some runs, shows up as run-to-run spread.
 
+A third check guards the section-memoized fast path: the sweep above runs
+eligible jobs (``verify=False``, no live recorder) through
+:func:`repro.sim.fast.simulate_fast`, whose whole payoff is that the
+per-``(trace, config)`` :class:`~repro.sim.sections.SectionMap` is built
+once and then shared by every schedule.  The guard resets the cache
+counters, times one more sweep, and fails if any job missed the (warm)
+cache or if the fast path stopped carrying the bulk of the runs.
+
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
 
@@ -28,6 +36,8 @@ from repro.core.config import ClankConfig
 from repro.eval.runner import run_clank
 from repro.eval.settings import EvalSettings
 from repro.obs.recorder import NullRecorder
+from repro.sim.fast import fast_stats, reset_fast_stats
+from repro.sim.sections import cache_stats, reset_cache_stats
 from repro.workloads.cache import get_trace
 
 CONFIGS = [(1, 0, 0, 0), (8, 4, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)]
@@ -99,6 +109,26 @@ def main(argv=None) -> int:
         print("FAIL: compiled-trace replay is unstable run-to-run")
         return 1
     print("OK: compiled replay cached and stable")
+
+    # Fast-path guard: with every SectionMap already built by the sweeps
+    # above, a repeat sweep must be all cache hits, and the fast path
+    # must carry (nearly) all of the runs — a handful of watchdog-cut
+    # fallbacks is expected, wholesale fallback is a regression.
+    reset_cache_stats()
+    reset_fast_stats()
+    sweep_seconds(traces, settings, None, 1)
+    sections = cache_stats()
+    runs = fast_stats()
+    print(f"SectionMap cache: {sections}")
+    print(f"fast-path runs:   {runs}")
+    if sections["misses"]:
+        print("FAIL: warm sweep rebuilt SectionMaps (cache misses)")
+        return 1
+    total = runs["fast"] + runs["fallback"]
+    if total == 0 or runs["fast"] < 0.9 * total:
+        print("FAIL: fast path no longer carries the sweep")
+        return 1
+    print("OK: section maps cached, fast path engaged")
     return 0
 
 

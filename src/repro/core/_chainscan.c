@@ -1,0 +1,341 @@
+/* Straight-line idempotent-section chain scan.
+ *
+ * A C port of the inner loop of
+ * ``repro.core.detector.IdempotencyDetector.straightline_chain`` — the
+ * one O(n-accesses) pass the section-memoized fast path cannot avoid.
+ * The Python generator remains the reference implementation (and the
+ * fallback when no C compiler is available); this kernel must replay its
+ * decision sequence branch-for-branch.  Inputs are the same precomputed
+ * per-trace arrays (``CompiledTrace.scan_arrays`` / ``prefix_ids``) and
+ * the same generation-stamped flat membership scratch, so the two
+ * implementations share every data-structure invariant.
+ *
+ * Compiled on demand by ``repro.core.cext`` via the system C compiler;
+ * no Python.h dependency, plain int32 buffers across the ctypes
+ * boundary.
+ */
+
+#include <stdint.h>
+
+/* Checkpoint-cause codes; repro.core.cext.CAUSE_NAMES mirrors them. */
+#define CAUSE_FINAL 0
+#define CAUSE_COMPILER 1
+#define CAUSE_OUTPUT 2
+#define CAUSE_TEXT_WRITE 3
+#define CAUSE_VIOLATION 4
+#define CAUSE_WBB_FULL 5
+#define CAUSE_WF_FULL 6
+#define CAUSE_APB_FULL 7
+#define CAUSE_RF_FULL 8
+#define CAUSE_LATEST_WRITE 9
+
+/* Flag bits; repro.core.cext builds them from the detector state. */
+#define F_APB_ON 1
+#define F_IGNORE_TEXT 2
+#define F_IGNORE_FALSE_WRITES 4
+#define F_REMOVE_DUPLICATES 8
+#define F_NO_WF_OVERFLOW 16
+#define F_LATEST_CHECKPOINT 32
+#define F_HAS_PI 64
+/* Scan only the first section, recording its direct-commit (write-first
+ * path) trace indices into dw_out — the lazy derivation behind
+ * SectionMap.watchdog_cut_safe. */
+#define F_FIRST_DW 128
+
+/* ops[i] bits (CompiledTrace.scan_arrays): 1 write, 2 text, 4 output
+ * write, 8 false write. */
+
+int64_t chain_scan(
+    const uint8_t *ops,      /* [n] per-access op bits */
+    const int32_t *wids,     /* [n] dense word ids */
+    const int32_t *pids,     /* [n] dense prefix ids (APB) or NULL */
+    const uint8_t *pi,       /* [n] PI membership mask or NULL */
+    const int32_t *fs,       /* [nfs] ascending forced-checkpoint indices */
+    int32_t nfs,
+    int32_t n,
+    int32_t start,
+    int32_t direct,          /* entry is a committed direct text write */
+    int32_t forced_done,     /* committed compiler checkpoint index or -1 */
+    int32_t rf_cap,
+    int32_t wf_cap,
+    int32_t wbb_cap,
+    int32_t apb_cap,
+    int32_t flags,
+    int32_t *rf_g,           /* [n_words] generation-stamp scratch */
+    int32_t *wf_g,           /* [n_words] */
+    int32_t *wbb_g,          /* [n_words] */
+    int32_t *apb_g,          /* [n_prefixes] */
+    int32_t *gen_io,         /* [1] generation counter, persists */
+    int32_t *sec_start,      /* [max_sections] outputs ... */
+    uint8_t *sec_variant,
+    int32_t *sec_end,
+    uint8_t *sec_cause,
+    int32_t *steps_off,      /* [max_sections + 1] */
+    int32_t *steps_flat,     /* [n + 1] WBB-growth indices, flattened */
+    int32_t *dw_out)         /* [n + 1] F_FIRST_DW: count, then indices */
+{
+    const int apb_on = flags & F_APB_ON;
+    const int ignore_text = flags & F_IGNORE_TEXT;
+    const int ig_fw = flags & F_IGNORE_FALSE_WRITES;
+    const int rm_dup = flags & F_REMOVE_DUPLICATES;
+    const int no_wf_ovf = flags & F_NO_WF_OVERFLOW;
+    const int latest = flags & F_LATEST_CHECKPOINT;
+    const int has_pi = flags & F_HAS_PI;
+    const int first_dw = flags & F_FIRST_DW;
+    int32_t dw_n = 0;
+    int32_t g = *gen_io;
+    int64_t nsec = 0;
+    int32_t nsteps = 0;
+    int32_t fidx = 0;
+
+    steps_off[0] = 0;
+    for (;;) {
+        /* -- section entry: resolve the variant -- */
+        while (fidx < nfs && fs[fidx] < start)
+            fidx++;
+        int at_forced = (fidx < nfs && fs[fidx] == start);
+        int32_t variant, scan_from;
+        if (direct) {
+            variant = 2;
+            scan_from = start + 1;
+        } else if (at_forced && forced_done != start) {
+            /* Zero-length section: the compiler checkpoint fires before
+             * the access at ``start`` is even classified. */
+            sec_start[nsec] = start;
+            sec_variant[nsec] = 0;
+            sec_end[nsec] = start;
+            sec_cause[nsec] = CAUSE_COMPILER;
+            steps_off[nsec + 1] = nsteps;
+            nsec++;
+            if (first_dw) {
+                dw_out[0] = dw_n;
+                *gen_io = g;
+                return nsec;
+            }
+            forced_done = start;
+            continue;
+        } else {
+            variant = at_forced ? 1 : 0;
+            scan_from = start;
+        }
+        int32_t nf_idx = at_forced ? fidx + 1 : fidx;
+        int32_t next_forced = (nf_idx < nfs) ? fs[nf_idx] : n + 1;
+
+        /* -- straight-line scan to the next boundary -- */
+        g += 1; /* stamp bump == clear all four buffers */
+        int32_t rf_len = 0, wf_len = 0, wbb_len = 0, apb_len = 0;
+        int untracked = 0;
+        int32_t end = n;
+        uint8_t cause = CAUSE_FINAL;
+        int32_t i = scan_from;
+        while (i < n) {
+            if (i == next_forced) {
+                end = i;
+                cause = CAUSE_COMPILER;
+                break;
+            }
+            uint8_t op = ops[i];
+            if (op & 1) {
+                /* Write. */
+                if (op & 4) {
+                    end = i;
+                    cause = CAUSE_OUTPUT;
+                    break;
+                }
+                if (has_pi && pi[i]) {
+                    i++;
+                    continue;
+                }
+                if (ignore_text && (op & 2)) {
+                    end = i;
+                    cause = CAUSE_TEXT_WRITE;
+                    break;
+                }
+                int32_t v = wids[i];
+                if (wbb_g[v] == g) {
+                    i++; /* in-place update; no growth */
+                    continue;
+                }
+                if (wf_g[v] == g) {
+                    if (first_dw)
+                        dw_out[++dw_n] = i;
+                    i++;
+                    continue;
+                }
+                if (rf_g[v] == g) {
+                    /* Idempotency violation. */
+                    if (ig_fw && (op & 8)) {
+                        i++;
+                        continue;
+                    }
+                    if (wbb_cap == 0) {
+                        end = i;
+                        cause = CAUSE_VIOLATION;
+                        break;
+                    }
+                    if (wbb_len >= wbb_cap) {
+                        end = i;
+                        cause = CAUSE_WBB_FULL;
+                        break;
+                    }
+                    wbb_g[v] = g;
+                    wbb_len++;
+                    steps_flat[nsteps++] = i;
+                    if (rm_dup) {
+                        rf_g[v] = 0;
+                        rf_len--;
+                    }
+                    i++;
+                    continue;
+                }
+                /* Fresh address: write-dominated. */
+                if (wf_cap == 0) {
+                    if (first_dw)
+                        dw_out[++dw_n] = i;
+                    i++;
+                    continue;
+                }
+                if (wf_len >= wf_cap) {
+                    if (no_wf_ovf) {
+                        if (first_dw)
+                            dw_out[++dw_n] = i;
+                        i++;
+                        continue;
+                    }
+                    end = i;
+                    cause = CAUSE_WF_FULL;
+                    break;
+                }
+                if (apb_on) {
+                    int32_t p = pids[i];
+                    if (apb_g[p] != g) {
+                        if (apb_len >= apb_cap) {
+                            if (no_wf_ovf) {
+                                if (first_dw)
+                                    dw_out[++dw_n] = i;
+                                i++;
+                                continue;
+                            }
+                            end = i;
+                            cause = CAUSE_APB_FULL;
+                            break;
+                        }
+                        apb_g[p] = g;
+                        apb_len++;
+                    }
+                }
+                wf_g[v] = g;
+                wf_len++;
+                if (first_dw)
+                    dw_out[++dw_n] = i;
+                i++;
+                continue;
+            }
+            /* Read. */
+            if (has_pi && pi[i]) {
+                i++;
+                continue;
+            }
+            if (ignore_text && (op & 2)) {
+                i++;
+                continue;
+            }
+            int32_t v = wids[i];
+            if (rf_g[v] == g || wbb_g[v] == g || wf_g[v] == g) {
+                i++;
+                continue;
+            }
+            if (rf_len >= rf_cap) {
+                if (!latest) {
+                    end = i;
+                    cause = CAUSE_RF_FULL;
+                    break;
+                }
+                untracked = 1;
+                i++;
+                break; /* drop into the untracked tail loop */
+            }
+            if (apb_on) {
+                int32_t p = pids[i];
+                if (apb_g[p] != g) {
+                    if (apb_len >= apb_cap) {
+                        if (!latest) {
+                            end = i;
+                            cause = CAUSE_APB_FULL;
+                            break;
+                        }
+                        untracked = 1;
+                        i++;
+                        break;
+                    }
+                    apb_g[p] = g;
+                    apb_len++;
+                }
+            }
+            rf_g[v] = g;
+            rf_len++;
+            i++;
+        }
+        if (untracked) {
+            /* Untracked tail (latest-checkpoint mode after a read-side
+             * fill): reads always pass, so only writes need
+             * classifying. */
+            while (i < n) {
+                if (i == next_forced) {
+                    end = i;
+                    cause = CAUSE_COMPILER;
+                    break;
+                }
+                uint8_t op = ops[i];
+                if (op & 1) {
+                    if (op & 4) {
+                        end = i;
+                        cause = CAUSE_OUTPUT;
+                        break;
+                    }
+                    if (has_pi && pi[i]) {
+                        /* PI write: passes. */
+                    } else if (ig_fw && (op & 8)) {
+                        /* False write: passes. */
+                    } else {
+                        end = i;
+                        cause = CAUSE_LATEST_WRITE;
+                        break;
+                    }
+                }
+                i++;
+            }
+        }
+        sec_start[nsec] = start;
+        sec_variant[nsec] = (uint8_t)variant;
+        sec_end[nsec] = end;
+        sec_cause[nsec] = cause;
+        steps_off[nsec + 1] = nsteps;
+        nsec++;
+        if (first_dw) {
+            dw_out[0] = dw_n;
+            *gen_io = g;
+            return nsec;
+        }
+
+        /* -- follow the boundary into the next section -- */
+        if (cause == CAUSE_FINAL)
+            break;
+        if (cause == CAUSE_COMPILER) {
+            forced_done = end;
+            direct = 0;
+            start = end;
+        } else if (cause == CAUSE_TEXT_WRITE) {
+            direct = 1;
+            start = end;
+        } else if (cause == CAUSE_OUTPUT) {
+            direct = 0;
+            start = end + 1;
+        } else {
+            direct = 0;
+            start = end;
+        }
+    }
+    *gen_io = g;
+    return nsec;
+}

@@ -22,6 +22,7 @@ ISS attachment):
 
 from typing import Dict, Optional, Tuple
 
+from repro.core import cext
 from repro.core.buffers import (
     AddressPrefixBuffer,
     ReadFirstBuffer,
@@ -41,6 +42,25 @@ Decision = Tuple[int, Optional[str]]
 
 _PROCEED: Decision = (PROCEED, None)
 _PROCEED_WBB: Decision = (PROCEED_WBB, None)
+
+
+class ChainScratch:
+    """Flat membership arrays for the straight-line section scan.
+
+    One slot per dense word (or prefix) id; a slot is a member of the
+    current section's buffer iff it holds the current generation stamp.
+    Bumping the stamp empties all four buffers in O(1), so the scan never
+    pays a clear proportional to the footprint.
+    """
+
+    __slots__ = ("gen", "rf", "wf", "wbb", "apb")
+
+    def __init__(self, n_words: int, n_prefixes: int):
+        self.gen = 0
+        self.rf = [0] * n_words
+        self.wf = [0] * n_words
+        self.wbb = [0] * n_words
+        self.apb = [0] * n_prefixes
 
 
 class IdempotencyDetector:
@@ -204,6 +224,369 @@ class IdempotencyDetector:
             return _PROCEED
         return (CHECKPOINT, cause)
 
+    # ------------------------------------------------------------------ #
+    # Straight-line section enumeration (the fast-path entry point).
+    # ------------------------------------------------------------------ #
+
+    def chain_scratch(self, ct) -> "ChainScratch":
+        """A reusable membership scratch for :meth:`straightline_chain`.
+
+        One scratch per ``(detector, trace)`` pair; reusing it across calls
+        avoids re-zeroing the flat membership arrays (the generation stamp
+        makes old entries stale for free).
+        """
+        nwords = ct.scan_arrays(self._text_lo, self._text_hi)[2]
+        nprefixes = (
+            ct.prefix_ids(self.apb.prefix_low_bits)[1]
+            if self._apb_enabled else 0
+        )
+        return ChainScratch(nwords, nprefixes)
+
+    def chain_scan_engine(self, ct, forced_sorted, pi_words, pi_indices):
+        """A compiled-kernel engine for this detector's chain scans.
+
+        Returns a :class:`repro.core.cext.ChainScanEngine` bound to this
+        detector's configuration and the given trace/marking, or ``None``
+        when the optional C kernel is unavailable (no compiler,
+        ``REPRO_CEXT=0``, or any build/load failure) — callers then use
+        :meth:`straightline_chain`, the pure-Python reference.
+        """
+        lib = cext.chain_scan_lib()
+        if lib is None:
+            return None
+        flags = 0
+        if self._apb_enabled:
+            flags |= cext.F_APB_ON
+        if self._ignore_text:
+            flags |= cext.F_IGNORE_TEXT
+        if self._ignore_false_writes:
+            flags |= cext.F_IGNORE_FALSE_WRITES
+        if self._remove_duplicates:
+            flags |= cext.F_REMOVE_DUPLICATES
+        if self._no_wf_overflow:
+            flags |= cext.F_NO_WF_OVERFLOW
+        if self._latest_checkpoint:
+            flags |= cext.F_LATEST_CHECKPOINT
+        params = (
+            self._rf_capacity, self._wf_capacity, self.wbb.capacity,
+            self.apb.capacity, flags, self._text_lo, self._text_hi,
+            self.apb.prefix_low_bits,
+        )
+        return cext.ChainScanEngine(
+            lib, ct, params, forced_sorted, pi_words, pi_indices
+        )
+
+    def straightline_chain(
+        self,
+        ct,
+        start: int,
+        direct: bool,
+        forced_done: int,
+        forced_sorted,
+        pi_words,
+        pi_indices,
+        scratch: "Optional[ChainScratch]" = None,
+        collect_dw: bool = False,
+    ):
+        """Yield every section reachable failure-free from ``start``.
+
+        From a committed checkpoint the buffers are empty, so each next
+        section boundary is a pure function of the trace, this detector's
+        configuration, and the compiler marking — independent of the power
+        schedule.  This generator replays exactly the decision sequence of
+        :meth:`on_read`/:meth:`on_write` (inlined over the precomputed
+        per-trace arrays of :meth:`~repro.trace.trace.CompiledTrace.scan_arrays`
+        and generation-stamped flat membership, no per-access method calls
+        or hash probes) and follows each boundary into the next
+        section until the final checkpoint, yielding
+        ``(start, variant, end, cause, wbb_steps)``:
+
+        * ``variant`` — ``0`` normal entry; ``1`` the compiler checkpoint
+          at ``start`` already committed (the simulator's ``forced_done``
+          latch), so it must not fire again; ``2`` the access at ``start``
+          is a committed direct text write the detector never observes.
+          :mod:`repro.sim.sections` mirrors these as ``VARIANT_*``.
+        * ``end`` — the boundary access (``ct.n`` for the final
+          checkpoint); the section executes exactly ``[start, end)``.
+        * ``cause`` — the checkpoint cause charged at the boundary.
+        * ``wbb_steps`` — ascending trace indices at which the Write-back
+          Buffer grew; ``bisect`` against a cut point inside the section
+          yields that prefix's flush size, keeping the enumeration
+          cost-model independent.
+        * ``dw_idx`` — ascending trace indices of the section's
+          write-first-path writes: the writes that commit *directly* to
+          non-volatile memory with a value a later rollback does not
+          restore.  Collected only under ``collect_dw`` (the fast path's
+          stale-view safety check,
+          :meth:`repro.sim.sections.SectionMap.watchdog_cut_safe`, derives
+          them lazily for the rare sections a watchdog checkpoint actually
+          cuts); otherwise always ``()``, keeping the hot scan free of
+          per-write bookkeeping.
+
+        Enumerating the whole chain in one call amortizes the constant
+        per-section cost (buffer reset, locals binding, call overhead)
+        that dominates for small-buffer configurations whose sections
+        span only a few accesses.  A caller that already knows a suffix
+        of the chain stops consuming at the first ``(start, variant)`` it
+        has seen — the boundary sequence from any shared entry onward is
+        identical.
+
+        Args:
+            ct: :class:`repro.trace.trace.CompiledTrace` to scan.
+            start: Starting access index of the first section.
+            direct: The access at ``start`` is a committed direct text
+                write (variant ``2`` entry): scanning starts one access
+                later, since re-consulting the detector would checkpoint
+                forever.
+            forced_done: Index of the most recently committed compiler
+                checkpoint (``-1`` if none) — at its own index the
+                checkpoint must not fire again.
+            forced_sorted: Ascending compiler-checkpoint indices
+                ``< ct.n``.
+            pi_words: Word addresses marked Program Idempotent (or falsy).
+            pi_indices: Trace indices marked Program Idempotent (or
+                falsy).
+            scratch: A :class:`ChainScratch` from :meth:`chain_scratch`
+                (for the same trace) to reuse across calls; ``None``
+                allocates a fresh one.
+            collect_dw: Record each section's direct-commit write indices
+                in the yielded ``dw_idx`` (off by default; see above).
+
+        The write-value comparisons of ignore-false-writes use the
+        precomputed ``ct.false_writes`` oracle view; see
+        :mod:`repro.sim.sections` for the exact conditions under which
+        the run-time view can diverge from the oracle (and the fast path
+        falls back to the reference simulator).
+        """
+        n = ct.n
+        waddrs = ct.waddrs
+        rf_cap = self._rf_capacity
+        wf_cap = self._wf_capacity
+        wbb_cap = self.wbb.capacity
+        apb_cap = self.apb.capacity
+        apb_on = self._apb_enabled
+        ignore_text = self._ignore_text
+        ig_fw = self._ignore_false_writes
+        rm_dup = self._remove_duplicates
+        no_wf_ovf = self._no_wf_overflow
+        latest = self._latest_checkpoint
+        pi_words = pi_words or ()
+        pi_indices = pi_indices or ()
+        has_pi = bool(pi_words) or bool(pi_indices)
+
+        ops, wids, _ = ct.scan_arrays(self._text_lo, self._text_hi)
+        if apb_on:
+            pids, _ = ct.prefix_ids(self.apb.prefix_low_bits)
+        else:
+            pids = ()
+        if scratch is None:
+            scratch = self.chain_scratch(ct)
+        rf_g = scratch.rf
+        wf_g = scratch.wf
+        wbb_g = scratch.wbb
+        apb_g = scratch.apb
+
+        fs = forced_sorted
+        nfs = len(fs)
+        fidx = 0
+        while True:
+            # -- section entry: resolve the variant ---------------------- #
+            while fidx < nfs and fs[fidx] < start:
+                fidx += 1
+            at_forced = fidx < nfs and fs[fidx] == start
+            if direct:
+                variant = 2
+                scan_from = start + 1
+            elif at_forced and forced_done != start:
+                # Zero-length section: the compiler checkpoint fires
+                # before the access at ``start`` is even classified.
+                yield start, 0, start, "compiler", (), ()
+                forced_done = start
+                continue
+            else:
+                variant = 1 if at_forced else 0
+                scan_from = start
+            # The next *active* compiler checkpoint: a forced index at the
+            # start itself either fired (zero-length section above), was
+            # just committed (``forced_done`` latch), or lies behind the
+            # direct write.
+            nf_idx = fidx + 1 if at_forced else fidx
+            next_forced = fs[nf_idx] if nf_idx < nfs else n + 1
+
+            # -- straight-line scan to the next boundary ----------------- #
+            g = scratch.gen + 1
+            scratch.gen = g  # stamp bump == clear all four buffers
+            rf_len = 0
+            wf_len = 0
+            wbb_len = 0
+            apb_len = 0
+            steps = []
+            dw_i = []
+            untracked = False
+            end = n
+            cause = "final"
+            i = scan_from
+            while i < n:
+                if i == next_forced:
+                    end = i
+                    cause = "compiler"
+                    break
+                op = ops[i]
+                if op & 1:
+                    # Write.
+                    if op & 4:
+                        end = i
+                        cause = "output"
+                        break
+                    if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                        i += 1
+                        continue
+                    if ignore_text and op & 2:
+                        end = i
+                        cause = "text_write"
+                        break
+                    v = wids[i]
+                    if wbb_g[v] == g:
+                        i += 1  # in-place update; no growth
+                        continue
+                    if wf_g[v] == g:
+                        if collect_dw:
+                            dw_i.append(i)
+                        i += 1
+                        continue
+                    if rf_g[v] == g:
+                        # Idempotency violation.
+                        if ig_fw and op & 8:
+                            i += 1
+                            continue
+                        if wbb_cap == 0:
+                            end = i
+                            cause = "violation"
+                            break
+                        if wbb_len >= wbb_cap:
+                            end = i
+                            cause = "wbb_full"
+                            break
+                        wbb_g[v] = g
+                        wbb_len += 1
+                        steps.append(i)
+                        if rm_dup:
+                            rf_g[v] = 0
+                            rf_len -= 1
+                        i += 1
+                        continue
+                    # Fresh address: write-dominated.
+                    if wf_cap == 0:
+                        if collect_dw:
+                            dw_i.append(i)
+                        i += 1
+                        continue
+                    if wf_len >= wf_cap:
+                        if no_wf_ovf:
+                            if collect_dw:
+                                dw_i.append(i)
+                            i += 1
+                            continue
+                        end = i
+                        cause = "wf_full"
+                        break
+                    if apb_on:
+                        p = pids[i]
+                        if apb_g[p] != g:
+                            if apb_len >= apb_cap:
+                                if no_wf_ovf:
+                                    if collect_dw:
+                                        dw_i.append(i)
+                                    i += 1
+                                    continue
+                                end = i
+                                cause = "apb_full"
+                                break
+                            apb_g[p] = g
+                            apb_len += 1
+                    wf_g[v] = g
+                    wf_len += 1
+                    if collect_dw:
+                        dw_i.append(i)
+                    i += 1
+                    continue
+                # Read.
+                if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                    i += 1
+                    continue
+                if ignore_text and op & 2:
+                    i += 1
+                    continue
+                v = wids[i]
+                if rf_g[v] == g or wbb_g[v] == g or wf_g[v] == g:
+                    i += 1
+                    continue
+                if rf_len >= rf_cap:
+                    if not latest:
+                        end = i
+                        cause = "rf_full"
+                        break
+                    untracked = True
+                    i += 1
+                    break  # drop into the untracked tail loop
+                if apb_on:
+                    p = pids[i]
+                    if apb_g[p] != g:
+                        if apb_len >= apb_cap:
+                            if not latest:
+                                end = i
+                                cause = "apb_full"
+                                break
+                            untracked = True
+                            i += 1
+                            break
+                        apb_g[p] = g
+                        apb_len += 1
+                rf_g[v] = g
+                rf_len += 1
+                i += 1
+            if untracked:
+                # Untracked tail (latest-checkpoint mode after a read-side
+                # fill): reads always pass, so only writes need
+                # classifying.
+                while i < n:
+                    if i == next_forced:
+                        end = i
+                        cause = "compiler"
+                        break
+                    op = ops[i]
+                    if op & 1:
+                        if op & 4:
+                            end = i
+                            cause = "output"
+                            break
+                        if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                            pass
+                        elif ig_fw and op & 8:
+                            pass
+                        else:
+                            end = i
+                            cause = "latest_write"
+                            break
+                    i += 1
+            yield start, variant, end, cause, tuple(steps), tuple(dw_i)
+
+            # -- follow the boundary into the next section --------------- #
+            if cause == "final":
+                return
+            if cause == "compiler":
+                forced_done = end
+                direct = False
+                start = end
+            elif cause == "text_write":
+                direct = True
+                start = end
+            elif cause == "output":
+                direct = False
+                start = end + 1
+            else:
+                direct = False
+                start = end
     # ------------------------------------------------------------------ #
     # View and lifecycle.
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ from datetime import datetime, timezone
 from repro.eval.parallel import resolve_workers
 from repro.eval.settings import EvalSettings
 from repro.obs.profile import PROFILER
+from repro.sim import sections
 from repro.workloads.cache import cache_stats, reset_cache_stats
 
 _EXPERIMENTS = (
@@ -82,6 +83,7 @@ def main(argv=None) -> int:
 
     PROFILER.reset()
     reset_cache_stats()
+    sections.reset_cache_stats()
 
     driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
@@ -105,6 +107,10 @@ def main(argv=None) -> int:
         print(f"[{name} completed in {seconds:.1f}s]\n")
     wall_clock = time.perf_counter() - wall_start
 
+    # Serial runs populate the in-process SectionMap counters directly;
+    # parallel runs merged worker deltas into the profiler already.
+    sect = sections.cache_stats()
+    PROFILER.record_section_cache(sect["hits"], sect["misses"])
     profile = PROFILER.table(cache_stats=cache_stats())
     print(profile)
     if not args.quick:

@@ -37,8 +37,9 @@ from repro.eval.settings import EvalSettings
 from repro.obs.profile import PROFILER
 from repro.power.schedules import RuntPower
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim import sections
+from repro.sim.fast import simulate_fast
 from repro.sim.result import SimulationResult
-from repro.sim.simulator import IntermittentSimulator
 from repro.sim.undo_log import UndoLogSimulator
 from repro.workloads import cache as trace_cache
 from repro.workloads.cache import get_trace
@@ -194,6 +195,7 @@ def execute_job(
             verify=settings.verify,
             max_power_cycles=job.max_power_cycles,
         )
+        run_one = sim.run
     else:
         pi_words = pi_access_indices = forced_checkpoints = None
         if job.epoch_cycles > 0:
@@ -208,25 +210,37 @@ def execute_job(
                 trace.memory_map.word_range(name)
                 for name in job.volatile_segments
             )
-        sim = IntermittentSimulator(
-            trace,
-            config,
-            schedule,
-            cost_model=_COST_MODELS[job.cost_model],
-            perf_watchdog=job.perf_watchdog,
-            progress_watchdog=job.progress_watchdog,
-            progress_watchdog_adaptive=job.progress_watchdog_adaptive,
-            pi_words=pi_words,
-            pi_access_indices=pi_access_indices,
-            forced_checkpoints=forced_checkpoints,
-            volatile_ranges=volatile_ranges,
-            verify=settings.verify,
-            max_power_cycles=job.max_power_cycles,
-        )
+        # Clank jobs go through the section-memoized fast path when
+        # eligible (verify off, no volatile ranges); ineligible ones fall
+        # back to the reference simulator inside simulate_fast.
+        def run_one(
+            _t=trace,
+            _c=config,
+            _s=schedule,
+            _pw=pi_words,
+            _pi=pi_access_indices,
+            _f=forced_checkpoints,
+            _v=volatile_ranges,
+        ):
+            return simulate_fast(
+                _t,
+                _c,
+                _s,
+                cost_model=_COST_MODELS[job.cost_model],
+                perf_watchdog=job.perf_watchdog,
+                progress_watchdog=job.progress_watchdog,
+                progress_watchdog_adaptive=job.progress_watchdog_adaptive,
+                pi_words=_pw,
+                pi_access_indices=_pi,
+                forced_checkpoints=_f,
+                volatile_ranges=_v,
+                verify=settings.verify,
+                max_power_cycles=job.max_power_cycles,
+            )
 
     start = time.perf_counter()
     try:
-        result = sim.run()
+        result = run_one()
     except SimulationError:
         if not job.allow_stall:
             raise
@@ -251,14 +265,18 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     small payload dict (never a pickled trace or simulator)."""
     idx, job = item
     stats_before = trace_cache.cache_stats()
+    sect_before = sections.cache_stats()
     result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
     stats_after = trace_cache.cache_stats()
+    sect_after = sections.cache_stats()
     return idx, {
         "workload": job.workload,
         "result": None if result is None else result.to_dict(include_derived=False),
         "sim_seconds": sim_seconds,
         "cache_hits": stats_after["hits"] - stats_before["hits"],
         "cache_misses": stats_after["misses"] - stats_before["misses"],
+        "section_hits": sect_after["hits"] - sect_before["hits"],
+        "section_misses": sect_after["misses"] - sect_before["misses"],
     }
 
 
@@ -344,6 +362,9 @@ def run_jobs(
             PROFILER.record_sim(payload["workload"], payload["sim_seconds"])
         PROFILER.record_worker_cache(
             payload["cache_hits"], payload["cache_misses"]
+        )
+        PROFILER.record_section_cache(
+            payload.get("section_hits", 0), payload.get("section_misses", 0)
         )
         raw = payload["result"]
         results.append(None if raw is None else SimulationResult.from_dict(raw))

@@ -7,8 +7,8 @@ from repro.compiler.program_idempotence import profile_program_idempotent
 from repro.core.config import ClankConfig
 from repro.eval.settings import EvalSettings
 from repro.obs.profile import PROFILER
+from repro.sim.fast import simulate_fast
 from repro.sim.result import SimulationResult
-from repro.sim.simulator import IntermittentSimulator
 from repro.trace.trace import Trace
 from repro.workloads.cache import get_trace
 from repro.workloads.registry import mibench2_names
@@ -54,11 +54,14 @@ def run_clank(
     With ``settings.profile`` on (the default), wall-clock time inside the
     simulator is accounted per workload into the shared
     :data:`~repro.obs.profile.PROFILER`.
+
+    Runs go through :func:`repro.sim.fast.simulate_fast`: eligible ones
+    (no verification, no recorder, no volatile ranges) take the
+    section-memoized walk, the rest fall back to the reference simulator —
+    the results are bit-identical either way.
     """
-    sim = IntermittentSimulator(
-        trace,
-        config,
-        settings.schedule(salt),
+    schedule = settings.schedule(salt)
+    kwargs = dict(
         perf_watchdog=perf_watchdog,
         progress_watchdog="auto",
         pi_words=pi_words_for(trace) if use_compiler else None,
@@ -67,9 +70,9 @@ def run_clank(
         recorder=recorder,
     )
     if not settings.profile:
-        return sim.run()
+        return simulate_fast(trace, config, schedule, **kwargs)
     start = time.perf_counter()
-    result = sim.run()
+    result = simulate_fast(trace, config, schedule, **kwargs)
     PROFILER.record_sim(trace.name, time.perf_counter() - start)
     return result
 

@@ -28,6 +28,8 @@ class Profiler:
         self.sim_runs: Dict[str, int] = {}
         self.worker_cache_hits = 0
         self.worker_cache_misses = 0
+        self.section_cache_hits = 0
+        self.section_cache_misses = 0
 
     def reset(self) -> None:
         """Drop all accumulated data (tests and fresh CLI runs)."""
@@ -37,6 +39,8 @@ class Profiler:
         self.sim_runs.clear()
         self.worker_cache_hits = 0
         self.worker_cache_misses = 0
+        self.section_cache_hits = 0
+        self.section_cache_misses = 0
 
     @contextmanager
     def phase(self, name: str):
@@ -60,6 +64,13 @@ class Profiler:
         worker processes cannot touch the parent's cache counters)."""
         self.worker_cache_hits += hits
         self.worker_cache_misses += misses
+
+    def record_section_cache(self, hits: int, misses: int) -> None:
+        """Merge SectionMap cache hit/miss deltas (the fast replay path of
+        :mod:`repro.sim.sections`) — from parallel worker payloads, or from
+        the in-process counters after a serial sweep."""
+        self.section_cache_hits += hits
+        self.section_cache_misses += misses
 
     @property
     def total_sim_seconds(self) -> float:
@@ -121,6 +132,13 @@ class Profiler:
             lines.append(
                 f"-- worker trace caches: {self.worker_cache_hits} hits / "
                 f"{self.worker_cache_misses} misses ({rate:.1%} hit rate)"
+            )
+        if self.section_cache_hits or self.section_cache_misses:
+            total = self.section_cache_hits + self.section_cache_misses
+            rate = self.section_cache_hits / total if total else 0.0
+            lines.append(
+                f"-- section maps: {self.section_cache_hits} hits / "
+                f"{self.section_cache_misses} misses ({rate:.1%} hit rate)"
             )
         return "\n".join(lines)
 

@@ -1,0 +1,504 @@
+"""Section-memoized replay: simulate a power schedule as a section walk.
+
+The reference :class:`~repro.sim.simulator.IntermittentSimulator` replays a
+trace access-by-access for every run, re-deriving the same idempotent
+sections under every power schedule.  :class:`FastReplaySimulator` instead
+walks the schedule over the precomputed
+:class:`~repro.sim.sections.SectionMap`: within one section attempt the
+only schedule-dependent questions are *which access the remaining on-time
+cannot complete* and *which access a watchdog fires after*, and both are a
+``bisect`` over the trace's cycle prefix sums.  Useful/re-executed cycles
+split at the furthest-ever-completed index by interval arithmetic; the
+checkpoint's WBB flush size is a ``bisect`` over the section's recorded
+buffer-growth steps.  The result is bit-identical to the reference
+simulator — same cycle buckets, ``checkpoints_by_cause``, power-cycle and
+output counts — at a per-run cost proportional to the number of *section
+attempts* rather than the number of accesses.
+
+Eligibility.  The fast path models forced checkpoints, PI marking, the
+output-commit protocol, text writes, and both watchdogs (including the
+adaptive Progress Watchdog's non-volatile halving state machine) exactly.
+It refuses — by raising :class:`FastPathIneligible`, which
+:func:`simulate_fast` turns into a reference-simulator rerun — when a run
+needs state the section walk does not carry:
+
+* ``verify=True`` (the dynamic verifier checks every read value),
+* a live recorder (events fire per access, not per section),
+* mixed-volatility ranges (per-checkpoint dirty-word costs),
+* the static PI false-write hazard
+  (:attr:`~repro.sim.sections.SectionMap.pi_hazard`),
+* at run time: a watchdog checkpoint that commits *below* the furthest
+  executed index while ignore-false-writes is on AND the stale
+  directly-committed value some failed power cycle left ahead of the cut
+  would flip the word's next false-write classification
+  (:meth:`~repro.sim.sections.SectionMap.watchdog_cut_safe` decides this
+  exactly from the section's direct-commit writes — derived lazily for
+  just the sections such cuts actually hit — and the walker's record of
+  failed-cycle reaches) — the walk then aborts and the reference
+  simulator re-runs the schedule (bit-identical: every schedule re-seeds
+  itself on ``reset()``).
+
+Set ``REPRO_FAST=0`` to disable the fast path entirely.
+"""
+
+import os
+from bisect import bisect_left, bisect_right
+
+from repro.common.errors import SimulationError
+from repro.obs.recorder import live_recorder
+from repro.sim.result import SimulationResult
+from repro.sim.sections import (
+    SEC_DETECTOR,
+    SEC_FINAL,
+    SEC_FORCED,
+    SEC_OUTPUT,
+    SEC_TEXT,
+    VARIANT_DIRECT,
+    VARIANT_FORCED_DONE,
+    VARIANT_NORMAL,
+    get_section_map,
+)
+from repro.sim.simulator import IntermittentSimulator
+
+
+class FastPathIneligible(Exception):
+    """This run needs the reference simulator (see module docstring)."""
+
+
+def fast_path_enabled() -> bool:
+    """The ``REPRO_FAST`` escape hatch (default on)."""
+    return os.environ.get("REPRO_FAST", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+class FastReplaySimulator(IntermittentSimulator):
+    """Drop-in :class:`IntermittentSimulator` running the section walk.
+
+    Construction is identical to the reference simulator (it *is* the
+    reference ``__init__``: same ``"auto"`` watchdog resolution, same
+    ``max_power_cycles`` default).  :meth:`run` raises
+    :class:`FastPathIneligible` instead of silently degrading; use
+    :func:`simulate_fast` for transparent fallback.
+    """
+
+    def run(self) -> SimulationResult:
+        if self.verify:
+            raise FastPathIneligible("dynamic verification replays per access")
+        if live_recorder(self.recorder) is not None:
+            raise FastPathIneligible("event recording replays per access")
+        if self.volatile_ranges:
+            raise FastPathIneligible("mixed-volatility is not section-memoized")
+        trace = self.trace
+        smap = get_section_map(
+            trace,
+            self.config,
+            self.pi_words,
+            self.pi_access_indices,
+            self.forced_checkpoints,
+        )
+        if smap.pi_hazard:
+            raise FastPathIneligible(
+                "access-marked PI writes alias tracked writes under "
+                "ignore-false-writes"
+            )
+
+        ct = smap.ct
+        n = ct.n
+        gcum = ct.cum_cycles
+        acc_cycles = ct.cycles
+        cost = self.cost_model
+        base_ck = cost.register_checkpoint_cycles
+        flush_base = cost.wbb_flush_base_cycles
+        per_entry = cost.wbb_entry_flush_cycles
+        rcost = cost.restart_cycles(0)
+        schedule = self.schedule
+        schedule.reset()
+        next_on = schedule.next_on_time
+        section_of = smap.section
+        secs_get = smap._sections.get
+        cut_safe = smap.watchdog_cut_safe
+        forced = smap.forced
+        max_pc = self.max_power_cycles
+        name = trace.name
+        ig_fw = self.config.optimizations.ignore_false_writes
+
+        perf_load = self.perf_watchdog_load
+        perf_on = perf_load > 0
+        prog_default = self.progress_watchdog_load
+        prog_configured = prog_default > 0
+        prog_adaptive = self.progress_watchdog_adaptive
+        # The Progress Watchdog's non-volatile state (Section 4.2).
+        prog_nv_load = 0
+        prog_no_ckpt = False
+        prog_enabled = False
+        prog_remaining = 0
+
+        useful = reexec = wasted = ckpt_cycles = restart_cycles = 0
+        ckpt_counts = {}
+        power_cycles = 1
+        wasted_power_cycles = 0
+        outputs = duplicate_outputs = 0
+        wbb_flushed = 0
+        furthest = 0  # number of accesses ever completed
+        progress = False  # any commit / new furthest this power cycle
+        forced_done = -1  # index whose compiler checkpoint committed
+        direct = False  # next section starts with a direct text write
+        i = 0  # trace position of the last committed checkpoint
+        # Failed power cycles that got past their committed start, as
+        # time-ordered (reach, section_start) pairs: exactly the state
+        # watchdog_cut_safe needs to resolve each stale word's surviving
+        # value.  Only consulted under ignore-false-writes; a same-start
+        # entry at or below a new reach replays the identical prefix and
+        # is fully shadowed by it, so it is popped on append.
+        reaches = []
+
+        # --- helpers (mirroring the reference simulator exactly) ----------
+
+        def restart_sequence() -> int:
+            nonlocal restart_cycles, power_cycles, wasted_power_cycles
+            nonlocal progress, prog_enabled, prog_nv_load, prog_no_ckpt
+            nonlocal prog_remaining
+            while True:
+                on_left = next_on()
+                progress = False
+                prog_enabled = False
+                if prog_configured:
+                    if not prog_no_ckpt:
+                        prog_no_ckpt = True
+                    else:
+                        if prog_nv_load > 0 and prog_adaptive:
+                            prog_nv_load = max(1, prog_nv_load // 2)
+                        elif prog_nv_load == 0:
+                            prog_nv_load = prog_default
+                        prog_enabled = True
+                        prog_remaining = prog_nv_load
+                if on_left >= rcost:
+                    restart_cycles += rcost
+                    return on_left - rcost
+                restart_cycles += on_left
+                power_cycles += 1
+                wasted_power_cycles += 1
+                if power_cycles > max_pc:
+                    raise SimulationError(
+                        f"{name}: no forward progress after "
+                        f"{power_cycles} power cycles (restart cost {rcost} "
+                        f"exceeds on-times)"
+                    )
+
+        def power_loss(at_i: int) -> int:
+            nonlocal power_cycles, wasted_power_cycles
+            if ig_fw and at_i > i:
+                while reaches and reaches[-1][1] == i and reaches[-1][0] <= at_i:
+                    reaches.pop()
+                reaches.append((at_i, i))
+                if len(reaches) > 64:
+                    reaches[:] = [e for e in reaches if e[0] > i]
+            if not progress:
+                wasted_power_cycles += 1
+            power_cycles += 1
+            if power_cycles > max_pc:
+                raise SimulationError(
+                    f"{name}: exceeded {max_pc} power "
+                    f"cycles at trace position {at_i}/{n}"
+                )
+            return restart_sequence()
+
+        # --- section walk -------------------------------------------------
+        # Accounting of executed spans (split at ``furthest``) and commits
+        # is inlined below rather than in helpers: both happen exactly once
+        # per section attempt, and for small-buffer configurations whose
+        # sections span a handful of accesses the two closure calls were
+        # the walker's single largest cost.
+
+        ckpt_get = ckpt_counts.get
+        on_left = restart_sequence()  # first boot
+        while True:
+            s = i
+            if direct:
+                variant = VARIANT_DIRECT
+            elif forced_done == s and s in forced:
+                variant = VARIANT_FORCED_DONE
+            else:
+                variant = VARIANT_NORMAL
+            sec = secs_get((s, variant))
+            if sec is None:
+                sec = section_of(s, variant)
+            end, cause, kind, steps = sec
+            base = gcum[s]
+
+            # Watchdog firing inside the span [s, end): the earliest access
+            # m whose completion expires a timer (ties: progress wins, as in
+            # the reference's if/elif).
+            fire_m = -1
+            fire_cause = ""
+            if prog_enabled:
+                j = bisect_left(gcum, base + prog_remaining, s + 1, end + 1)
+                if j <= end:
+                    fire_m = j - 1
+                    fire_cause = "progress_wdt"
+            if perf_on:
+                j = bisect_left(gcum, base + perf_load, s + 1, end + 1)
+                if j <= end and (fire_m < 0 or j - 1 < fire_m):
+                    fire_m = j - 1
+                    fire_cause = "perf_wdt"
+
+            # First span access the on-time cannot complete (power fails
+            # mid-access).  A same-index watchdog firing loses: it needs the
+            # access to have completed.
+            u = bisect_right(gcum, base + on_left, s + 1, end + 1)
+            if u <= end and (fire_m < 0 or u - 1 <= fire_m):
+                mf = u - 1
+                if mf <= furthest:
+                    reexec += gcum[mf] - base
+                elif s >= furthest:
+                    useful += gcum[mf] - base
+                    furthest = mf
+                    progress = True
+                else:
+                    reexec += gcum[furthest] - base
+                    useful += gcum[mf] - gcum[furthest]
+                    furthest = mf
+                    progress = True
+                wasted += on_left - (gcum[mf] - base)
+                if not (direct and mf == s):
+                    # The compiler-inserted call re-executes on replay; the
+                    # direct text write (first access after its checkpoint)
+                    # is the one failure site that keeps the latch.
+                    forced_done = -1
+                on_left = power_loss(mf)
+                direct = False
+                continue
+
+            if fire_m >= 0:
+                m1 = fire_m + 1
+                if m1 <= furthest:
+                    reexec += gcum[m1] - base
+                elif s >= furthest:
+                    useful += gcum[m1] - base
+                    furthest = m1
+                    progress = True
+                else:
+                    reexec += gcum[furthest] - base
+                    useful += gcum[m1] - gcum[furthest]
+                    furthest = m1
+                    progress = True
+                on_left -= gcum[m1] - base
+                nwbb = bisect_left(steps, m1)
+                c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
+                if on_left < c:
+                    wasted += on_left
+                    on_left = power_loss(m1)
+                    direct = False
+                    continue
+                if (
+                    ig_fw
+                    and furthest > m1
+                    and not cut_safe(s, variant, m1, furthest, reaches)
+                ):
+                    # Stale-view hazard: this checkpoint lands inside a span
+                    # an earlier power cycle executed past, and the stale
+                    # directly-committed value would flip a false-write
+                    # classification on re-execution.  Only the reference's
+                    # live memory view decides those; hand the whole run
+                    # back to it.
+                    raise FastPathIneligible(
+                        "watchdog checkpoint below the furthest executed "
+                        "index with ignore-false-writes"
+                    )
+                on_left -= c
+                ckpt_cycles += c
+                wbb_flushed += nwbb
+                ckpt_counts[fire_cause] = ckpt_get(fire_cause, 0) + 1
+                if prog_configured:
+                    prog_enabled = False
+                    prog_nv_load = 0
+                    prog_no_ckpt = False
+                progress = True
+                i = m1
+                direct = False
+                continue
+
+            # The whole span executes; handle the boundary.
+            if end <= furthest:
+                reexec += gcum[end] - base
+            elif s >= furthest:
+                useful += gcum[end] - base
+                furthest = end
+                progress = True
+            else:
+                reexec += gcum[furthest] - base
+                useful += gcum[end] - gcum[furthest]
+                furthest = end
+                progress = True
+            on_left -= gcum[end] - base
+
+            if kind == SEC_DETECTOR or kind == SEC_TEXT or kind == SEC_OUTPUT:
+                # The boundary access is fetched first — power can fail on
+                # the access itself before the checkpoint is attempted (the
+                # reference's pre-classification affordability check).
+                ce = acc_cycles[end]
+                if on_left < ce:
+                    wasted += on_left
+                    forced_done = -1
+                    on_left = power_loss(end)
+                    direct = False
+                    continue
+                nwbb = len(steps)
+                c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
+                if on_left < c:
+                    wasted += on_left
+                    on_left = power_loss(end)
+                    direct = False
+                    continue
+                on_left -= c
+                ckpt_cycles += c
+                wbb_flushed += nwbb
+                ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+                if prog_configured:
+                    prog_enabled = False
+                    prog_nv_load = 0
+                    prog_no_ckpt = False
+                progress = True
+                i = end
+
+                if kind == SEC_DETECTOR:
+                    direct = False
+                    continue
+                if kind == SEC_TEXT:
+                    # The text write commits directly as the first access of
+                    # the next section (scanned from end+1); its failure
+                    # semantics — forced_done survives — ride on the direct
+                    # flag.
+                    direct = True
+                    continue
+
+                # SEC_OUTPUT: the GO phase.  The output access executes
+                # between its two checkpoints and never ticks the watchdogs;
+                # any power loss forgets the pre-checkpoint (output_ready is
+                # volatile), so a retry re-runs the whole protocol from the
+                # committed start.
+                direct = False
+                if on_left < ce:
+                    wasted += on_left
+                    forced_done = -1
+                    on_left = power_loss(end)
+                    continue
+                on_left -= ce
+                outputs += 1
+                if end < furthest:
+                    duplicate_outputs += 1
+                    reexec += ce
+                else:
+                    useful += ce
+                    furthest = end + 1
+                    progress = True
+                if on_left < base_ck:
+                    wasted += on_left
+                    on_left = power_loss(end + 1)
+                    continue
+                on_left -= base_ck
+                ckpt_cycles += base_ck
+                ckpt_counts["output"] = ckpt_get("output", 0) + 1
+                if prog_configured:
+                    prog_enabled = False
+                    prog_nv_load = 0
+                    prog_no_ckpt = False
+                progress = True
+                i = end + 1
+                continue
+
+            if kind == SEC_FORCED:
+                nwbb = len(steps)
+                c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
+                if on_left < c:
+                    wasted += on_left
+                    forced_done = -1
+                    on_left = power_loss(end)
+                    direct = False
+                    continue
+                on_left -= c
+                ckpt_cycles += c
+                wbb_flushed += nwbb
+                ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+                if prog_configured:
+                    prog_enabled = False
+                    prog_nv_load = 0
+                    prog_no_ckpt = False
+                progress = True
+                forced_done = end
+                i = end
+                direct = False
+                continue
+
+            # SEC_FINAL.
+            nwbb = len(steps)
+            c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
+            if on_left < c:
+                wasted += on_left
+                on_left = power_loss(n)
+                direct = False
+                continue
+            on_left -= c
+            ckpt_cycles += c
+            wbb_flushed += nwbb
+            ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+            if prog_configured:
+                prog_enabled = False
+                prog_nv_load = 0
+                prog_no_ckpt = False
+            break
+
+        return SimulationResult(
+            name=name,
+            config_label=self.config.label(),
+            baseline_cycles=trace.total_cycles,
+            useful_cycles=useful,
+            checkpoint_cycles=ckpt_cycles,
+            restart_cycles=restart_cycles,
+            reexec_cycles=reexec,
+            wasted_cycles=wasted,
+            checkpoints_by_cause=ckpt_counts,
+            power_cycles=power_cycles,
+            wasted_power_cycles=wasted_power_cycles,
+            outputs=outputs,
+            duplicate_outputs=duplicate_outputs,
+            wbb_words_flushed=wbb_flushed,
+            verified=False,
+            completed=True,
+            metrics={},
+        )
+
+
+#: Process-wide dispatch counters: runs completed on the section walk vs.
+#: runs that fell back to the reference simulator (ineligible or bailed).
+_STATS = {"fast": 0, "fallback": 0}
+
+
+def fast_stats() -> dict:
+    """``{"fast": int, "fallback": int}`` dispatch counts since reset."""
+    return dict(_STATS)
+
+
+def reset_fast_stats() -> None:
+    """Zero the dispatch counters (benchmark guards, tests)."""
+    _STATS["fast"] = 0
+    _STATS["fallback"] = 0
+
+
+def simulate_fast(trace, config, schedule, **kwargs) -> SimulationResult:
+    """Run on the fast path when eligible, else on the reference simulator.
+
+    The fallback is exact: power schedules fully re-seed on ``reset()``, so
+    a reference rerun — even after a partially walked fast attempt —
+    consumes the identical on-time sequence.
+    """
+    if fast_path_enabled():
+        try:
+            result = FastReplaySimulator(trace, config, schedule, **kwargs).run()
+            _STATS["fast"] += 1
+            return result
+        except FastPathIneligible:
+            pass
+    _STATS["fallback"] += 1
+    return IntermittentSimulator(trace, config, schedule, **kwargs).run()

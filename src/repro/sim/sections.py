@@ -1,0 +1,494 @@
+"""Memoized idempotent-section structure of a (trace, config) pair.
+
+Clank decomposes every execution into restartable idempotent sections.
+From a committed checkpoint the tracking buffers are empty, so the next
+section boundary — and everything the simulator needs to account a
+checkpoint there — is a pure function of the trace, the hardware
+configuration, and the compiler marking.  The power schedule only decides
+*where inside a section* power fails and how much re-executes.
+
+A :class:`SectionMap` caches that schedule-independent structure: for each
+section start (and variant, below) it runs the
+:class:`~repro.core.detector.IdempotencyDetector` straight-line once and
+records ``(end, cause, kind, wbb_steps)``:
+
+* ``end`` — index of the boundary access (``n`` for the final checkpoint);
+  the section executes exactly the accesses ``[start, end)``.
+* ``cause`` — checkpoint cause charged at the boundary.
+* ``kind`` — how the boundary behaves under power failure (see constants).
+* ``wbb_steps`` — ascending trace indices where the Write-back Buffer
+  grew; ``bisect`` against a cut point yields the flush size of any
+  checkpoint inside the section, keeping the map cost-model independent.
+
+Section *variants* capture the three ways a start can be entered:
+
+* ``VARIANT_NORMAL`` — fresh buffers, compiler-inserted checkpoints fire.
+* ``VARIANT_FORCED_DONE`` — the compiler checkpoint at ``start`` already
+  committed (the simulator's ``forced_done`` latch), so it must not fire
+  again until a rollback clears the latch.
+* ``VARIANT_DIRECT`` — entered right after a ``text_write`` checkpoint:
+  the first access is the text write itself, which commits directly
+  without consulting the detector (re-issuing it would checkpoint
+  forever), so scanning starts one access later.
+
+The map is exact except for one corner: the ignore-false-writes
+optimization compares a write's value against the *current run-time view*
+of memory, which the enumeration precomputes from the continuous oracle
+(``CompiledTrace.false_writes``).  The two can diverge only when
+non-volatile memory holds a write the current position has not reached —
+i.e. after a rollback past a direct-committed write.  Two cases exist:
+
+* a Program-Idempotent *access-marked* write (epoch-scoped marking) can be
+  rolled over freely — detected statically here (:attr:`SectionMap.pi_hazard`)
+  and the fast path refuses such jobs up front;
+* a Progress-Watchdog checkpoint can commit *inside* a span that an
+  earlier (checkpoint-free) power cycle executed further into, leaving
+  stale directly-committed words ahead of the new start whose next
+  false-write comparison can then disagree with the oracle — checked
+  exactly at run time by the walker via :meth:`SectionMap.watchdog_cut_safe`
+  whenever a watchdog commit lands below the furthest-executed index while
+  ``ignore_false_writes`` is on; only a genuinely divergent cut bails out
+  to the reference simulator.  See :mod:`repro.sim.fast`.
+"""
+
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
+from repro.core.config import ClankConfig
+from repro.core.detector import IdempotencyDetector
+from repro.trace.access import READ
+from repro.trace.trace import Trace
+
+#: Boundary kinds — they differ in how power failure interacts with the
+#: boundary access (see the walker in :mod:`repro.sim.fast`).
+SEC_DETECTOR = 0  #: detector-demanded checkpoint; boundary access retries
+SEC_TEXT = 1      #: text write: checkpoint, then the write commits directly
+SEC_FORCED = 2    #: compiler-inserted checkpoint call (epoch boundary)
+SEC_OUTPUT = 3    #: output write: pre-checkpoint (the GO phase follows)
+SEC_FINAL = 4     #: end of trace
+
+_KIND_BY_CAUSE = {
+    "compiler": SEC_FORCED,
+    "output": SEC_OUTPUT,
+    "text_write": SEC_TEXT,
+    "final": SEC_FINAL,
+}
+
+#: Section-entry variants.
+VARIANT_NORMAL = 0
+VARIANT_FORCED_DONE = 1
+VARIANT_DIRECT = 2
+
+#: A memoized section: (end, cause, kind, wbb_steps).
+Section = Tuple[int, str, int, Tuple[int, ...]]
+
+#: Sentinel for "C engine not resolved yet" (None means "unavailable").
+_UNSET = object()
+
+
+class SectionMap:
+    """Lazily-enumerated section structure of one (trace, config,
+    pi_words, pi_access_indices, forced_checkpoints) tuple.
+
+    Sections are enumerated on demand (power schedules visit only the
+    starts they actually commit at) and memoized forever: the map object
+    itself is cached per key by :func:`get_section_map`, so every schedule
+    swept over the same structure reuses the same enumerations.
+    """
+
+    __slots__ = (
+        "ct", "n", "pi_words", "pi_indices", "forced", "_forced_sorted",
+        "_detector", "_sections", "pi_hazard", "_write_index", "_scratch",
+        "_dw_cache", "_dw_groups", "_engine",
+    )
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ClankConfig,
+        pi_words: Optional[FrozenSet[int]] = None,
+        pi_access_indices: Optional[FrozenSet[int]] = None,
+        forced_checkpoints: Optional[FrozenSet[int]] = None,
+    ):
+        ct = trace.compiled()
+        self.ct = ct
+        self.n = ct.n
+        self.pi_words = pi_words or frozenset()
+        self.pi_indices = pi_access_indices or frozenset()
+        forced = forced_checkpoints or frozenset()
+        self.forced = forced
+        # A compiler checkpoint at index n never fires: the final
+        # checkpoint precedes the forced check in the replay loop.
+        self._forced_sorted = sorted(f for f in forced if f < ct.n)
+        self._detector = IdempotencyDetector(
+            config, trace.memory_map.text_word_range
+        )
+        self._sections: Dict[Tuple[int, int], Section] = {}
+        self._write_index: Optional[Dict[int, list]] = None
+        self._scratch = None  # lazily built ChainScratch, reused per chain
+        self._dw_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._dw_groups: Dict[Tuple[int, int], Dict[int, list]] = {}
+        self._engine = _UNSET  # lazily built C ChainScanEngine (or None)
+        opts = config.optimizations
+        #: Static false-write hazard: an access-marked PI write commits to
+        #: non-volatile memory mid-section and is not undone by rollback,
+        #: so a later re-execution of an *earlier* tracked write to the
+        #: same word could compare against the stale value instead of the
+        #: oracle view.  Conservative: any word with both an access-marked
+        #: PI write and a tracked write trips it.
+        self.pi_hazard = False
+        if opts.ignore_false_writes and self.pi_indices:
+            kinds = ct.kinds
+            waddrs = ct.waddrs
+            out_writes = ct.out_writes
+            pi_idx = self.pi_indices
+            pi_written = {
+                waddrs[j] for j in pi_idx if j < ct.n and kinds[j] != READ
+            } - self.pi_words
+            if pi_written:
+                for m in range(ct.n):
+                    if (
+                        kinds[m] != READ
+                        and waddrs[m] in pi_written
+                        and m not in pi_idx
+                        and not out_writes[m]
+                    ):
+                        self.pi_hazard = True
+                        break
+
+    def section(self, start: int, variant: int) -> Section:
+        """The memoized section beginning at ``start`` under ``variant``."""
+        key = (start, variant)
+        sec = self._sections.get(key)
+        if sec is None:
+            self._ingest_chain(start, variant)
+            sec = self._sections[key]
+        return sec
+
+    def _ingest_chain(self, start: int, variant: int) -> None:
+        """Enumerate the failure-free section chain from ``(start, variant)``.
+
+        One :meth:`~repro.core.detector.IdempotencyDetector.straightline_chain`
+        call enumerates every section from ``start`` to the final
+        checkpoint, amortizing per-section overhead across the whole
+        chain.  Consumption stops at the first already-memoized entry:
+        the boundary sequence from any shared ``(start, variant)`` onward
+        is identical, so the rest of the chain is guaranteed present
+        (every stored entry's successor was either stored by the same
+        chain or was the stop reason of the chain that stored it).
+
+        When the optional C kernel is available
+        (:mod:`repro.core.cext`), the scan runs there — one foreign call
+        fills flat section records and this method only copies them into
+        the memo dict; otherwise the pure-Python generator (the reference
+        implementation) does the same walk.
+        """
+        secs = self._sections
+        kind_of = _KIND_BY_CAUSE
+        eng = self._engine
+        if eng is _UNSET:
+            eng = self._engine = self._detector.chain_scan_engine(
+                self.ct, self._forced_sorted, self.pi_words, self.pi_indices
+            )
+        if eng is not None:
+            nsec = eng.scan(
+                start,
+                1 if variant == VARIANT_DIRECT else 0,
+                start if variant == VARIANT_FORCED_DONE else -1,
+            )
+            ss = eng.out_start
+            sv = eng.out_variant
+            se = eng.out_end
+            sc = eng.out_cause
+            so = eng.out_steps_off
+            sf = eng.out_steps
+            names = _CAUSE_NAMES
+            for k in range(nsec):
+                key = (ss[k], sv[k])
+                if key in secs:
+                    break
+                cause = names[sc[k]]
+                a = so[k]
+                b = so[k + 1]
+                secs[key] = (
+                    se[k],
+                    cause,
+                    kind_of.get(cause, SEC_DETECTOR),
+                    tuple(sf[a:b]) if b > a else (),
+                )
+            return
+        if self._scratch is None:
+            self._scratch = self._detector.chain_scratch(self.ct)
+        for s, v, end, cause, steps, _ in (
+            self._detector.straightline_chain(
+                self.ct,
+                start,
+                variant == VARIANT_DIRECT,
+                start if variant == VARIANT_FORCED_DONE else -1,
+                self._forced_sorted,
+                self.pi_words,
+                self.pi_indices,
+                self._scratch,
+            )
+        ):
+            key = (s, v)
+            if key in secs:
+                break
+            secs[key] = (end, cause, kind_of.get(cause, SEC_DETECTOR), steps)
+
+    def _direct_writes(self, start: int, variant: int) -> Tuple[int, ...]:
+        """The section's direct-commit write indices (memoized).
+
+        Re-runs the straight-line scan of just this section with
+        ``collect_dw`` on.  Only :meth:`watchdog_cut_safe` needs these,
+        and only for the rare sections a watchdog checkpoint cuts below
+        the furthest-executed index, so deriving them lazily keeps the
+        bulk enumeration free of per-write bookkeeping.
+        """
+        key = (start, variant)
+        dw = self._dw_cache.get(key)
+        if dw is None:
+            eng = self._engine
+            if eng is _UNSET:
+                eng = self._engine = self._detector.chain_scan_engine(
+                    self.ct, self._forced_sorted, self.pi_words,
+                    self.pi_indices,
+                )
+            direct = variant == VARIANT_DIRECT
+            fd = start if variant == VARIANT_FORCED_DONE else -1
+            if eng is not None:
+                dw = eng.scan_first_dw(start, 1 if direct else 0, fd)
+            else:
+                if self._scratch is None:
+                    self._scratch = self._detector.chain_scratch(self.ct)
+                chain = self._detector.straightline_chain(
+                    self.ct,
+                    start,
+                    direct,
+                    fd,
+                    self._forced_sorted,
+                    self.pi_words,
+                    self.pi_indices,
+                    self._scratch,
+                    collect_dw=True,
+                )
+                dw = next(chain)[5]
+                chain.close()
+            self._dw_cache[key] = dw
+        return dw
+
+    def watchdog_cut_safe(
+        self, start: int, variant: int, p: int, f: int, reaches
+    ) -> bool:
+        """Whether the section walk stays exact after a watchdog cut at ``p``.
+
+        A watchdog checkpoint that commits at ``p`` below the
+        furthest-executed index ``f`` leaves the write-first-path commits
+        of earlier, further-reaching power cycles at ``[p, f)`` ahead of
+        the new position: non-volatile memory holds their (future) values,
+        while the enumeration's ignore-false-writes comparisons used the
+        continuous oracle view.  Given the walker's record of those failed
+        cycles — ``reaches``, the time-ordered ``(reach, section_start)``
+        of every power loss that got past its cycle's committed start —
+        the stale value of each word is known exactly, and the cut is safe
+        iff the word's next classification agrees with the oracle:
+
+        * staleness needs a direct-commit write of the word at an index in
+          ``[p, f)`` (``_direct_writes``); everything below ``p`` is
+          re-executed and re-committed, in trace order, by the cycle
+          committing this very checkpoint, so a word the section writes
+          anywhere in ``[start, p)`` is back in sync the moment the
+          checkpoint lands (a false-write pass leaves the identical value
+          by definition);
+        * otherwise the word's stale value comes from the *latest* cycle
+          that reached past its first stale write ``d0``: within one
+          section every attempt replays the same prefix, so a later cycle
+          re-commits everything an earlier one did below its own reach,
+          and the survivor is ``values[last direct write < r]`` for the
+          most recent ``r > d0``;
+        * a surviving reach from an *earlier* section (its tag differs
+          from ``start``) is ignored: a reach can outlive a commit only
+          when that commit was itself a below-furthest watchdog cut —
+          every other commit lands at or above every reach — so the cut
+          that created it already verified, with that section's own
+          direct-write list, that each of its stale words' first future
+          consult agrees with the oracle; a word this section's failed
+          cycles also wrote is re-committed by them later in time and is
+          judged against their (current-classification) value below;
+        * reads never consult the stored value, output writes touch no
+          program word, and an access-marked PI write re-commits directly,
+          so the first consult that can diverge is the word's first
+          ordinary write ``q`` at or above ``p``.  There the runtime
+          false-write comparison sees the stale value; the cut is unsafe
+          iff ``(values[q] == stale) != false_writes[q]``.  Whatever
+          happens at a matching ``q`` (direct commit, WBB capture, or a
+          false pass — whose stale value then equals ``values[q]``), the
+          program's view of the word is ``values[q]`` afterwards — back in
+          sync, so later consults cannot diverge.
+
+        Intra-section rollback *without* a commit always re-executes from
+        the same start with the same values, so this cut is the only place
+        the stale-view question arises (``repro.sim.fast`` calls this
+        under ``ignore_false_writes`` only; without that optimization no
+        classification ever reads a stored value).
+
+        Args:
+            start: The current section's start index.
+            variant: Its entry variant (``VARIANT_*``).
+            p: The watchdog checkpoint's cut index (the new section start).
+            f: The furthest-executed index (``> p``).
+            reaches: Time-ordered ``(reach, section_start)`` pairs of the
+                failed power cycles whose effects may still be live.
+
+        Returns:
+            True when every stale word re-classifies identically; False
+            when the walker must hand the run to the reference simulator.
+        """
+        dw_idx = self._direct_writes(start, variant)
+        lo = bisect_left(dw_idx, p)
+        hi = bisect_left(dw_idx, f)
+        if lo >= hi:
+            return True
+        rs = [r for r, tag in reaches if r > p and tag == start]
+        if not rs:
+            return True
+        ct = self.ct
+        values = ct.values
+        waddrs = ct.waddrs
+        false_writes = ct.false_writes
+        out_writes = ct.out_writes
+        windex = self._write_index
+        if windex is None:
+            windex = {}
+            kinds = ct.kinds
+            was = ct.waddrs
+            for j in range(ct.n):
+                if kinds[j] != READ:
+                    windex.setdefault(was[j], []).append(j)
+            self._write_index = windex
+        gkey = (start, variant)
+        groups = self._dw_groups.get(gkey)
+        if groups is None:
+            groups = {}
+            for j in dw_idx:
+                groups.setdefault(waddrs[j], []).append(j)
+            self._dw_groups[gkey] = groups
+        pi_idx = self.pi_indices
+        seen = set()
+        for k in range(lo, hi):
+            d0 = dw_idx[k]
+            v = waddrs[d0]
+            if v in seen:
+                continue
+            seen.add(v)
+            r = 0
+            for rr in reversed(rs):
+                if rr > d0:
+                    r = rr
+                    break
+            if not r:
+                continue  # no failed cycle executed the word's stale write
+            wlist = windex[v]
+            qi = bisect_left(wlist, p)
+            if qi > 0 and wlist[qi - 1] >= start:
+                continue  # re-committed below p by the committing cycle
+            nw = len(wlist)
+            while qi < nw and out_writes[wlist[qi]]:
+                qi += 1
+            if qi == nw:
+                continue  # the stale value is never consulted again
+            q = wlist[qi]
+            if q in pi_idx:
+                continue  # PI write: value-independent, re-commits directly
+            dwv = groups[v]
+            stale = values[dwv[bisect_left(dwv, r) - 1]]
+            if (values[q] == stale) != false_writes[q]:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+
+# --------------------------------------------------------------------- #
+# Map cache.
+# --------------------------------------------------------------------- #
+
+#: Bounded LRU of SectionMaps.  Sweeps revisit a (trace, config) key once
+#: per schedule point (fig7's on-time sweep, fig8's watchdog x seed grid),
+#: but job orders are config-major (fig5 revisits a trace only after a
+#: full pass over the other 22), so the capacity must cover a sweep's
+#: whole (trace, config) working set or the cache thrashes to 0%.
+_MAX_CACHED_MAPS = 1024
+
+_CACHE: "OrderedDict[tuple, SectionMap]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+def _map_key(
+    trace: Trace,
+    config: ClankConfig,
+    pi_words: Optional[FrozenSet[int]],
+    pi_access_indices: Optional[FrozenSet[int]],
+    forced_checkpoints: Optional[FrozenSet[int]],
+) -> tuple:
+    """Content-derived cache key (id-reuse safe, like ``_PI_CACHE``)."""
+    return (
+        trace.name,
+        len(trace.accesses),
+        trace.total_cycles,
+        trace.checksum,
+        trace.memory_map.text_word_range,
+        trace.memory_map.word_range("mmio"),
+        config,
+        pi_words or frozenset(),
+        pi_access_indices or frozenset(),
+        forced_checkpoints or frozenset(),
+    )
+
+
+def get_section_map(
+    trace: Trace,
+    config: ClankConfig,
+    pi_words: Optional[FrozenSet[int]] = None,
+    pi_access_indices: Optional[FrozenSet[int]] = None,
+    forced_checkpoints: Optional[FrozenSet[int]] = None,
+) -> SectionMap:
+    """The shared SectionMap for this key (LRU-cached per process)."""
+    global _HITS, _MISSES
+    key = _map_key(
+        trace, config, pi_words, pi_access_indices, forced_checkpoints
+    )
+    smap = _CACHE.get(key)
+    if smap is not None:
+        _HITS += 1
+        _CACHE.move_to_end(key)
+        return smap
+    _MISSES += 1
+    smap = SectionMap(
+        trace, config, pi_words, pi_access_indices, forced_checkpoints
+    )
+    _CACHE[key] = smap
+    while len(_CACHE) > _MAX_CACHED_MAPS:
+        _CACHE.popitem(last=False)
+    return smap
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-process SectionMap cache."""
+    return {"hits": _HITS, "misses": _MISSES, "cached": len(_CACHE)}
+
+
+def reset_cache_stats() -> None:
+    """Zero the counters (tests and per-sweep profiling)."""
+    global _HITS, _MISSES
+    _HITS = 0
+    _MISSES = 0
+
+
+def clear_cache() -> None:
+    """Drop all cached maps (tests)."""
+    _CACHE.clear()

@@ -199,6 +199,10 @@ class IntermittentSimulator:
 
         # Memory state. Volatile words are split out of the NV image.
         has_vol = bool(self.volatile_ranges)
+        # Per-access volatile classification, precomputed (and memoized on
+        # the compiled trace) so the hot loop does one indexed fetch instead
+        # of a per-access range-scan method call.
+        vol_mask = ct.volatile_mask(self.volatile_ranges) if has_vol else None
         nv = {}
         vol_base = {}
         for w, v in trace.initial_image.items():
@@ -303,6 +307,10 @@ class IntermittentSimulator:
             if has_vol:
                 vol_mem = dict(vol_base)
                 vol_mem.update(vol_snapshot)
+                # Words dirtied by the rolled-back section revert with the
+                # volatile memory itself; leaving them marked would inflate
+                # the next checkpoint's incremental-save cost.
+                vol_dirty.clear()
             i = ckpt_i
             output_ready = -1
             return restart_sequence()
@@ -423,7 +431,7 @@ class IntermittentSimulator:
 
             # Classify the access.
             direct_write = False
-            if has_vol and self._in_volatile(w):
+            if has_vol and vol_mask[i]:
                 # Volatile accesses are untracked; writes ride along with
                 # the next checkpoint.
                 if kind == READ:

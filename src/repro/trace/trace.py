@@ -1,7 +1,9 @@
 """The memory-access log of one program execution."""
 
+from array import array
+from itertools import accumulate
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import TraceError
 from repro.mem.map import MemoryMap, default_memory_map
@@ -14,8 +16,8 @@ class CompiledTrace:
     The policy simulator replays a trace hundreds of times per sweep; per-
     :class:`~repro.trace.access.Access` attribute lookups dominate its inner
     loop.  The compiled form stores one immutable tuple per attribute so the
-    loop does a single indexed fetch instead, plus a precomputed per-access
-    classification against the trace's memory map:
+    loop does a single indexed fetch instead, plus precomputed per-access
+    classifications that are properties of the trace alone:
 
     Attributes:
         n: Number of accesses.
@@ -26,13 +28,31 @@ class CompiledTrace:
         out_writes: True where access ``i`` is a write into the MMIO/output
             region (the output-commit rule of Section 3.3) — the only
             memory-map test the simulator's hot loop needs per access.
+        cum_cycles: Cycle prefix sums, length ``n + 1``: ``cum_cycles[k]``
+            is the total cycles of accesses ``[0, k)``.  Strictly
+            increasing (every access costs >= 1 cycle), so the
+            section-memoized fast path can place power failures and
+            watchdog firings inside any contiguous access span with one
+            ``bisect`` instead of an access-by-access walk.
+        false_writes: True where access ``i`` is a *false write* — a write
+            whose value equals what the program already observes at that
+            word (the last write before ``i``, else the initial image,
+            else 0).  This is exactly the ``new_value == cur_value``
+            comparison the ignore-false-writes optimization performs at
+            run time; replay is value-deterministic, so it is a trace
+            property and can be evaluated once.
 
     The compiled form is a pure view: replaying it is bit-identical to
     replaying ``accesses`` (the dynamic verifier and the event stream see
     exactly the same values in the same order).
     """
 
-    __slots__ = ("n", "kinds", "waddrs", "values", "cycles", "out_writes")
+    __slots__ = (
+        "n", "kinds", "waddrs", "values", "cycles", "out_writes",
+        "cum_cycles", "false_writes", "_first", "_last", "_vol_masks",
+        "_scan_arrays", "_prefix_ids", "_scan_bufs", "_prefix_bufs",
+        "_pi_masks", "_c_scratch", "_c_out",
+    )
 
     def __init__(self, trace: "Trace"):
         accesses = trace.accesses
@@ -45,6 +65,202 @@ class CompiledTrace:
         self.out_writes = tuple(
             a.kind != READ and mmio_lo <= a.waddr < mmio_hi for a in accesses
         )
+        self.cum_cycles = tuple(accumulate(self.cycles, initial=0))
+        view = dict(trace.initial_image)
+        view_get = view.get
+        false_writes = []
+        for a in accesses:
+            if a.kind == READ:
+                false_writes.append(False)
+            else:
+                false_writes.append(view_get(a.waddr, 0) == a.value)
+                view[a.waddr] = a.value
+        self.false_writes = tuple(false_writes)
+        # Staleness sentinels: identity of the boundary Access objects lets
+        # Trace.compiled() catch same-length edge mutations for free.
+        self._first = accesses[0] if accesses else None
+        self._last = accesses[-1] if accesses else None
+        self._vol_masks: Dict[Tuple[Tuple[int, int], ...], Tuple[bool, ...]] = {}
+        self._scan_arrays: Dict[Tuple[int, int], tuple] = {}
+        self._prefix_ids: Dict[int, tuple] = {}
+        self._scan_bufs: Dict[Tuple[int, int], tuple] = {}
+        self._prefix_bufs: Dict[int, tuple] = {}
+        self._pi_masks: Dict[tuple, array] = {}
+        self._c_scratch: Dict[int, tuple] = {}
+        self._c_out: Optional[tuple] = None
+
+    def volatile_mask(
+        self, volatile_ranges: Sequence[Tuple[int, int]]
+    ) -> Tuple[bool, ...]:
+        """Per-access mask: True where the access falls in a volatile range
+        (mixed-volatility mode).  Memoized per range tuple so the simulator
+        hot loop does one indexed fetch instead of a per-access range scan.
+        """
+        key = tuple(volatile_ranges)
+        mask = self._vol_masks.get(key)
+        if mask is None:
+            mask = tuple(
+                any(lo <= w < hi for lo, hi in key) for w in self.waddrs
+            )
+            self._vol_masks[key] = mask
+        return mask
+
+    def scan_arrays(
+        self, text_lo: int, text_hi: int
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], int]:
+        """``(ops, word_ids, n_words)`` for the section-structure scan.
+
+        ``ops[i]`` folds every per-access classification the straight-line
+        scan branches on into one small int (bit 0: write, bit 1: in the
+        text range, bit 2: output write, bit 3: false write), and
+        ``word_ids[i]`` maps ``waddrs[i]`` onto dense ids ``[0, n_words)``
+        so buffer membership becomes a flat-array generation check instead
+        of a hash probe.  Both are properties of the trace (plus the text
+        range) alone, so one build amortizes over every configuration a
+        sweep replays the trace under.  Memoized per ``(text_lo, text_hi)``.
+        """
+        key = (text_lo, text_hi)
+        cached = self._scan_arrays.get(key)
+        if cached is None:
+            ids: Dict[int, int] = {}
+            wids = []
+            ops = []
+            for i in range(self.n):
+                w = self.waddrs[i]
+                vid = ids.get(w)
+                if vid is None:
+                    vid = len(ids)
+                    ids[w] = vid
+                wids.append(vid)
+                op = 0 if self.kinds[i] == READ else 1
+                if text_lo <= w < text_hi:
+                    op |= 2
+                if self.out_writes[i]:
+                    op |= 4
+                if self.false_writes[i]:
+                    op |= 8
+                ops.append(op)
+            cached = (tuple(ops), tuple(wids), len(ids))
+            self._scan_arrays[key] = cached
+        return cached
+
+    def prefix_ids(self, shift: int) -> Tuple[Tuple[int, ...], int]:
+        """``(prefix_ids, n_prefixes)``: dense ids of ``waddr >> shift``.
+
+        The Address Prefix Buffer tracks address prefixes; the scan needs
+        membership over them, so they get the same dense-id treatment as
+        :meth:`scan_arrays`.  Memoized per ``shift``.
+        """
+        cached = self._prefix_ids.get(shift)
+        if cached is None:
+            ids: Dict[int, int] = {}
+            pids = []
+            for w in self.waddrs:
+                p = w >> shift
+                pid = ids.get(p)
+                if pid is None:
+                    pid = len(ids)
+                    ids[p] = pid
+                pids.append(pid)
+            cached = (tuple(pids), len(ids))
+            self._prefix_ids[shift] = cached
+        return cached
+
+    # ----------------------------------------------------------------- #
+    # C-kernel buffer forms (repro.core.cext).  All memoized: built once
+    # per trace, shared by every configuration's ChainScanEngine.
+    # ----------------------------------------------------------------- #
+
+    def scan_buffers(
+        self, text_lo: int, text_hi: int
+    ) -> Tuple[array, array, int]:
+        """:meth:`scan_arrays` as C-addressable ``array`` buffers."""
+        key = (text_lo, text_hi)
+        cached = self._scan_bufs.get(key)
+        if cached is None:
+            ops, wids, n_words = self.scan_arrays(text_lo, text_hi)
+            cached = (array("B", ops), array("i", wids), n_words)
+            self._scan_bufs[key] = cached
+        return cached
+
+    def prefix_buffers(self, shift: int) -> Tuple[array, int]:
+        """:meth:`prefix_ids` as a C-addressable ``array`` buffer."""
+        cached = self._prefix_bufs.get(shift)
+        if cached is None:
+            pids, n_prefixes = self.prefix_ids(shift)
+            cached = (array("i", pids), n_prefixes)
+            self._prefix_bufs[shift] = cached
+        return cached
+
+    def pi_mask_buffer(self, pi_words, pi_indices) -> array:
+        """Per-access Program-Idempotent membership mask (``uint8``).
+
+        ``mask[i]`` is 1 exactly when the straight-line scan's
+        ``waddrs[i] in pi_words or i in pi_indices`` test passes, so the
+        C kernel replaces two hash probes per access with one byte load.
+        Memoized per ``(pi_words, pi_indices)`` — a trace sees at most a
+        handful of distinct markings across a whole sweep.
+        """
+        key = (pi_words, pi_indices)
+        mask = self._pi_masks.get(key)
+        if mask is None:
+            mask = array("B", bytes(self.n))
+            if pi_words:
+                waddrs = self.waddrs
+                for i in range(self.n):
+                    if waddrs[i] in pi_words:
+                        mask[i] = 1
+            for i in pi_indices or ():
+                if 0 <= i < self.n:
+                    mask[i] = 1
+            self._pi_masks[key] = mask
+        return mask
+
+    def c_chain_scratch(
+        self, n_words: int, shift: int, n_prefixes: int
+    ) -> tuple:
+        """Generation-stamp scratch buffers for the C chain scan.
+
+        ``(gen, rf, wf, wbb, apb)`` int32 arrays, shared by every engine
+        on this trace with the same APB ``shift`` (``-1`` when the APB is
+        off): the generation counter lives in ``gen[0]`` and persists
+        across calls, so sharing is exactly as safe as the Python
+        :class:`~repro.core.detector.ChainScratch` it mirrors.
+        """
+        cached = self._c_scratch.get(shift)
+        if cached is None:
+            cached = (
+                array("i", [0]),
+                array("i", bytes(4 * n_words)),
+                array("i", bytes(4 * n_words)),
+                array("i", bytes(4 * n_words)),
+                array("i", bytes(4 * max(n_prefixes, 1))),
+            )
+            self._c_scratch[shift] = cached
+        return cached
+
+    def c_chain_outputs(self) -> tuple:
+        """Staging buffers the C kernel writes section records into.
+
+        Sized for the worst-case chain: every index can contribute at
+        most a boundary section plus a zero-length forced section, and
+        the WBB can grow at most once per access.  Shared per trace and
+        overwritten by each scan; callers copy out what they keep.
+        """
+        cached = self._c_out
+        if cached is None:
+            max_secs = 3 * self.n + 16
+            cached = (
+                array("i", bytes(4 * max_secs)),
+                array("B", bytes(max_secs)),
+                array("i", bytes(4 * max_secs)),
+                array("B", bytes(max_secs)),
+                array("i", bytes(4 * (max_secs + 1))),
+                array("i", bytes(4 * (self.n + 1))),
+                array("i", bytes(4 * (self.n + 2))),
+            )
+            self._c_out = cached
+        return cached
 
 #: Marker kinds emitted by the tracing memory at function boundaries.  The
 #: Ratchet baseline (compiler-only idempotency, Section 2.2 / Table 3)
@@ -109,11 +325,30 @@ class Trace:
 
         The access list must not be mutated after the first call; all trace
         producers in this repository build the list once and never touch it
-        again.
+        again.  Code that does mutate ``accesses`` afterwards must call
+        :meth:`invalidate`.  As a safety net the cache also checks length
+        and boundary-element identity, which catches appends, pops, and
+        element replacement at either end — but not interior same-length
+        edits, hence the explicit ``invalidate()``.
         """
-        if self._compiled is None or self._compiled.n != len(self.accesses):
+        cached = self._compiled
+        accesses = self.accesses
+        if (
+            cached is None
+            or cached.n != len(accesses)
+            or (cached.n > 0 and (
+                cached._first is not accesses[0]
+                or cached._last is not accesses[-1]
+            ))
+        ):
             self._compiled = CompiledTrace(self)
         return self._compiled
+
+    def invalidate(self) -> None:
+        """Drop the cached compiled form after mutating ``accesses`` (or
+        ``initial_image``/``memory_map``).  The next :meth:`compiled` call
+        rebuilds from current contents."""
+        self._compiled = None
 
     def __len__(self) -> int:
         return len(self.accesses)

@@ -1,0 +1,426 @@
+"""The section-memoized fast path: equivalence, eligibility, caches.
+
+The contract under test is strong: :class:`repro.sim.fast.FastReplaySimulator`
+must be *bit-identical* to the reference :class:`IntermittentSimulator` on
+every eligible run — same cycle buckets, same ``checkpoints_by_cause``,
+same power-cycle and output counts — and :func:`simulate_fast` must fall
+back to the reference (transparently and exactly) whenever a run is not
+eligible.  The optional C chain-scan kernel (:mod:`repro.core.cext`) must
+in turn be branch-identical to the pure-Python generator it ports.
+"""
+
+import pytest
+
+from repro.core import cext
+from repro.core.config import ClankConfig, PolicyOptimizations
+from repro.core.detector import IdempotencyDetector
+from repro.eval.runner import pi_words_for
+from repro.obs.recorder import MemoryRecorder, NullRecorder
+from repro.power.schedules import ExponentialPower, ReplayPower
+from repro.sim.fast import (
+    FastPathIneligible,
+    FastReplaySimulator,
+    fast_path_enabled,
+    fast_stats,
+    reset_fast_stats,
+    simulate_fast,
+)
+from repro.sim.sections import (
+    SectionMap,
+    cache_stats,
+    clear_cache,
+    get_section_map,
+    reset_cache_stats,
+)
+from repro.sim.simulator import IntermittentSimulator
+from repro.trace.access import READ, WRITE
+from repro.workloads import get_trace
+
+from tests.conftest import DATA_WORD, make_trace
+
+CONFIGS = [(1, 0, 0, 0), (8, 4, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)]
+
+OPT_COMBOS = [
+    PolicyOptimizations.none(),
+    PolicyOptimizations.all(),
+    PolicyOptimizations(ignore_false_writes=True),
+    PolicyOptimizations(latest_checkpoint=True),
+    PolicyOptimizations(no_wf_overflow=True, ignore_false_writes=True),
+]
+
+
+def _pair(trace, config, schedule_args, **kw):
+    """(reference, fast) result dicts for one run; both verify=False."""
+    ref = IntermittentSimulator(
+        trace, config, ExponentialPower(*schedule_args), verify=False, **kw
+    ).run()
+    fast = simulate_fast(
+        trace, config, ExponentialPower(*schedule_args), verify=False, **kw
+    )
+    return (
+        ref.to_dict(include_derived=False),
+        fast.to_dict(include_derived=False),
+    )
+
+
+class TestEquivalence:
+    """Fast path vs. reference, across the shapes the evaluation sweeps."""
+
+    @pytest.mark.parametrize("name", ["crc", "fft", "rc4", "qsort"])
+    def test_buffer_grid(self, name):
+        trace = get_trace(name, "small")
+        for spec in CONFIGS:
+            config = ClankConfig.from_tuple(spec)
+            for seed in (1, 2):
+                for on in (800, 2000):
+                    a, b = _pair(
+                        trace, config, (on, seed),
+                        perf_watchdog="auto", progress_watchdog="auto",
+                    )
+                    assert a == b, (name, spec, seed, on)
+
+    def test_optimization_combos(self):
+        trace = get_trace("crc", "small")
+        for opts in OPT_COMBOS:
+            config = ClankConfig(8, 4, 2, 4, optimizations=opts)
+            for seed in (3, 4):
+                a, b = _pair(
+                    trace, config, (1200, seed),
+                    perf_watchdog="auto", progress_watchdog="auto",
+                )
+                assert a == b, opts
+
+    def test_no_watchdogs_and_perf_only(self):
+        trace = get_trace("fft", "small")
+        config = ClankConfig.from_tuple((8, 4, 2, 0))
+        for kw in (
+            dict(perf_watchdog=0, progress_watchdog=0),
+            dict(perf_watchdog="auto", progress_watchdog=0),
+            dict(perf_watchdog=0, progress_watchdog="auto"),
+        ):
+            a, b = _pair(trace, config, (900, 7), **kw)
+            assert a == b, kw
+
+    def test_pi_marking(self):
+        trace = get_trace("rc4", "small")
+        piw = pi_words_for(trace)
+        config = ClankConfig(8, 4, 2, 0,
+                             optimizations=PolicyOptimizations.all())
+        for seed in (5, 6):
+            a, b = _pair(
+                trace, config, (1000, seed),
+                pi_words=piw, perf_watchdog="auto", progress_watchdog="auto",
+            )
+            assert a == b, seed
+
+    def test_forced_checkpoints(self):
+        trace = get_trace("qsort", "small")
+        n = len(trace.accesses)
+        forced = frozenset({0, n // 3, n // 2, n})
+        config = ClankConfig.from_tuple((8, 4, 0, 0))
+        for seed in (8, 9):
+            a, b = _pair(
+                trace, config, (700, seed),
+                forced_checkpoints=forced,
+                perf_watchdog="auto", progress_watchdog="auto",
+            )
+            assert a == b, seed
+
+    def test_tiny_buffers_heavy_watchdog_cuts(self):
+        # rf=1 under ignore-false-writes is the shape that exercises
+        # watchdog_cut_safe hardest (long sections, frequent cuts).
+        trace = get_trace("crc", "small")
+        config = ClankConfig(
+            1, 0, 0, 0,
+            optimizations=PolicyOptimizations(ignore_false_writes=True),
+        )
+        for seed in (1, 2, 3):
+            a, b = _pair(
+                trace, config, (800, seed),
+                perf_watchdog=0, progress_watchdog="auto",
+            )
+            assert a == b, seed
+
+
+class TestEligibility:
+    """Runs the section walk cannot carry must raise, and simulate_fast
+    must transparently (and exactly) rerun them on the reference."""
+
+    def _sim(self, **kw):
+        trace = get_trace("crc", "small")
+        config = ClankConfig.from_tuple((8, 4, 2, 0))
+        defaults = dict(verify=False, perf_watchdog="auto",
+                        progress_watchdog="auto")
+        defaults.update(kw)
+        return FastReplaySimulator(
+            trace, config, ExponentialPower(900, seed=1), **defaults
+        )
+
+    def test_verify_ineligible(self):
+        with pytest.raises(FastPathIneligible):
+            self._sim(verify=True).run()
+
+    def test_live_recorder_ineligible(self):
+        with pytest.raises(FastPathIneligible):
+            self._sim(recorder=MemoryRecorder()).run()
+
+    def test_null_recorder_eligible(self):
+        # NullRecorder normalizes to "no recorder": stays on the fast path.
+        assert self._sim(recorder=NullRecorder()).run().completed
+
+    def test_volatile_ranges_ineligible(self):
+        trace = get_trace("crc", "small")
+        vol = (trace.memory_map.word_range("stack"),)
+        with pytest.raises(FastPathIneligible):
+            self._sim(volatile_ranges=vol).run()
+
+    def test_pi_hazard_ineligible(self):
+        # An access-marked PI write aliasing a tracked write of the same
+        # word, under ignore-false-writes: the static hazard trips.
+        trace = make_trace(
+            [(WRITE, 0, 5), (READ, 1), (WRITE, 0, 5), (WRITE, 2, 1)]
+        )
+        config = ClankConfig(
+            4, 2, 1, 0,
+            optimizations=PolicyOptimizations(ignore_false_writes=True),
+        )
+        smap = SectionMap(trace, config, pi_access_indices=frozenset({2}))
+        assert smap.pi_hazard
+        sim = FastReplaySimulator(
+            trace, config, ExponentialPower(500, seed=1),
+            pi_access_indices=frozenset({2}), verify=False,
+        )
+        with pytest.raises(FastPathIneligible):
+            sim.run()
+
+    def test_fallback_is_exact(self):
+        # verify=True is ineligible; simulate_fast must return the
+        # reference's own result for the identical schedule.
+        trace = get_trace("fft", "small")
+        config = ClankConfig.from_tuple((8, 4, 2, 0))
+        ref = IntermittentSimulator(
+            trace, config, ExponentialPower(900, seed=2), verify=True
+        ).run()
+        reset_fast_stats()
+        via = simulate_fast(
+            trace, config, ExponentialPower(900, seed=2), verify=True
+        )
+        assert fast_stats() == {"fast": 0, "fallback": 1}
+        assert via.to_dict() == ref.to_dict()
+
+    def test_repro_fast_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "0")
+        assert not fast_path_enabled()
+        reset_fast_stats()
+        trace = get_trace("crc", "small")
+        config = ClankConfig.from_tuple((8, 4, 0, 0))
+        simulate_fast(
+            trace, config, ExponentialPower(900, seed=1), verify=False,
+            perf_watchdog="auto", progress_watchdog="auto",
+        )
+        assert fast_stats() == {"fast": 0, "fallback": 1}
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert fast_path_enabled()
+
+
+class TestCExtension:
+    """The C chain-scan kernel vs. the pure-Python reference generator."""
+
+    def _chain(self, det, ct, forced, pw, pi_idx):
+        scratch = det.chain_scratch(ct)
+        return list(
+            (s, v, end, cause, steps)
+            for s, v, end, cause, steps, _ in det.straightline_chain(
+                ct, 0, False, -1, forced, pw, pi_idx, scratch
+            )
+        )
+
+    def test_engine_matches_python_generator(self):
+        lib = cext.chain_scan_lib()
+        if lib is None:
+            pytest.skip(f"C kernel unavailable: {cext.cext_status()}")
+        names = cext.CAUSE_NAMES
+        trace = get_trace("crc", "small")
+        ct = trace.compiled()
+        forced = [0, ct.n // 2]
+        piw = pi_words_for(trace)
+        for spec in CONFIGS:
+            for opts in OPT_COMBOS:
+                config = ClankConfig(*spec, optimizations=opts)
+                det = IdempotencyDetector(
+                    config, trace.memory_map.text_word_range
+                )
+                eng = det.chain_scan_engine(ct, forced, piw, frozenset())
+                assert eng is not None
+                nsec = eng.scan(0, 0, -1)
+                from_c = [
+                    (
+                        eng.out_start[k], eng.out_variant[k], eng.out_end[k],
+                        names[eng.out_cause[k]],
+                        tuple(
+                            eng.out_steps[eng.out_steps_off[k]:
+                                          eng.out_steps_off[k + 1]]
+                        ),
+                    )
+                    for k in range(nsec)
+                ]
+                assert from_c == self._chain(det, ct, forced, piw,
+                                             frozenset())
+
+    def test_first_dw_matches_python_collect_dw(self):
+        lib = cext.chain_scan_lib()
+        if lib is None:
+            pytest.skip(f"C kernel unavailable: {cext.cext_status()}")
+        trace = get_trace("fft", "small")
+        ct = trace.compiled()
+        opts = PolicyOptimizations(ignore_false_writes=True,
+                                   no_wf_overflow=True)
+        config = ClankConfig(4, 2, 1, 0, optimizations=opts)
+        det = IdempotencyDetector(config, trace.memory_map.text_word_range)
+        eng = det.chain_scan_engine(ct, [], frozenset(), frozenset())
+        scratch = det.chain_scratch(ct)
+        starts = [
+            (s, v) for s, v, *_ in det.straightline_chain(
+                ct, 0, False, -1, [], frozenset(), frozenset(), scratch
+            )
+        ][:8]
+        for s, v in starts:
+            chain = det.straightline_chain(
+                ct, s, v == 2, s if v == 1 else -1, [],
+                frozenset(), frozenset(), scratch, collect_dw=True,
+            )
+            py_dw = next(chain)[5]
+            chain.close()
+            assert eng.scan_first_dw(s, 1 if v == 2 else 0,
+                                     s if v == 1 else -1) == py_dw
+
+    def test_repro_cext_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CEXT", "0")
+        cext.reset_for_tests()
+        try:
+            assert cext.chain_scan_lib() is None
+            assert "disabled" in cext.cext_status()
+            # With the kernel gated off the SectionMap silently uses the
+            # Python generator — and must produce the same sections.
+            trace = get_trace("crc", "small")
+            config = ClankConfig.from_tuple((8, 4, 2, 0))
+            py_map = SectionMap(trace, config)
+            py_map.section(0, 0)
+            monkeypatch.setenv("REPRO_CEXT", "1")
+            cext.reset_for_tests()
+            c_map = SectionMap(trace, config)
+            c_map.section(0, 0)
+            assert py_map._sections == c_map._sections
+        finally:
+            cext.reset_for_tests()
+
+
+class TestWatchdogCutSafe:
+    def test_trivial_cases(self):
+        trace = get_trace("crc", "small")
+        config = ClankConfig(
+            1, 0, 0, 0,
+            optimizations=PolicyOptimizations(ignore_false_writes=True),
+        )
+        smap = SectionMap(trace, config)
+        end, _, _, _ = smap.section(0, 0)
+        # No failed cycle survived past the cut: nothing can be stale.
+        assert smap.watchdog_cut_safe(0, 0, 1, max(2, end), [])
+        # Reaches at or below the cut are re-committed by the committing
+        # cycle itself.
+        assert smap.watchdog_cut_safe(0, 0, 2, max(3, end), [(2, 0), (1, 0)])
+
+    def test_direct_writes_memoized(self):
+        trace = get_trace("crc", "small")
+        config = ClankConfig(
+            1, 0, 0, 0,
+            optimizations=PolicyOptimizations(ignore_false_writes=True),
+        )
+        smap = SectionMap(trace, config)
+        dw = smap._direct_writes(0, 0)
+        assert dw == tuple(sorted(dw))
+        assert smap._direct_writes(0, 0) is dw  # cached
+
+
+class TestCaches:
+    def test_section_map_cache_hits(self):
+        clear_cache()
+        reset_cache_stats()
+        trace = get_trace("crc", "small")
+        config = ClankConfig.from_tuple((8, 4, 0, 0))
+        m1 = get_section_map(trace, config)
+        m2 = get_section_map(trace, config)
+        assert m1 is m2
+        assert cache_stats() == {"hits": 1, "misses": 1, "cached": 1}
+        # A different config is a different key.
+        get_section_map(trace, ClankConfig.from_tuple((1, 0, 0, 0)))
+        assert cache_stats()["misses"] == 2
+
+    def test_fast_stats_counts(self):
+        reset_fast_stats()
+        trace = get_trace("crc", "small")
+        config = ClankConfig.from_tuple((8, 4, 0, 0))
+        kw = dict(perf_watchdog="auto", progress_watchdog="auto")
+        simulate_fast(trace, config, ExponentialPower(900, seed=1),
+                      verify=False, **kw)
+        simulate_fast(trace, config, ExponentialPower(900, seed=1),
+                      verify=True, **kw)
+        stats = fast_stats()
+        assert stats["fast"] == 1 and stats["fallback"] == 1
+
+    def test_compiled_trace_staleness(self):
+        trace = make_trace([(WRITE, 0, 1), (READ, 0), (WRITE, 1, 2)])
+        ct = trace.compiled()
+        assert trace.compiled() is ct  # cached
+        # Boundary-element identity is the safety net...
+        trace.accesses.append(trace.accesses.pop())  # same objects: cached
+        assert trace.compiled() is ct
+        from repro.trace.access import Access
+        trace.accesses.append(Access(READ, DATA_WORD, 1, 4))
+        assert trace.compiled() is not ct  # length changed: rebuilt
+        # ...and invalidate() is the explicit contract for interior edits.
+        ct2 = trace.compiled()
+        trace.invalidate()
+        assert trace.compiled() is not ct2
+
+
+class TestVolDirtyRollback:
+    def test_rolled_back_volatile_words_not_billed(self):
+        """Words dirtied by a rolled-back section must not inflate the next
+        checkpoint's incremental-save cost (regression: ``vol_dirty`` was
+        not cleared on power loss)."""
+        vol_word = DATA_WORD + 4
+        trace = make_trace(
+            [
+                (WRITE, 0, 11),
+                (WRITE, 1, 12),
+                (WRITE, 2, 13),
+                (WRITE, 3, 14),
+                (WRITE, 4, 15),  # the volatile word
+                (WRITE, 5, 16),
+            ]
+        )
+        config = ClankConfig.from_tuple((8, 8, 2, 0))
+        # Cycle 1 (65): dies mid access 5, after dirtying the volatile
+        # word.  Cycle 2 (106): progress watchdog fires after access 2;
+        # its checkpoint precedes the volatile write, so with the rollback
+        # clearing vol_dirty it must bill zero volatile words; it then
+        # re-dirties the word and dies at access 5.  Cycle 3 (200): runs
+        # from the cut to the final checkpoint, which bills one.
+        result = IntermittentSimulator(
+            trace,
+            config,
+            ReplayPower([65, 106, 200]),
+            progress_watchdog=9,
+            progress_watchdog_adaptive=False,
+            volatile_ranges=((vol_word, vol_word + 1),),
+            verify=True,
+        ).run()
+        assert result.verified
+        assert result.checkpoints_by_cause == {"progress_wdt": 1, "final": 1}
+        base = IntermittentSimulator(
+            trace, config, ReplayPower([10 ** 6]), verify=True
+        ).cost_model
+        assert result.checkpoint_cycles == (
+            base.checkpoint_cycles(0, 0) + base.checkpoint_cycles(0, 1)
+        )
