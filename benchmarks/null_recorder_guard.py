@@ -25,23 +25,45 @@ once and then shared by every schedule.  The guard resets the cache
 counters, times one more sweep, and fails if any job missed the (warm)
 cache or if the fast path stopped carrying the bulk of the runs.
 
+A fourth check guards the persistent artifact cache
+(``REPRO_CACHE_DIR``): a sweep against a fresh store populates it, every
+in-memory SectionMap is then dropped, and the repeat sweep must seed its
+maps from disk (no cold re-enumeration) while reproducing bit-identical
+results.
+
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 
+import repro.cache as artifact_cache
 from repro.core.config import ClankConfig
 from repro.eval.runner import run_clank
 from repro.eval.settings import EvalSettings
 from repro.obs.recorder import NullRecorder
 from repro.sim.fast import fast_stats, reset_fast_stats
-from repro.sim.sections import cache_stats, reset_cache_stats
+from repro.sim.sections import (
+    cache_stats, clear_cache, reset_cache_stats,
+)
 from repro.workloads.cache import get_trace
 
 CONFIGS = [(1, 0, 0, 0), (8, 4, 0, 0), (8, 4, 2, 0), (16, 8, 4, 4)]
 WORKLOADS = ("crc", "fft", "rc4", "qsort")
+
+
+def sweep_results(traces, settings):
+    """Every result dict of one full sweep, in sweep order."""
+    return [
+        run_clank(
+            trace, ClankConfig.from_tuple(spec), settings, salt=salt
+        ).to_dict()
+        for salt, trace in enumerate(traces)
+        for spec in CONFIGS
+    ]
 
 
 def sweep_seconds(traces, settings, recorder, repeats: int) -> float:
@@ -129,6 +151,34 @@ def main(argv=None) -> int:
         print("FAIL: fast path no longer carries the sweep")
         return 1
     print("OK: section maps cached, fast path engaged")
+
+    # Warm-disk-cache guard: populate a fresh store, drop every
+    # in-memory map, and demand the repeat sweep seeds from disk — no
+    # cold re-enumeration — with bit-identical results.
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        try:
+            artifact_cache.reset_for_tests()
+            clear_cache()
+            cold = sweep_results(traces, settings)
+            artifact_cache.persist_caches()
+            clear_cache()
+            reset_cache_stats()
+            warm = sweep_results(traces, settings)
+            stats = cache_stats()
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+            artifact_cache.reset_for_tests()
+            clear_cache()
+    print(f"disk-cache warm sweep: {stats['disk_loads']} maps from disk, "
+          f"{stats['misses']} in-memory misses")
+    if warm != cold:
+        print("FAIL: warm-from-disk sweep diverged from the cold sweep")
+        return 1
+    if stats["disk_loads"] < stats["misses"]:
+        print("FAIL: warm sweep re-enumerated maps the store should hold")
+        return 1
+    print("OK: warm-from-disk sweep is bit-identical, no cold enumeration")
     return 0
 
 

@@ -1,0 +1,183 @@
+"""Persistent content-addressed artifact store (``REPRO_CACHE_DIR``).
+
+One :class:`CacheStore` holds pickled artifacts on disk, addressed by a
+content hash the *caller* derives from everything that determines the
+artifact (trace content, configuration, PI marking, format version).
+Content addressing makes every operation idempotent: two processes that
+compute the same artifact write byte-equivalent files under the same
+name, so there is nothing to coordinate — the store needs no locks, no
+manifest, and no invalidation protocol.
+
+Robustness contract (exercised by ``tests/test_disk_cache.py``):
+
+* **Atomic writes** — every put writes a temp file in the cache
+  directory and ``os.replace``-s it into place.  Readers racing a
+  writer (the fork-pool workers share one directory) see either the
+  complete old file or the complete new file, never a partial one.
+* **Corruption tolerance** — a truncated, corrupted, or wrong-format
+  entry loads as a miss; the offending file is deleted so the next put
+  repairs it.  A load must never raise.
+* **Silent degradation** — ``REPRO_CACHE_DIR`` unset disables the store
+  entirely (every helper no-ops); an unwritable directory serves reads
+  but drops writes after the first failure.  Callers never need to
+  guard their puts.
+* **Size-capped LRU eviction** — ``REPRO_CACHE_MAX_MB`` (default 512)
+  bounds the directory.  Eviction scans are amortized (one directory
+  walk per eviction-check interval) and evict oldest-``mtime`` first;
+  gets freshen ``mtime`` so recency survives across runs.
+
+The pickle format is trusted: the cache directory is a local working
+directory the user controls, exactly like the ``_sha``-cached ``.so``
+of :mod:`repro.core.cext`.
+"""
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Format-version salt folded into every key by :func:`content_key`;
+#: bump when any cached payload's layout changes.
+CACHE_VERSION = 1
+
+#: Puts between directory-size scans (eviction is amortized).
+_EVICT_CHECK_INTERVAL = 32
+
+#: Evict down to this fraction of the cap so back-to-back puts do not
+#: re-trigger a full scan each time the cap is grazed.
+_EVICT_TARGET = 0.9
+
+
+class CacheStore:
+    """Pickle store over one directory; see the module docstring."""
+
+    def __init__(self, root: str, max_bytes: int):
+        self.root = root
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.errors = 0
+        self._writable = True
+        self._puts_since_check = 0
+        # Running directory-size estimate: seeded by the first eviction
+        # check's walk, then advanced by each put's payload size.  The
+        # (expensive) re-walk only happens when the estimate says the cap
+        # is actually threatened — a store comfortably under its cap
+        # never walks more than once per process.
+        self._approx_bytes: Optional[int] = None
+
+    # -- paths --------------------------------------------------------- #
+
+    def _path(self, kind: str, key: str) -> str:
+        # Two-level fanout keeps any one directory listing small.
+        return os.path.join(self.root, kind, key[:2], key + ".pkl")
+
+    # -- operations ---------------------------------------------------- #
+
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """The stored object, or ``None`` (miss, corrupt, unreadable)."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as fh:
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupted/wrong-format entry: count it, delete
+            # it so a later put repairs it, and report a plain miss.
+            self.errors += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # freshen LRU recency
+        except OSError:
+            pass
+        return obj
+
+    def put(self, kind: str, key: str, obj: Any) -> bool:
+        """Store ``obj``; False (silently) when the store is unwritable."""
+        if not self._writable:
+            return False
+        path = self._path(kind, key)
+        try:
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                suffix=".tmp", dir=os.path.dirname(path)
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)  # atomic: racers all win
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Read-only directory, disk full, unpicklable payload:
+            # degrade to read-only behaviour, keep serving gets.
+            self.errors += 1
+            self._writable = False
+            return False
+        self.puts += 1
+        if self._approx_bytes is not None:
+            self._approx_bytes += len(payload)
+        self._puts_since_check += 1
+        if self._puts_since_check >= _EVICT_CHECK_INTERVAL:
+            self._puts_since_check = 0
+            if self._approx_bytes is None or self._approx_bytes > self.max_bytes:
+                self._evict_to_cap()
+        return True
+
+    def _evict_to_cap(self) -> None:
+        """One amortized walk: evict oldest files until under the cap."""
+        entries = []
+        total = 0
+        try:
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for fname in filenames:
+                    if not fname.endswith(".pkl"):
+                        continue
+                    fpath = os.path.join(dirpath, fname)
+                    try:
+                        st = os.stat(fpath)
+                    except OSError:
+                        continue  # a racing eviction got there first
+                    entries.append((st.st_mtime, st.st_size, fpath))
+                    total += st.st_size
+        except OSError:
+            return
+        if total <= self.max_bytes:
+            self._approx_bytes = total
+            return
+        target = int(self.max_bytes * _EVICT_TARGET)
+        entries.sort()  # oldest mtime first
+        for _mtime, size, fpath in entries:
+            if total <= target:
+                break
+            try:
+                os.unlink(fpath)
+            except OSError:
+                continue  # already gone (racing worker): not our eviction
+            total -= size
+            self.evictions += 1
+        self._approx_bytes = total
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }

@@ -19,6 +19,7 @@ import sys
 import time
 from datetime import datetime, timezone
 
+import repro.cache as artifact_cache
 from repro.eval.parallel import resolve_workers
 from repro.eval.settings import EvalSettings
 from repro.obs.profile import PROFILER
@@ -84,6 +85,7 @@ def main(argv=None) -> int:
     PROFILER.reset()
     reset_cache_stats()
     sections.reset_cache_stats()
+    artifact_cache.reset_stats()
 
     driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
@@ -107,10 +109,24 @@ def main(argv=None) -> int:
         print(f"[{name} completed in {seconds:.1f}s]\n")
     wall_clock = time.perf_counter() - wall_start
 
+    # Flush this process's dirty artifacts (worker processes flushed
+    # their own after each job) before reading the final disk counters.
+    artifact_cache.persist_caches()
+
     # Serial runs populate the in-process SectionMap counters directly;
     # parallel runs merged worker deltas into the profiler already.
     sect = sections.cache_stats()
-    PROFILER.record_section_cache(sect["hits"], sect["misses"])
+    PROFILER.record_section_cache(
+        sect["hits"], sect["misses"],
+        enum_seconds=sect["enum_seconds"],
+        evictions=sect["evictions"],
+        disk_loads=sect["disk_loads"],
+    )
+    disk = artifact_cache.stats()
+    PROFILER.record_disk_cache(
+        disk["hits"], disk["misses"],
+        puts=disk["puts"], evictions=disk["evictions"],
+    )
     profile = PROFILER.table(cache_stats=cache_stats())
     print(profile)
     if not args.quick:
@@ -134,6 +150,12 @@ def main(argv=None) -> int:
             "sim_seconds": round(sim_seconds, 3),
             "ms_per_run": round(1000.0 * sim_seconds / sim_runs, 3)
             if sim_runs else None,
+            "disk_cache": {
+                "enabled": artifact_cache.store() is not None,
+                "hits": PROFILER.disk_cache_hits,
+                "misses": PROFILER.disk_cache_misses,
+                "puts": PROFILER.disk_cache_puts,
+            },
             "drivers": driver_stats,
         })
         print(f"[bench entry appended to {_BENCH_PATH}]")

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+import repro.cache as artifact_cache
 from repro.common.errors import SimulationError
 from repro.core.config import ClankConfig, PolicyOptimizations
 from repro.eval.settings import EvalSettings
@@ -168,11 +169,34 @@ def execute_job(
     ``result`` is ``None`` only when the run stalled and the job allows it.
     Pure with respect to the job and settings: this is the function whose
     outputs the parallel path must reproduce bit-identically.
+
+    That purity makes whole results cacheable: with ``REPRO_CACHE_DIR``
+    set, the result is stored under a key derived from the *trace
+    content* plus every behavior-affecting job and settings field, so a
+    warm run skips the simulation outright.  Runs under ``--verify`` are
+    never served from cache — a cached ``verified`` flag would claim a
+    check that did not execute.
     """
     from repro.eval.runner import pi_words_for
 
     trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
     config = job.clank_config()
+
+    st = artifact_cache.store()
+    rkey = None
+    if st is not None and not settings.verify:
+        rkey = artifact_cache.content_key(
+            "result", trace.compiled().content_key,
+            trace.memory_map.text_word_range,
+            trace.memory_map.word_range("mmio"),
+            job, _COST_MODELS[job.cost_model],
+            settings.seed, settings.avg_on_ms, settings.clock_hz,
+        )
+        cached = st.get("result", rkey)
+        if isinstance(cached, dict):
+            return SimulationResult.from_dict(cached), 0.0
+        if cached == "stalled" and job.allow_stall:
+            return None, 0.0
 
     if job.schedule == "runt":
         schedule = RuntPower(
@@ -244,7 +268,11 @@ def execute_job(
     except SimulationError:
         if not job.allow_stall:
             raise
+        if rkey is not None:
+            st.put("result", rkey, "stalled")
         return None, time.perf_counter() - start
+    if rkey is not None:
+        st.put("result", rkey, result.to_dict(include_derived=False))
     return result, time.perf_counter() - start
 
 
@@ -266,9 +294,15 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     idx, job = item
     stats_before = trace_cache.cache_stats()
     sect_before = sections.cache_stats()
+    disk_before = artifact_cache.stats()
     result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
+    # Pool children exit via os._exit (no atexit), so flush newly
+    # enumerated artifacts to the shared store now.  Dirty tracking in
+    # repro.sim.sections makes this O(maps this job grew) — usually one.
+    artifact_cache.persist_caches()
     stats_after = trace_cache.cache_stats()
     sect_after = sections.cache_stats()
+    disk_after = artifact_cache.stats()
     return idx, {
         "workload": job.workload,
         "result": None if result is None else result.to_dict(include_derived=False),
@@ -277,6 +311,19 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
         "cache_misses": stats_after["misses"] - stats_before["misses"],
         "section_hits": sect_after["hits"] - sect_before["hits"],
         "section_misses": sect_after["misses"] - sect_before["misses"],
+        "section_evictions": (
+            sect_after["evictions"] - sect_before["evictions"]
+        ),
+        "section_disk_loads": (
+            sect_after["disk_loads"] - sect_before["disk_loads"]
+        ),
+        "section_enum_seconds": (
+            sect_after["enum_seconds"] - sect_before["enum_seconds"]
+        ),
+        "disk_hits": disk_after["hits"] - disk_before["hits"],
+        "disk_misses": disk_after["misses"] - disk_before["misses"],
+        "disk_puts": disk_after["puts"] - disk_before["puts"],
+        "disk_evictions": disk_after["evictions"] - disk_before["evictions"],
     }
 
 
@@ -364,7 +411,17 @@ def run_jobs(
             payload["cache_hits"], payload["cache_misses"]
         )
         PROFILER.record_section_cache(
-            payload.get("section_hits", 0), payload.get("section_misses", 0)
+            payload.get("section_hits", 0),
+            payload.get("section_misses", 0),
+            enum_seconds=payload.get("section_enum_seconds", 0.0),
+            evictions=payload.get("section_evictions", 0),
+            disk_loads=payload.get("section_disk_loads", 0),
+        )
+        PROFILER.record_disk_cache(
+            payload.get("disk_hits", 0),
+            payload.get("disk_misses", 0),
+            puts=payload.get("disk_puts", 0),
+            evictions=payload.get("disk_evictions", 0),
         )
         raw = payload["result"]
         results.append(None if raw is None else SimulationResult.from_dict(raw))

@@ -3,6 +3,7 @@
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import repro.cache as artifact_cache
 from repro.compiler.program_idempotence import profile_program_idempotent
 from repro.core.config import ClankConfig
 from repro.eval.settings import EvalSettings
@@ -27,10 +28,26 @@ def _trace_key(trace: Trace) -> Tuple[str, int, int, int]:
 
 
 def pi_words_for(trace: Trace) -> frozenset:
-    """Cached Program-Idempotence word set of a trace."""
+    """Cached Program-Idempotence word set of a trace.
+
+    Backed by the persistent artifact store when ``REPRO_CACHE_DIR`` is
+    set: the profile is a pure function of trace content, so a warm
+    worker skips the whole-trace idempotence walk."""
     key = _trace_key(trace)
-    if key not in _PI_CACHE:
-        _PI_CACHE[key] = profile_program_idempotent(trace)
+    words = _PI_CACHE.get(key)
+    if words is None:
+        disk_key = None
+        st = artifact_cache.store()
+        if st is not None:
+            disk_key = artifact_cache.content_key("pi_words", key)
+            loaded = st.get("pi", disk_key)
+            if isinstance(loaded, (set, frozenset)):
+                words = frozenset(loaded)
+        if words is None:
+            words = profile_program_idempotent(trace)
+            if disk_key is not None:
+                st.put("pi", disk_key, words)
+        _PI_CACHE[key] = words
     return _PI_CACHE[key]
 
 

@@ -30,6 +30,13 @@ class Profiler:
         self.worker_cache_misses = 0
         self.section_cache_hits = 0
         self.section_cache_misses = 0
+        self.section_cache_evictions = 0
+        self.section_disk_loads = 0
+        self.section_enum_seconds = 0.0
+        self.disk_cache_hits = 0
+        self.disk_cache_misses = 0
+        self.disk_cache_puts = 0
+        self.disk_cache_evictions = 0
 
     def reset(self) -> None:
         """Drop all accumulated data (tests and fresh CLI runs)."""
@@ -41,6 +48,13 @@ class Profiler:
         self.worker_cache_misses = 0
         self.section_cache_hits = 0
         self.section_cache_misses = 0
+        self.section_cache_evictions = 0
+        self.section_disk_loads = 0
+        self.section_enum_seconds = 0.0
+        self.disk_cache_hits = 0
+        self.disk_cache_misses = 0
+        self.disk_cache_puts = 0
+        self.disk_cache_evictions = 0
 
     @contextmanager
     def phase(self, name: str):
@@ -65,12 +79,35 @@ class Profiler:
         self.worker_cache_hits += hits
         self.worker_cache_misses += misses
 
-    def record_section_cache(self, hits: int, misses: int) -> None:
-        """Merge SectionMap cache hit/miss deltas (the fast replay path of
+    def record_section_cache(
+        self,
+        hits: int,
+        misses: int,
+        enum_seconds: float = 0.0,
+        evictions: int = 0,
+        disk_loads: int = 0,
+    ) -> None:
+        """Merge SectionMap cache deltas (the fast replay path of
         :mod:`repro.sim.sections`) — from parallel worker payloads, or from
-        the in-process counters after a serial sweep."""
+        the in-process counters after a serial sweep.  ``disk_loads`` counts
+        map/watermark families rebuilt from the persistent artifact cache
+        rather than enumerated, so the table can split "warm from memory" /
+        "warm from disk" / "cold"."""
         self.section_cache_hits += hits
         self.section_cache_misses += misses
+        self.section_enum_seconds += enum_seconds
+        self.section_cache_evictions += evictions
+        self.section_disk_loads += disk_loads
+
+    def record_disk_cache(
+        self, hits: int, misses: int, puts: int = 0, evictions: int = 0
+    ) -> None:
+        """Merge persistent artifact-cache (:mod:`repro.cache`) counters,
+        from this process or a worker payload."""
+        self.disk_cache_hits += hits
+        self.disk_cache_misses += misses
+        self.disk_cache_puts += puts
+        self.disk_cache_evictions += evictions
 
     @property
     def total_sim_seconds(self) -> float:
@@ -136,9 +173,30 @@ class Profiler:
         if self.section_cache_hits or self.section_cache_misses:
             total = self.section_cache_hits + self.section_cache_misses
             rate = self.section_cache_hits / total if total else 0.0
+            warm_disk = min(self.section_disk_loads, self.section_cache_misses)
+            cold = self.section_cache_misses - warm_disk
             lines.append(
                 f"-- section maps: {self.section_cache_hits} hits / "
-                f"{self.section_cache_misses} misses ({rate:.1%} hit rate)"
+                f"{self.section_cache_misses} misses ({rate:.1%} hit rate); "
+                f"{self.section_cache_hits} warm from memory, "
+                f"{warm_disk} warm from disk, {cold} cold"
+                + (f"; {self.section_cache_evictions} evictions"
+                   if self.section_cache_evictions else "")
+            )
+        if self.section_enum_seconds:
+            lines.append(
+                f"-- section enumeration: {self.section_enum_seconds:9.3f}s "
+                f"(chain/watermark scans inside section-map builds)"
+            )
+        if (self.disk_cache_hits or self.disk_cache_misses
+                or self.disk_cache_puts):
+            total = self.disk_cache_hits + self.disk_cache_misses
+            rate = self.disk_cache_hits / total if total else 0.0
+            lines.append(
+                f"-- artifact cache (disk): {self.disk_cache_hits} hits / "
+                f"{self.disk_cache_misses} misses ({rate:.1%} hit rate), "
+                f"{self.disk_cache_puts} puts, "
+                f"{self.disk_cache_evictions} evictions"
             )
         return "\n".join(lines)
 

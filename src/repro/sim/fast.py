@@ -221,7 +221,7 @@ class FastReplaySimulator(IntermittentSimulator):
                 variant = VARIANT_FORCED_DONE
             else:
                 variant = VARIANT_NORMAL
-            sec = secs_get((s, variant))
+            sec = secs_get((s << 2) | variant)
             if sec is None:
                 sec = section_of(s, variant)
             end, cause, kind, steps = sec

@@ -51,13 +51,16 @@ i.e. after a rollback past a direct-committed write.  Two cases exist:
   to the reference simulator.  See :mod:`repro.sim.fast`.
 """
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, FrozenSet, Optional, Tuple
 
+import repro.cache as artifact_cache
 from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
 from repro.core.config import ClankConfig
 from repro.core.detector import IdempotencyDetector
+from repro.sim import watermarks
 from repro.trace.access import READ
 from repro.trace.trace import Trace
 
@@ -75,6 +78,12 @@ _KIND_BY_CAUSE = {
     "text_write": SEC_TEXT,
     "final": SEC_FINAL,
 }
+
+#: (cause name, kind) indexed by the C kernel's cause id — turns the
+#: ingest copy loop's two dict lookups into one list index.
+_NAME_KIND_BY_ID = [
+    (name, _KIND_BY_CAUSE.get(name, SEC_DETECTOR)) for name in _CAUSE_NAMES
+]
 
 #: Section-entry variants.
 VARIANT_NORMAL = 0
@@ -100,8 +109,9 @@ class SectionMap:
 
     __slots__ = (
         "ct", "n", "pi_words", "pi_indices", "forced", "_forced_sorted",
-        "_detector", "_sections", "pi_hazard", "_write_index", "_scratch",
-        "_dw_cache", "_dw_groups", "_engine",
+        "_forced_set", "_detector", "_sections", "pi_hazard",
+        "_scratch", "_dw_cache", "_dw_groups", "_engine",
+        "_family", "_caps", "_latest", "_nwf", "_disk_key", "_loaded_n",
     )
 
     def __init__(
@@ -122,11 +132,13 @@ class SectionMap:
         # A compiler checkpoint at index n never fires: the final
         # checkpoint precedes the forced check in the replay loop.
         self._forced_sorted = sorted(f for f in forced if f < ct.n)
+        self._forced_set = frozenset(self._forced_sorted)
         self._detector = IdempotencyDetector(
             config, trace.memory_map.text_word_range
         )
-        self._sections: Dict[Tuple[int, int], Section] = {}
-        self._write_index: Optional[Dict[int, list]] = None
+        #: Memoized sections, keyed ``(start << 2) | variant`` — one int
+        #: probe in the fast path's hot loop instead of a tuple hash.
+        self._sections: Dict[int, Section] = {}
         self._scratch = None  # lazily built ChainScratch, reused per chain
         self._dw_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._dw_groups: Dict[Tuple[int, int], Dict[int, list]] = {}
@@ -137,35 +149,113 @@ class SectionMap:
         #: so a later re-execution of an *earlier* tracked write to the
         #: same word could compare against the stale value instead of the
         #: oracle view.  Conservative: any word with both an access-marked
-        #: PI write and a tracked write trips it.
-        self.pi_hazard = False
-        if opts.ignore_false_writes and self.pi_indices:
-            kinds = ct.kinds
-            waddrs = ct.waddrs
-            out_writes = ct.out_writes
-            pi_idx = self.pi_indices
-            pi_written = {
-                waddrs[j] for j in pi_idx if j < ct.n and kinds[j] != READ
-            } - self.pi_words
-            if pi_written:
-                for m in range(ct.n):
-                    if (
-                        kinds[m] != READ
-                        and waddrs[m] in pi_written
-                        and m not in pi_idx
-                        and not out_writes[m]
-                    ):
-                        self.pi_hazard = True
-                        break
+        #: PI write and a tracked write trips it.  A property of the trace
+        #: and marking alone, so it is memoized on the compiled trace and
+        #: shared by every configuration of a sweep.
+        self.pi_hazard = (
+            opts.ignore_false_writes
+            and bool(self.pi_indices)
+            and ct.pi_write_hazard(self.pi_words, self.pi_indices)
+        )
+        #: The watermark family this configuration can derive its
+        #: boundaries from (None: ineligible or disabled — every section
+        #: then falls back to the per-config chain scan).
+        self._family = watermarks.get_family(
+            trace, config, self.pi_words, self.pi_indices
+        )
+        self._caps = (
+            config.rf_entries, config.wf_entries, config.wbb_entries,
+            config.apb_entries,
+        )
+        self._latest = opts.latest_checkpoint
+        self._nwf = opts.no_wf_overflow
+        # Persistent artifact store: seed the memo from a previous run's
+        # (or a sibling worker's) enumeration of this exact key.
+        self._disk_key = None
+        self._loaded_n = 0
+        st = artifact_cache.store()
+        if st is not None:
+            self._disk_key = artifact_cache.content_key(
+                "sections", ct.content_key,
+                trace.memory_map.text_word_range,
+                trace.memory_map.word_range("mmio"),
+                config.as_tuple(), config.prefix_low_bits,
+                (opts.ignore_false_writes, opts.remove_duplicates,
+                 opts.no_wf_overflow, opts.ignore_text,
+                 opts.latest_checkpoint),
+                tuple(sorted(self.pi_words)),
+                tuple(sorted(self.pi_indices)),
+                tuple(self._forced_sorted),
+            )
+            loaded = st.get("sections", self._disk_key)
+            if isinstance(loaded, dict):
+                global _DISK_LOADS
+                _DISK_LOADS += 1
+                self._sections.update(loaded)
+                self._loaded_n = len(self._sections)
 
     def section(self, start: int, variant: int) -> Section:
         """The memoized section beginning at ``start`` under ``variant``."""
-        key = (start, variant)
+        global _ENUM_SECONDS
+        key = (start << 2) | variant
         sec = self._sections.get(key)
         if sec is None:
-            self._ingest_chain(start, variant)
-            sec = self._sections[key]
+            fam = self._family
+            if fam is not None and fam.active:
+                sec = self._derive_section(start, variant)
+            if sec is not None:
+                self._sections[key] = sec
+            else:
+                # No family, a self-deactivated one, or a per-section
+                # no-WF-overflow fallback: batched chain scan.
+                t0 = perf_counter()
+                self._ingest_chain(start, variant)
+                _ENUM_SECONDS += perf_counter() - t0
+                sec = self._sections[key]
+            if self._disk_key is not None:
+                _DIRTY.add(self)
         return sec
+
+    def _derive_section(self, start: int, variant: int) -> Optional[Section]:
+        """Derive one section from the watermark family (no chain scan).
+
+        Mirrors the section-entry resolution of
+        :meth:`~repro.core.detector.IdempotencyDetector.straightline_chain`:
+        a normal entry at a forced index is the zero-length compiler
+        section, a direct entry starts scanning one access later, and the
+        next *active* forced checkpoint is the first one strictly after
+        ``start`` in every variant.
+
+        Returns None on a no-WF-overflow fallback (the family cannot
+        prove this boundary; see :mod:`repro.sim.watermarks`).
+        """
+        if variant == VARIANT_NORMAL and start in self._forced_set:
+            return (start, "compiler", SEC_FORCED, ())
+        fs = self._forced_sorted
+        i = bisect_right(fs, start)
+        next_forced = fs[i] if i < len(fs) else self.n + 1
+        scan_from = start + 1 if variant == VARIANT_DIRECT else start
+        r, w, b, a = self._caps
+        res = self._family.boundary(
+            scan_from, next_forced, r, w, b, a, self._latest, self._nwf
+        )
+        if res is None:
+            return None
+        end, cause, steps = res
+        return (end, cause, _KIND_BY_CAUSE.get(cause, SEC_DETECTOR), steps)
+
+    def persist(self) -> None:
+        """Write newly-enumerated sections to the artifact store (no-op
+        when clean, never loaded against a store, or the store is gone)."""
+        if self._disk_key is None:
+            return
+        if len(self._sections) <= self._loaded_n:
+            return
+        st = artifact_cache.store()
+        if st is None:
+            return
+        if st.put("sections", self._disk_key, self._sections):
+            self._loaded_n = len(self._sections)
 
     def _ingest_chain(self, start: int, variant: int) -> None:
         """Enumerate the failure-free section chain from ``(start, variant)``.
@@ -182,8 +272,10 @@ class SectionMap:
         When the optional C kernel is available
         (:mod:`repro.core.cext`), the scan runs there — one foreign call
         fills flat section records and this method only copies them into
-        the memo dict; otherwise the pure-Python generator (the reference
-        implementation) does the same walk.
+        the memo dict (the copy loop is the dominant ingest cost, so it
+        runs over ``tolist()`` snapshots with a single indexed
+        cause/kind table); otherwise the pure-Python generator (the
+        reference implementation) does the same walk.
         """
         secs = self._sections
         kind_of = _KIND_BY_CAUSE
@@ -198,25 +290,24 @@ class SectionMap:
                 1 if variant == VARIANT_DIRECT else 0,
                 start if variant == VARIANT_FORCED_DONE else -1,
             )
-            ss = eng.out_start
-            sv = eng.out_variant
-            se = eng.out_end
-            sc = eng.out_cause
             so = eng.out_steps_off
             sf = eng.out_steps
-            names = _CAUSE_NAMES
-            for k in range(nsec):
-                key = (ss[k], sv[k])
+            name_kind = _NAME_KIND_BY_ID
+            empty = ()
+            for s_, v_, end, cid, a, b in zip(
+                eng.out_start[:nsec].tolist(),
+                eng.out_variant[:nsec].tolist(),
+                eng.out_end[:nsec].tolist(),
+                eng.out_cause[:nsec].tolist(),
+                so[:nsec].tolist(),
+                so[1:nsec + 1].tolist(),
+            ):
+                key = (s_ << 2) | v_
                 if key in secs:
                     break
-                cause = names[sc[k]]
-                a = so[k]
-                b = so[k + 1]
+                cause, kind = name_kind[cid]
                 secs[key] = (
-                    se[k],
-                    cause,
-                    kind_of.get(cause, SEC_DETECTOR),
-                    tuple(sf[a:b]) if b > a else (),
+                    end, cause, kind, tuple(sf[a:b]) if b > a else empty
                 )
             return
         if self._scratch is None:
@@ -233,7 +324,7 @@ class SectionMap:
                 self._scratch,
             )
         ):
-            key = (s, v)
+            key = (s << 2) | v
             if key in secs:
                 break
             secs[key] = (end, cause, kind_of.get(cause, SEC_DETECTOR), steps)
@@ -359,15 +450,7 @@ class SectionMap:
         waddrs = ct.waddrs
         false_writes = ct.false_writes
         out_writes = ct.out_writes
-        windex = self._write_index
-        if windex is None:
-            windex = {}
-            kinds = ct.kinds
-            was = ct.waddrs
-            for j in range(ct.n):
-                if kinds[j] != READ:
-                    windex.setdefault(was[j], []).append(j)
-            self._write_index = windex
+        windex = ct.write_index()
         gkey = (start, variant)
         groups = self._dw_groups.get(gkey)
         if groups is None:
@@ -426,6 +509,22 @@ _MAX_CACHED_MAPS = 1024
 _CACHE: "OrderedDict[tuple, SectionMap]" = OrderedDict()
 _HITS = 0
 _MISSES = 0
+_EVICTIONS = 0
+_DISK_LOADS = 0
+_ENUM_SECONDS = 0.0
+
+#: Maps evicted from the LRU while dirty wait here for the next
+#: :func:`repro.cache.persist_caches` flush — spilling to disk mid-run
+#: would put file I/O on the enumeration hot path.  Bounded: overflow
+#: simply drops the oldest spill (it re-enumerates on a future miss).
+_SPILL: list = []
+_MAX_SPILLED = 8192
+
+#: Cached maps whose memo grew since their last persist.  The flush hook
+#: walks only this set (plus the spill list), so the per-job flush a
+#: fork-pool worker issues is O(maps that job actually dirtied), not
+#: O(everything cached).
+_DIRTY: set = set()
 
 
 def _map_key(
@@ -458,7 +557,7 @@ def get_section_map(
     forced_checkpoints: Optional[FrozenSet[int]] = None,
 ) -> SectionMap:
     """The shared SectionMap for this key (LRU-cached per process)."""
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _EVICTIONS
     key = _map_key(
         trace, config, pi_words, pi_access_indices, forced_checkpoints
     )
@@ -473,22 +572,72 @@ def get_section_map(
     )
     _CACHE[key] = smap
     while len(_CACHE) > _MAX_CACHED_MAPS:
-        _CACHE.popitem(last=False)
+        _EVICTIONS += 1
+        evicted = _CACHE.popitem(last=False)[1]
+        _DIRTY.discard(evicted)
+        if (
+            evicted._disk_key is not None
+            and len(evicted._sections) > evicted._loaded_n
+            and len(_SPILL) < _MAX_SPILLED
+        ):
+            _SPILL.append(evicted)
     return smap
 
 
-def cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of the per-process SectionMap cache."""
-    return {"hits": _HITS, "misses": _MISSES, "cached": len(_CACHE)}
+def _flush_to_store() -> None:
+    """Persist dirty maps (spilled and still-cached) to the artifact
+    store.  Registered with :func:`repro.cache.persist_caches`, which
+    the eval CLI invokes at exit and every fork-pool worker invokes
+    after each job (pool children exit via ``os._exit`` and never run
+    ``atexit`` hooks, so the flush must happen inline); warm runs are
+    ~free because only maps whose memo actually grew are visited."""
+    spilled, _SPILL[:] = _SPILL[:], []
+    for smap in spilled:
+        smap.persist()
+    dirty = list(_DIRTY)
+    _DIRTY.clear()
+    for smap in dirty:
+        smap.persist()
+
+
+artifact_cache.register_persist(_flush_to_store)
+
+
+def cache_stats() -> Dict[str, float]:
+    """Counters of the per-process SectionMap cache.
+
+    ``evictions`` counts maps pushed out of the in-memory LRU (silent
+    thrash past ``_MAX_CACHED_MAPS`` is otherwise invisible to the
+    guards), ``disk_loads`` counts maps/families seeded from the
+    persistent artifact store, and ``enum_seconds`` is the time spent in
+    section *enumeration* proper (chain scans plus watermark scans),
+    separated from driver wall-clock for the profile table.
+    """
+    wm = watermarks.stats()
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "cached": len(_CACHE),
+        "evictions": _EVICTIONS,
+        "disk_loads": _DISK_LOADS + wm["disk_loads"],
+        "enum_seconds": _ENUM_SECONDS + wm["scan_seconds"],
+    }
 
 
 def reset_cache_stats() -> None:
     """Zero the counters (tests and per-sweep profiling)."""
-    global _HITS, _MISSES
+    global _HITS, _MISSES, _EVICTIONS, _DISK_LOADS, _ENUM_SECONDS
     _HITS = 0
     _MISSES = 0
+    _EVICTIONS = 0
+    _DISK_LOADS = 0
+    _ENUM_SECONDS = 0.0
+    watermarks.reset_stats()
 
 
 def clear_cache() -> None:
-    """Drop all cached maps (tests)."""
+    """Drop all cached maps, pending spills, and families (tests)."""
     _CACHE.clear()
+    _SPILL.clear()
+    _DIRTY.clear()
+    watermarks.clear_families()

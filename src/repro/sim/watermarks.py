@@ -1,0 +1,605 @@
+"""Capacity-family watermark tables: one scan answers a whole sweep.
+
+A fig5-style sweep replays the *same* trace under dozens of buffer
+capacities, and PR 3's profile shows the cost concentrating in the one
+O(n) chain scan each ``(trace, config)`` key pays.  But from a fixed
+section entry the scan trajectory is capacity-independent up to the
+first overflow: membership updates, violation captures, and prefix
+admissions happen identically for every capacity that has not yet
+overflowed.  So a single infinite-capacity *watermark* pass
+(``watermark_scan`` in :mod:`repro.core.detector` and the C kernel)
+records, per buffer, the position at which each capacity ``t`` would
+first overflow — and a :class:`WatermarkFamily` then derives the exact
+section boundary for *any* member configuration by indexed lookup,
+turning O(configs x trace) enumeration into O(trace + configs).
+
+Family membership (one family per key; see :func:`get_family`):
+
+* the trace content, text range, APB prefix shift, and PI marking;
+* the trajectory-shaping optimizations: ignore-text,
+  ignore-false-writes, remove-duplicates;
+* whether ``wf_entries == 0`` (fresh writes then pass untracked and
+  never consult WF/APB — a genuinely different trajectory).
+
+Capacities that are *not* part of the family key: RF/WF/WBB/APB entry
+counts (the whole point), the forced-checkpoint set,
+``latest_checkpoint``, and ``no_wf_overflow`` (all handled at derive
+time), and whether the APB is enabled (prefix admissions are always
+recorded; a derive for ``apb_entries == 0`` simply never consults
+them).
+
+``no_wf_overflow`` needs one extra derive-time proof: a tolerated WF
+overflow lets the write pass *untracked*, so the real trajectory
+diverges from the infinite-capacity pass at the first overflow —
+``wf[W]``, the ``(W+1)``-th fresh-write insertion.  Strictly below it
+the trajectories are identical, so a derivation is accepted only when
+the winner lies strictly before ``wf[W]`` (or exactly at it for a
+forced checkpoint, which fires before the access is classified).
+Otherwise :meth:`WatermarkFamily.boundary` reports *fallback* — no
+amount of rescanning can answer it — and the caller runs the
+per-config chain scan for that one section.
+
+Derivation (:meth:`WatermarkFamily.boundary`) mirrors the real scan's
+check order through tie priorities: the forced checkpoint fires before
+the boundary access is classified, structural boundaries are
+classification outcomes, RF/WF/WBB capacity checks precede the APB
+admission check on the same access.  Under ``latest_checkpoint`` the
+winning candidate's *side* matters: a read-side fill (RF trip or
+read-kind APB trip) does not end the section but drops the scan into
+untracked mode, and the boundary becomes the first stopping write (or
+forced checkpoint) after it — resolved against a lazily-built
+next-stopping-write array, no rescan needed.
+
+Every record is finite (bounded event slots, bounded scan range), so a
+derive is only accepted when the record *proves* it: the winner must
+lie strictly below the record's known-coverage bound and at or below
+the last recorded event of every saturated buffer whose trip is
+otherwise unknown.  A failed proof rescans with doubled slots and/or an
+extended range; coverage grows strictly, so the loop terminates.
+
+Records persist to the :mod:`repro.cache` store (kind ``"wm"``) keyed
+by family content, so parallel workers and repeat runs share scans.
+"""
+
+import os
+from array import array
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from time import perf_counter
+from typing import Dict, Optional
+
+import repro.cache as artifact_cache
+from repro.core import cext
+from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
+from repro.core.detector import ChainScratch, watermark_scan
+
+#: Above any trace position; candidate positions compare against it.
+_FAR = 1 << 60
+
+#: ``_FAR`` in the packed ``(position << 2) | priority`` winner encoding.
+_FAR4 = _FAR << 2
+
+#: Internal ``_derive`` return distinct from the retryable ``None``:
+#: growth can never prove this query (see :data:`FALLBACK`).
+_NO_PROOF = object()
+
+#: Sentinel for "C engine not resolved yet" (None means "unavailable").
+_UNSET = object()
+
+#: Event-slot floor per buffer: covers the paper's capacity grids
+#: (fig5 tops out at R=24) so almost every record needs exactly one scan.
+_MIN_SLOTS = 32
+
+#: Initial scan window (accesses past ``scan_from``).  Scans stop early
+#: once the RF/WF/APB event arrays fill, but an array that fills slowly
+#: (a loop touching two prefixes never admits a 32nd one) would
+#: otherwise drag the scan to the next output; the window bounds that.
+#: A derive needing coverage past the window rescans with a 4x window.
+_WINDOW0 = 512
+
+#: ``boundary`` return meaning "no record can ever prove this query"
+#: (a no-WF-overflow member whose true boundary lies at or beyond the
+#: first tolerated overflow); the caller falls back to the chain scan.
+FALLBACK = None
+
+#: Scans after which a family judges its own economics (see ``active``).
+_GATE_SCANS = 2048
+
+
+def _pow2(v: int) -> int:
+    return 1 << max(0, v - 1).bit_length()
+
+
+class _Record:
+    """One watermark scan's events and coverage, keyed per ``scan_from``."""
+
+    __slots__ = (
+        "rf", "wf", "wbb", "apb", "apb_kind",
+        "rf_slots", "wf_slots", "wbb_slots", "apb_slots",
+        "stop_at", "scanned_to", "struct_pos", "struct_cause", "complete",
+    )
+
+    def __init__(self, out, slots, stop_at):
+        (self.rf, self.wf, self.wbb, self.apb, self.apb_kind,
+         self.scanned_to, self.struct_pos, self.struct_cause,
+         self.complete) = out
+        self.rf_slots, self.wf_slots, self.wbb_slots, self.apb_slots = slots
+        self.stop_at = stop_at
+
+    def to_payload(self) -> tuple:
+        """Disk form: flat bytes + ints (version-salted by the store key)."""
+        return (
+            self.rf.tobytes(), self.wf.tobytes(), self.wbb.tobytes(),
+            self.apb.tobytes(), self.apb_kind.tobytes(),
+            self.rf_slots, self.wf_slots, self.wbb_slots, self.apb_slots,
+            self.stop_at, self.scanned_to, self.struct_pos,
+            self.struct_cause, self.complete,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "_Record":
+        (rf_b, wf_b, wbb_b, apb_b, kind_b, rs, ws, bs, as_, stop,
+         scanned, spos, scause, complete) = payload
+        rf = array("i"); rf.frombytes(rf_b)
+        wf = array("i"); wf.frombytes(wf_b)
+        wbb = array("i"); wbb.frombytes(wbb_b)
+        apb = array("i"); apb.frombytes(apb_b)
+        kind = array("B"); kind.frombytes(kind_b)
+        return cls(
+            (rf, wf, wbb, apb, kind, scanned, spos, scause, complete),
+            (rs, ws, bs, as_), stop,
+        )
+
+
+class WatermarkFamily:
+    """Watermark records of one (trace, marking, trajectory-flags) family.
+
+    ``boundary`` answers section-boundary queries for every member
+    configuration; records are scanned on demand per start position and
+    shared across all of them (and, via the artifact store, across
+    processes and runs).
+    """
+
+    __slots__ = (
+        "ct", "n", "text_lo", "text_hi", "shift", "pi_words", "pi_indices",
+        "ignore_text", "ig_fw", "rm_dup", "wf_zero",
+        "_records", "_scratch", "_engine", "_lw_next", "_key", "_dirty",
+        "_scans_n", "_derives_n", "active",
+    )
+
+    def __init__(self, ct, text_range, shift, pi_words, pi_indices,
+                 ignore_text, ignore_false_writes, remove_duplicates,
+                 wf_zero, disk_key: Optional[str] = None):
+        self.ct = ct
+        self.n = ct.n
+        self.text_lo, self.text_hi = text_range or (0, 0)
+        self.shift = shift
+        self.pi_words = pi_words or frozenset()
+        self.pi_indices = pi_indices or frozenset()
+        self.ignore_text = ignore_text
+        self.ig_fw = ignore_false_writes
+        self.rm_dup = remove_duplicates
+        self.wf_zero = wf_zero
+        self._records: Dict[int, _Record] = {}
+        self._scratch = None   # lazily built ChainScratch (Python path)
+        self._engine = _UNSET  # lazily built C WatermarkEngine (or None)
+        self._lw_next = None   # lazily built next-stopping-write array
+        self._key = disk_key
+        self._dirty = 0
+        self._scans_n = 0
+        self._derives_n = 0
+        #: Self-assessed economics (see ``_scan``): False once the family
+        #: has scanned a lot while serving few derives — record reuse is
+        #: evidently poor, so callers should prefer the batched chain
+        #: scan.  Purely a performance gate; results are bit-identical
+        #: either way.
+        self.active = True
+        if disk_key is not None:
+            self._load()
+
+    # -- boundary derivation ------------------------------------------- #
+
+    def boundary(self, scan_from: int, next_forced: int, rf_cap: int,
+                 wf_cap: int, wbb_cap: int, apb_cap: int, latest: bool,
+                 nwf: bool = False):
+        """The section boundary of a member configuration.
+
+        Args:
+            scan_from: First access the detector classifies (the section
+                start, or start+1 for a direct-text-write entry).
+            next_forced: First forced checkpoint index strictly after the
+                section start (``> n`` when none remains).
+            rf_cap/wf_cap/wbb_cap/apb_cap: The member's entry counts.
+            latest: The member's ``latest_checkpoint`` setting.
+            nwf: The member's ``no_wf_overflow`` setting.
+
+        Returns:
+            ``(end, cause, wbb_steps)`` exactly as the per-config
+            reference scan would report for this section — or
+            :data:`FALLBACK` when no record can answer (a
+            no-WF-overflow boundary at or past the first tolerated
+            overflow); the caller then runs the per-config chain scan.
+        """
+        self._derives_n += 1
+        rec = self._records.get(scan_from)
+        if rec is None:
+            rec = self._scan(
+                scan_from, min(next_forced, scan_from + _WINDOW0),
+                (
+                    _pow2(max(_MIN_SLOTS, rf_cap + 2)),
+                    _pow2(max(_MIN_SLOTS, wf_cap + 2)),
+                    _pow2(max(_MIN_SLOTS, wbb_cap + 2)),
+                    _pow2(max(_MIN_SLOTS, apb_cap + 2)),
+                ),
+            )
+        while True:
+            res = self._derive(
+                rec, next_forced, rf_cap, wf_cap, wbb_cap, apb_cap,
+                latest, nwf,
+            )
+            if res is not None:
+                return res if res is not _NO_PROOF else FALLBACK
+            rec = self._grow(
+                rec, scan_from, next_forced,
+                (rf_cap, wf_cap, wbb_cap, apb_cap),
+            )
+
+    def _derive(self, rec, next_forced, rf_cap, wf_cap, wbb_cap, apb_cap,
+                latest, nwf):
+        """One derivation attempt.
+
+        Returns the section triple, ``None`` when the record's coverage
+        cannot prove the winner (caller grows and retries), or
+        ``_NO_PROOF`` when no coverage ever could (no-WF-overflow
+        past the first tolerated overflow)."""
+        n = self.n
+        nf = next_forced if next_forced < n else _FAR
+        complete = rec.complete
+        if complete == cext.WM_STRUCT:
+            glb = _FAR
+        elif complete == cext.WM_STOP_AT:
+            glb = _FAR if next_forced <= rec.stop_at else rec.stop_at
+        else:
+            glb = rec.scanned_to
+
+        # Winner selection over (position << 2 | tie-priority), mirroring
+        # the real scan's per-access check order through the priorities:
+        # forced (0) fires before the access is classified, structural
+        # boundaries (1) are classification outcomes, RF/WF/WBB capacity
+        # checks (2) precede the APB admission check (3) on the same
+        # access.  RF/WF/WBB never share a position (one access takes
+        # exactly one of those paths), so priority 2 never self-ties.
+        best = _FAR4
+        cause = None
+        if nf != _FAR:
+            best = nf << 2
+            cause = "compiler"
+        if complete == cext.WM_STRUCT:
+            c = (rec.struct_pos << 2) | 1
+            if c < best:
+                best = c
+                cause = _CAUSE_NAMES[rec.struct_cause]
+        rf = rec.rf
+        if rf_cap < len(rf):
+            c = (rf[rf_cap] << 2) | 2
+            if c < best:
+                best = c
+                cause = "rf_full"
+        wf = rec.wf
+        if not nwf and wf_cap < len(wf):
+            c = (wf[wf_cap] << 2) | 2
+            if c < best:
+                best = c
+                cause = "wf_full"
+        wbb = rec.wbb
+        if wbb_cap < len(wbb):
+            c = (wbb[wbb_cap] << 2) | 2
+            if c < best:
+                best = c
+                cause = "violation" if wbb_cap == 0 else "wbb_full"
+        apb = rec.apb
+        if apb_cap and apb_cap < len(apb):
+            c = (apb[apb_cap] << 2) | 3
+            if c < best:
+                best = c
+                cause = "apb_full"
+        if cause is None:
+            return None
+        pos = best >> 2
+
+        # Proof obligations: the winner must be inside proven coverage,
+        # and no saturated buffer may hide an earlier (unknown) trip.
+        if pos >= glb:
+            return None
+        if (
+            len(rf) == rec.rf_slots and rf_cap >= len(rf)
+            and (not rf or pos > rf[-1])
+        ):
+            return None
+        if (
+            len(wf) == rec.wf_slots and wf_cap >= len(wf)
+            and (not wf or pos > wf[-1])
+        ):
+            return None
+        if (
+            len(wbb) == rec.wbb_slots and wbb_cap >= len(wbb)
+            and (not wbb or pos > wbb[-1])
+        ):
+            return None
+        if apb_cap and (
+            len(apb) == rec.apb_slots and apb_cap >= len(apb)
+            and (not apb or pos > apb[-1])
+        ):
+            return None
+        if nwf and wf_cap < len(wf):
+            # No-WF-overflow: the infinite pass matches the real
+            # trajectory only strictly below the first tolerated
+            # overflow wf[W]; exactly at it only a forced checkpoint
+            # (priority 0, fires before classification) is valid.
+            owf = wf[wf_cap]
+            if pos > owf or (pos == owf and best & 3):
+                return _NO_PROOF
+
+        if latest and (
+            cause == "rf_full"
+            or (cause == "apb_full" and rec.apb_kind[apb_cap])
+        ):
+            # Read-side fill under latest-checkpoint: tracking stops at
+            # ``pos`` (the read itself passes untracked) and the boundary
+            # is the first stopping write or forced checkpoint after it.
+            steps = tuple(wbb[:bisect_left(wbb, pos)])
+            j = self._lw_next_arr()[pos + 1]
+            if nf <= j:
+                return (nf, "compiler", steps)
+            if j < n:
+                ops = self.ct.scan_arrays(self.text_lo, self.text_hi)[0]
+                return (j, "output" if ops[j] & 4 else "latest_write", steps)
+            return (n, "final", steps)
+        if wbb:
+            return (pos, cause, tuple(wbb[:bisect_left(wbb, pos)]))
+        return (pos, cause, ())
+
+    def _grow(self, rec, scan_from, next_forced, caps):
+        """Rescan with strictly larger coverage after a failed proof."""
+        new_slots = []
+        for cap, arr, slots in (
+            (caps[0], rec.rf, rec.rf_slots),
+            (caps[1], rec.wf, rec.wf_slots),
+            (caps[2], rec.wbb, rec.wbb_slots),
+            (caps[3], rec.apb, rec.apb_slots),
+        ):
+            s = slots
+            if cap + 2 > s:
+                s = _pow2(cap + 2)
+            if len(arr) == slots:
+                s = max(s, slots * 2)
+            new_slots.append(s)
+        stop = rec.stop_at
+        if rec.complete == cext.WM_STOP_AT and next_forced > rec.stop_at:
+            # The window (or an old forced bound) cut coverage short:
+            # quadruple it, still bounded by the active forced stop.
+            span = max(rec.stop_at - scan_from, _WINDOW0)
+            stop = min(next_forced, scan_from + 4 * span)
+        if tuple(new_slots) == (rec.rf_slots, rec.wf_slots, rec.wbb_slots,
+                               rec.apb_slots) and stop == rec.stop_at:
+            # A failed proof always leaves something to grow; this guard
+            # only protects against an (impossible) derivation livelock.
+            new_slots = [s * 2 for s in new_slots]
+            stop = min(max(next_forced, stop + 4 * _WINDOW0), self.n + 1)
+        return self._scan(scan_from, stop, tuple(new_slots))
+
+    # -- scanning ------------------------------------------------------ #
+
+    def _scan(self, scan_from, stop_at, slots):
+        global _SCAN_SECONDS, _SCANS
+        eng = self._engine
+        if eng is _UNSET:
+            eng = self._engine = self._make_engine()
+        t0 = perf_counter()
+        if eng is not None:
+            out = eng.scan(scan_from, stop_at, *slots)
+        else:
+            if self._scratch is None:
+                nwords = self.ct.scan_arrays(self.text_lo, self.text_hi)[2]
+                nprefixes = self.ct.prefix_ids(self.shift)[1]
+                self._scratch = ChainScratch(nwords, max(nprefixes, 1))
+            out = watermark_scan(
+                self.ct, self.text_lo, self.text_hi, self.shift,
+                self.pi_words, self.pi_indices, self.ignore_text,
+                self.ig_fw, self.rm_dup, self.wf_zero, self._scratch,
+                scan_from, stop_at, *slots,
+            )
+        _SCAN_SECONDS += perf_counter() - t0
+        _SCANS += 1
+        self._scans_n += 1
+        if (self.active and self._scans_n >= _GATE_SCANS
+                and self._derives_n < 4 * self._scans_n):
+            # Poor record reuse: most queries trigger a fresh scan, so the
+            # family costs more than the batched chain scan it replaces.
+            self.active = False
+        rec = _Record(out, slots, stop_at)
+        self._records[scan_from] = rec
+        self._dirty += 1
+        return rec
+
+    def _make_engine(self):
+        lib = cext.chain_scan_lib()
+        if lib is None:
+            return None
+        flags = 0
+        if self.ignore_text:
+            flags |= cext.F_IGNORE_TEXT
+        if self.ig_fw:
+            flags |= cext.F_IGNORE_FALSE_WRITES
+        if self.rm_dup:
+            flags |= cext.F_REMOVE_DUPLICATES
+        if self.wf_zero:
+            flags |= cext.F_WF_ZERO
+        return cext.WatermarkEngine(
+            lib, self.ct, self.text_lo, self.text_hi, self.shift,
+            self.pi_words, self.pi_indices, flags,
+        )
+
+    def _lw_next_arr(self):
+        """``lw[i]`` = first index ``>= i`` whose access stops the
+        untracked tail (output write, or a write that is neither
+        PI-marked nor a tolerated false write); ``n`` when none does.
+        Length ``n + 1`` so ``lw[pos + 1]`` is valid for any read."""
+        lw = self._lw_next
+        if lw is None:
+            n = self.n
+            ops = self.ct.scan_arrays(self.text_lo, self.text_hi)[0]
+            waddrs = self.ct.waddrs
+            pi_words = self.pi_words
+            pi_indices = self.pi_indices
+            has_pi = bool(pi_words) or bool(pi_indices)
+            ig_fw = self.ig_fw
+            lw = array("i", bytes(4 * (n + 1)))
+            lw[n] = n
+            nxt = n
+            for i in range(n - 1, -1, -1):
+                op = ops[i]
+                if op & 1:
+                    if op & 4:
+                        nxt = i
+                    elif has_pi and (waddrs[i] in pi_words
+                                     or i in pi_indices):
+                        pass
+                    elif ig_fw and op & 8:
+                        pass
+                    else:
+                        nxt = i
+                lw[i] = nxt
+            self._lw_next = lw
+        return lw
+
+    # -- persistence --------------------------------------------------- #
+
+    def _load(self) -> None:
+        global _DISK_LOADS
+        st = artifact_cache.store()
+        if st is None:
+            return
+        payload = st.get("wm", self._key)
+        if not isinstance(payload, dict):
+            return
+        try:
+            self._records = {
+                int(sf): _Record.from_payload(p) for sf, p in payload.items()
+            }
+        except Exception:
+            self._records = {}
+            return
+        _DISK_LOADS += 1
+
+    def persist(self) -> None:
+        """Write dirty records to the artifact store (no-op when clean or
+        the store is disabled)."""
+        if self._dirty == 0 or self._key is None:
+            return
+        st = artifact_cache.store()
+        if st is None:
+            return
+        payload = {
+            sf: rec.to_payload() for sf, rec in self._records.items()
+        }
+        if st.put("wm", self._key, payload):
+            self._dirty = 0
+
+
+# --------------------------------------------------------------------- #
+# Family cache.
+# --------------------------------------------------------------------- #
+
+#: Bounded LRU of families.  One family serves every capacity in a sweep,
+#: so the working set is (traces x eligible trajectory-flag combos) — a
+#: few hundred for the full evaluation.
+_MAX_FAMILIES = 512
+
+_FAMILIES: "OrderedDict[tuple, WatermarkFamily]" = OrderedDict()
+_SCAN_SECONDS = 0.0
+_SCANS = 0
+_DISK_LOADS = 0
+
+
+def get_family(trace, config, pi_words=None,
+               pi_indices=None) -> Optional[WatermarkFamily]:
+    """The shared family for this (trace, config, marking), or None.
+
+    None means watermark mode is off (the default; opt in with
+    ``REPRO_WATERMARK=1``); callers then use the batched per-config
+    chain scan.  Watermark derivation is bit-identical to the chain
+    scan (the equivalence-grid tests sweep both), but measured
+    economics favor the chain scan in this codebase: the C batched
+    kernel enumerates at ~0.2us/section while a Python-side derive
+    costs ~6us/visit, which the ~15x laziness advantage does not
+    recover (see DESIGN decision 9).  ``no_wf_overflow`` members share
+    the family too — the derive-time overflow proof (module docstring)
+    keeps them exact, falling back per section when it cannot.
+    """
+    opts = config.optimizations
+    if os.environ.get("REPRO_WATERMARK", "0") != "1":
+        return None
+    ct = trace.compiled()
+    text_range = trace.memory_map.text_word_range
+    wf_zero = config.wf_entries == 0
+    pi_words = pi_words or frozenset()
+    pi_indices = pi_indices or frozenset()
+    key = (
+        ct.content_key, text_range, config.prefix_low_bits,
+        opts.ignore_text, opts.ignore_false_writes, opts.remove_duplicates,
+        wf_zero, pi_words, pi_indices,
+    )
+    fam = _FAMILIES.get(key)
+    if fam is not None:
+        _FAMILIES.move_to_end(key)
+        return fam
+    disk_key = None
+    if artifact_cache.store() is not None:
+        disk_key = artifact_cache.content_key(
+            "wm", ct.content_key, text_range, config.prefix_low_bits,
+            opts.ignore_text, opts.ignore_false_writes,
+            opts.remove_duplicates, wf_zero,
+            tuple(sorted(pi_words)), tuple(sorted(pi_indices)),
+        )
+    fam = WatermarkFamily(
+        ct, text_range, config.prefix_low_bits, pi_words, pi_indices,
+        opts.ignore_text, opts.ignore_false_writes, opts.remove_duplicates,
+        wf_zero, disk_key,
+    )
+    _FAMILIES[key] = fam
+    while len(_FAMILIES) > _MAX_FAMILIES:
+        _FAMILIES.popitem(last=False)[1].persist()
+    return fam
+
+
+def _persist_families() -> None:
+    for fam in _FAMILIES.values():
+        fam.persist()
+
+
+artifact_cache.register_persist(_persist_families)
+
+
+def stats() -> Dict[str, float]:
+    """Scan counters for profiling: scans run, seconds spent scanning,
+    families alive, and families seeded from the artifact store."""
+    return {
+        "scans": _SCANS,
+        "scan_seconds": _SCAN_SECONDS,
+        "families": len(_FAMILIES),
+        "disk_loads": _DISK_LOADS,
+    }
+
+
+def reset_stats() -> None:
+    """Zero the counters (tests and per-sweep profiling)."""
+    global _SCAN_SECONDS, _SCANS, _DISK_LOADS
+    _SCAN_SECONDS = 0.0
+    _SCANS = 0
+    _DISK_LOADS = 0
+
+
+def clear_families() -> None:
+    """Drop all cached families (tests)."""
+    _FAMILIES.clear()

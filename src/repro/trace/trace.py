@@ -5,6 +5,7 @@ from itertools import accumulate
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.cache as artifact_cache
 from repro.common.errors import TraceError
 from repro.mem.map import MemoryMap, default_memory_map
 from repro.trace.access import Access, READ, WRITE
@@ -49,9 +50,10 @@ class CompiledTrace:
 
     __slots__ = (
         "n", "kinds", "waddrs", "values", "cycles", "out_writes",
-        "cum_cycles", "false_writes", "_first", "_last", "_vol_masks",
-        "_scan_arrays", "_prefix_ids", "_scan_bufs", "_prefix_bufs",
-        "_pi_masks", "_c_scratch", "_c_out",
+        "cum_cycles", "false_writes", "content_key", "_first", "_last",
+        "_vol_masks", "_scan_arrays", "_prefix_ids", "_scan_bufs",
+        "_prefix_bufs", "_pi_masks", "_c_scratch", "_c_out",
+        "_pi_hazards", "_windex",
     )
 
     def __init__(self, trace: "Trace"):
@@ -76,6 +78,19 @@ class CompiledTrace:
                 false_writes.append(view_get(a.waddr, 0) == a.value)
                 view[a.waddr] = a.value
         self.false_writes = tuple(false_writes)
+        #: Content fingerprint addressing this trace in the persistent
+        #: artifact store (:mod:`repro.cache`).  Tuple hashes over int
+        #: sequences are process-stable (PYTHONHASHSEED only perturbs str
+        #: and bytes), and the access-stream hashes distinguish traces
+        #: that share a name/length/cycle count but differ in content —
+        #: a collision the cheap in-memory keys never face within one
+        #: process but a shared on-disk store must rule out.
+        self.content_key = (
+            trace.name, self.n, trace.final_cycles, trace.checksum,
+            hash(self.kinds), hash(self.waddrs), hash(self.values),
+            hash(self.cycles),
+            hash(tuple(sorted(trace.initial_image.items()))),
+        )
         # Staleness sentinels: identity of the boundary Access objects lets
         # Trace.compiled() catch same-length edge mutations for free.
         self._first = accesses[0] if accesses else None
@@ -88,6 +103,8 @@ class CompiledTrace:
         self._pi_masks: Dict[tuple, array] = {}
         self._c_scratch: Dict[int, tuple] = {}
         self._c_out: Optional[tuple] = None
+        self._pi_hazards: Dict[tuple, bool] = {}
+        self._windex: Optional[Dict[int, list]] = None
 
     def volatile_mask(
         self, volatile_ranges: Sequence[Tuple[int, int]]
@@ -122,25 +139,40 @@ class CompiledTrace:
         key = (text_lo, text_hi)
         cached = self._scan_arrays.get(key)
         if cached is None:
-            ids: Dict[int, int] = {}
-            wids = []
-            ops = []
-            for i in range(self.n):
-                w = self.waddrs[i]
-                vid = ids.get(w)
-                if vid is None:
-                    vid = len(ids)
-                    ids[w] = vid
-                wids.append(vid)
-                op = 0 if self.kinds[i] == READ else 1
-                if text_lo <= w < text_hi:
-                    op |= 2
-                if self.out_writes[i]:
-                    op |= 4
-                if self.false_writes[i]:
-                    op |= 8
-                ops.append(op)
-            cached = (tuple(ops), tuple(wids), len(ids))
+            st = artifact_cache.store()
+            dkey = None
+            if st is not None:
+                dkey = artifact_cache.content_key(
+                    "scan_arrays", self.content_key, key
+                )
+                loaded = st.get("compiled", dkey)
+                if (
+                    isinstance(loaded, tuple) and len(loaded) == 3
+                    and len(loaded[0]) == self.n
+                ):
+                    cached = loaded
+            if cached is None:
+                ids: Dict[int, int] = {}
+                wids = []
+                ops = []
+                for i in range(self.n):
+                    w = self.waddrs[i]
+                    vid = ids.get(w)
+                    if vid is None:
+                        vid = len(ids)
+                        ids[w] = vid
+                    wids.append(vid)
+                    op = 0 if self.kinds[i] == READ else 1
+                    if text_lo <= w < text_hi:
+                        op |= 2
+                    if self.out_writes[i]:
+                        op |= 4
+                    if self.false_writes[i]:
+                        op |= 8
+                    ops.append(op)
+                cached = (tuple(ops), tuple(wids), len(ids))
+                if dkey is not None:
+                    st.put("compiled", dkey, cached)
             self._scan_arrays[key] = cached
         return cached
 
@@ -153,18 +185,83 @@ class CompiledTrace:
         """
         cached = self._prefix_ids.get(shift)
         if cached is None:
-            ids: Dict[int, int] = {}
-            pids = []
-            for w in self.waddrs:
-                p = w >> shift
-                pid = ids.get(p)
-                if pid is None:
-                    pid = len(ids)
-                    ids[p] = pid
-                pids.append(pid)
-            cached = (tuple(pids), len(ids))
+            st = artifact_cache.store()
+            dkey = None
+            if st is not None:
+                dkey = artifact_cache.content_key(
+                    "prefix_ids", self.content_key, shift
+                )
+                loaded = st.get("compiled", dkey)
+                if (
+                    isinstance(loaded, tuple) and len(loaded) == 2
+                    and len(loaded[0]) == self.n
+                ):
+                    cached = loaded
+            if cached is None:
+                ids: Dict[int, int] = {}
+                pids = []
+                for w in self.waddrs:
+                    p = w >> shift
+                    pid = ids.get(p)
+                    if pid is None:
+                        pid = len(ids)
+                        ids[p] = pid
+                    pids.append(pid)
+                cached = (tuple(pids), len(ids))
+                if dkey is not None:
+                    st.put("compiled", dkey, cached)
             self._prefix_ids[shift] = cached
         return cached
+
+    def pi_write_hazard(self, pi_words, pi_indices) -> bool:
+        """Whether an access-marked PI write shares a word with a tracked
+        (non-PI, non-output) write — the static false-write hazard of
+        :mod:`repro.sim.sections`.  A property of the trace and marking
+        alone, so it is memoized here and shared by every configuration
+        a sweep replays the trace under.
+        """
+        key = (pi_words, pi_indices)
+        hazard = self._pi_hazards.get(key)
+        if hazard is None:
+            hazard = False
+            kinds = self.kinds
+            waddrs = self.waddrs
+            out_writes = self.out_writes
+            pi_written = {
+                waddrs[j]
+                for j in pi_indices
+                if j < self.n and kinds[j] != READ
+            } - set(pi_words or ())
+            if pi_written:
+                for m in range(self.n):
+                    if (
+                        kinds[m] != READ
+                        and waddrs[m] in pi_written
+                        and m not in pi_indices
+                        and not out_writes[m]
+                    ):
+                        hazard = True
+                        break
+            self._pi_hazards[key] = hazard
+        return hazard
+
+    def write_index(self) -> Dict[int, list]:
+        """Ascending write indices per word address (memoized).
+
+        Used by the fast path's watchdog-cut staleness check; built once
+        per trace instead of once per
+        :class:`~repro.sim.sections.SectionMap`.
+        """
+        windex = self._windex
+        if windex is None:
+            windex = {}
+            kinds = self.kinds
+            waddrs = self.waddrs
+            for j in range(self.n):
+                if kinds[j] != READ:
+                    windex.setdefault(waddrs[j], []).append(j)
+            self._windex = windex
+        return windex
 
     # ----------------------------------------------------------------- #
     # C-kernel buffer forms (repro.core.cext).  All memoized: built once
