@@ -25,7 +25,13 @@ once and then shared by every schedule.  The guard resets the cache
 counters, times one more sweep, and fails if any job missed the (warm)
 cache or if the fast path stopped carrying the bulk of the runs.
 
-A fourth check guards the persistent artifact cache
+A fourth check guards run-provenance telemetry: with the shared
+:data:`repro.obs.telemetry.LEDGER` enabled, ``run_clank`` times each run
+and appends one record at the dispatch point — never per access — so the
+same sweep must stay within the telemetry threshold (default 2%) of the
+ledger-off baseline, and must actually have recorded every run.
+
+A fifth check guards the persistent artifact cache
 (``REPRO_CACHE_DIR``): a sweep against a fresh store populates it, every
 in-memory SectionMap is then dropped, and the repeat sweep must seed its
 maps from disk (no cold re-enumeration) while reproducing bit-identical
@@ -45,6 +51,7 @@ from repro.core.config import ClankConfig
 from repro.eval.runner import run_clank
 from repro.eval.settings import EvalSettings
 from repro.obs.recorder import NullRecorder
+from repro.obs.telemetry import LEDGER
 from repro.sim.fast import fast_stats, reset_fast_stats
 from repro.sim.sections import (
     cache_stats, clear_cache, reset_cache_stats,
@@ -88,6 +95,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=1.05,
                         help="max allowed NullRecorder/baseline ratio")
+    parser.add_argument("--telemetry-threshold", type=float, default=1.02,
+                        help="max allowed ledger-on/ledger-off ratio")
     parser.add_argument("--repeats", type=int, default=5,
                         help="sweep repetitions (best-of timing)")
     parser.add_argument("--size", default="small", help="workload size preset")
@@ -151,6 +160,38 @@ def main(argv=None) -> int:
         print("FAIL: fast path no longer carries the sweep")
         return 1
     print("OK: section maps cached, fast path engaged")
+
+    # Telemetry guard: the run ledger records once per run, at the
+    # dispatch point; enabling it must not slow the sweep beyond the
+    # telemetry threshold, and every run must actually land in it.
+    # Per-run telemetry cost is a few microseconds against runs of a few
+    # hundred; best-of-many keeps scheduler noise from swamping a 2%
+    # budget on this guard's deliberately tiny sweeps.
+    tele_repeats = max(args.repeats, 10)
+    LEDGER.disable()
+    ledger_off = sweep_seconds(traces, settings, None, tele_repeats)
+    try:
+        LEDGER.reset()
+        LEDGER.enable()
+        ledger_on = sweep_seconds(traces, settings, None, tele_repeats)
+        recorded = len(LEDGER.records)
+    finally:
+        LEDGER.disable()
+        LEDGER.reset()
+    ratio = ledger_on / ledger_off
+    runs_per_sweep = len(traces) * len(CONFIGS)
+    print(f"ledger disabled: {ledger_off:.3f}s")
+    print(f"ledger enabled:  {ledger_on:.3f}s "
+          f"({recorded} records over {tele_repeats} sweeps)")
+    print(f"ratio: {ratio:.4f} (threshold {args.telemetry_threshold:.2f})")
+    if recorded != tele_repeats * runs_per_sweep:
+        print(f"FAIL: ledger recorded {recorded} runs, expected "
+              f"{tele_repeats * runs_per_sweep}")
+        return 1
+    if ratio > args.telemetry_threshold:
+        print("FAIL: run-ledger telemetry added measurable overhead")
+        return 1
+    print("OK: telemetry records every run within the overhead budget")
 
     # Warm-disk-cache guard: populate a fresh store, drop every
     # in-memory map, and demand the repeat sweep seeds from disk — no

@@ -7,9 +7,13 @@ processes (``--jobs 0`` = all CPUs); results are bit-identical at any
 worker count.
 
 Every invocation prints a run profile (wall-clock per experiment driver,
-simulator time per workload, trace-cache hit rate); full-size runs also
-write it to ``results/profile.txt`` and append a machine-readable entry to
-the performance trajectory in ``results/BENCH_sweep.json``.
+simulator time per workload, fast-path dispatch mix, trace-cache hit
+rate); full-size runs also write it to ``results/profile.txt``, append a
+machine-readable entry to the performance trajectory in
+``results/BENCH_sweep.json``, and write the per-run provenance ledger to
+``results/run_ledger.jsonl`` (``--ledger PATH`` redirects it and enables
+it for ``--quick`` runs; render it with ``python -m repro.obs.report``,
+gate the trajectory with ``python -m repro.obs.bench --check``).
 """
 
 import argparse
@@ -22,7 +26,9 @@ from datetime import datetime, timezone
 import repro.cache as artifact_cache
 from repro.eval.parallel import resolve_workers
 from repro.eval.settings import EvalSettings
+from repro.obs import telemetry
 from repro.obs.profile import PROFILER
+from repro.sim import fast as fast_dispatch
 from repro.sim import sections
 from repro.workloads.cache import cache_stats, reset_cache_stats
 
@@ -40,6 +46,7 @@ PARALLEL_DRIVERS = frozenset(
 
 _PROFILE_PATH = os.path.join("results", "profile.txt")
 _BENCH_PATH = os.path.join("results", "BENCH_sweep.json")
+_LEDGER_PATH = os.path.join("results", "run_ledger.jsonl")
 
 
 def _append_bench_entry(path: str, entry: dict) -> None:
@@ -73,6 +80,10 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for the sweep drivers "
                              "(0 = all CPUs; default: $REPRO_JOBS or 1)")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="write the run-provenance ledger (JSONL) to "
+                             "PATH; full runs default to "
+                             f"{_LEDGER_PATH}")
     args = parser.parse_args(argv)
 
     settings = EvalSettings(
@@ -86,79 +97,134 @@ def main(argv=None) -> int:
     reset_cache_stats()
     sections.reset_cache_stats()
     artifact_cache.reset_stats()
+    fast_dispatch.reset_dispatch_stats()
+    telemetry.LEDGER.reset()
+    telemetry.LEDGER.enable()
 
     driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     wall_start = time.perf_counter()
-    for name in names:
-        module = __import__(f"repro.eval.{name}", fromlist=["run", "render"])
-        runs_before = PROFILER.total_sim_runs
-        with PROFILER.phase(name):
-            if name in PARALLEL_DRIVERS:
-                data = module.run(settings, n_workers=n_workers)
-            else:
-                data = module.run(settings)
-        runs = PROFILER.total_sim_runs - runs_before
-        seconds = PROFILER.phases[name]
-        driver_stats[name] = {
-            "seconds": round(seconds, 3),
-            "runs": runs,
-            "ms_per_run": round(1000.0 * seconds / runs, 3) if runs else None,
-        }
-        print(module.render(data))
-        print(f"[{name} completed in {seconds:.1f}s]\n")
-    wall_clock = time.perf_counter() - wall_start
+    try:
+        for name in names:
+            module = __import__(
+                f"repro.eval.{name}", fromlist=["run", "render"]
+            )
+            runs_before = PROFILER.total_sim_runs
+            with PROFILER.phase(name), telemetry.LEDGER.driver_phase(name):
+                if name in PARALLEL_DRIVERS:
+                    data = module.run(settings, n_workers=n_workers)
+                else:
+                    data = module.run(settings)
+            runs = PROFILER.total_sim_runs - runs_before
+            seconds = PROFILER.phases[name]
+            driver_stats[name] = {
+                "seconds": round(seconds, 3),
+                "runs": runs,
+                "ms_per_run": round(1000.0 * seconds / runs, 3)
+                if runs else None,
+            }
+            print(module.render(data))
+            print(f"[{name} completed in {seconds:.1f}s]\n")
+        wall_clock = time.perf_counter() - wall_start
 
-    # Flush this process's dirty artifacts (worker processes flushed
-    # their own after each job) before reading the final disk counters.
-    artifact_cache.persist_caches()
+        # Flush this process's dirty artifacts (worker processes flushed
+        # their own after each job) before reading the final disk counters.
+        artifact_cache.persist_caches()
 
-    # Serial runs populate the in-process SectionMap counters directly;
-    # parallel runs merged worker deltas into the profiler already.
-    sect = sections.cache_stats()
-    PROFILER.record_section_cache(
-        sect["hits"], sect["misses"],
-        enum_seconds=sect["enum_seconds"],
-        evictions=sect["evictions"],
-        disk_loads=sect["disk_loads"],
-    )
-    disk = artifact_cache.stats()
-    PROFILER.record_disk_cache(
-        disk["hits"], disk["misses"],
-        puts=disk["puts"], evictions=disk["evictions"],
-    )
-    profile = PROFILER.table(cache_stats=cache_stats())
-    print(profile)
-    if not args.quick:
-        # Quick smoke runs (and the test suite) must not clobber the
-        # committed full-run profile or the bench trajectory.
-        os.makedirs(os.path.dirname(_PROFILE_PATH), exist_ok=True)
-        with open(_PROFILE_PATH, "w", encoding="utf-8") as fh:
-            fh.write(profile + "\n")
-        print(f"[profile written to {_PROFILE_PATH}]")
-        sim_runs = PROFILER.total_sim_runs
-        sim_seconds = PROFILER.total_sim_seconds
-        _append_bench_entry(_BENCH_PATH, {
-            "timestamp": datetime.now(timezone.utc).isoformat(
-                timespec="seconds"
-            ),
-            "experiments": list(names),
-            "jobs": n_workers,
-            "cpus": os.cpu_count(),
-            "wall_clock_s": round(wall_clock, 3),
-            "sim_runs": sim_runs,
-            "sim_seconds": round(sim_seconds, 3),
-            "ms_per_run": round(1000.0 * sim_seconds / sim_runs, 3)
-            if sim_runs else None,
-            "disk_cache": {
-                "enabled": artifact_cache.store() is not None,
-                "hits": PROFILER.disk_cache_hits,
-                "misses": PROFILER.disk_cache_misses,
-                "puts": PROFILER.disk_cache_puts,
-            },
-            "drivers": driver_stats,
-        })
-        print(f"[bench entry appended to {_BENCH_PATH}]")
+        # Serial runs populate the in-process SectionMap counters directly;
+        # parallel runs merged worker deltas into the profiler already.
+        sect = sections.cache_stats()
+        PROFILER.record_section_cache(
+            sect["hits"], sect["misses"],
+            enum_seconds=sect["enum_seconds"],
+            evictions=sect["evictions"],
+            disk_loads=sect["disk_loads"],
+        )
+        disk = artifact_cache.stats()
+        PROFILER.record_disk_cache(
+            disk["hits"], disk["misses"],
+            puts=disk["puts"], evictions=disk["evictions"],
+        )
+        # Serial dispatches counted in-process; worker deltas were merged
+        # by run_jobs, so this snapshot covers the whole evaluation.
+        dispatch = fast_dispatch.dispatch_stats()
+        PROFILER.record_dispatch(dispatch)
+        profile = PROFILER.table(cache_stats=cache_stats())
+        print(profile)
+
+        ledger = telemetry.LEDGER
+        engines = ledger.engine_counts()
+        mix = ", ".join(f"{n} {e}" for e, n in sorted(engines.items()))
+        print(f"[ledger: {len(ledger.records)} runs — {mix or 'none'}]")
+        ledger_path = args.ledger
+        if ledger_path is None and not args.quick:
+            ledger_path = _LEDGER_PATH
+        if ledger_path:
+            ledger.write_jsonl(
+                ledger_path,
+                header={
+                    "timestamp": datetime.now(timezone.utc).isoformat(
+                        timespec="seconds"
+                    ),
+                    "experiments": list(names),
+                    "jobs": n_workers,
+                    "seed": args.seed,
+                    "quick": args.quick,
+                    "verify": args.verify,
+                    "cache_enabled": artifact_cache.store() is not None,
+                },
+                footer={
+                    "wall_clock_s": round(wall_clock, 3),
+                    "dispatch": dispatch,
+                    "aggregates": {
+                        "section_cache_hits": PROFILER.section_cache_hits,
+                        "section_cache_misses": PROFILER.section_cache_misses,
+                        "section_disk_loads": PROFILER.section_disk_loads,
+                        "disk_cache_hits": PROFILER.disk_cache_hits,
+                        "disk_cache_misses": PROFILER.disk_cache_misses,
+                        "disk_cache_puts": PROFILER.disk_cache_puts,
+                    },
+                },
+            )
+            print(f"[run ledger written to {ledger_path}]")
+
+        if not args.quick:
+            # Quick smoke runs (and the test suite) must not clobber the
+            # committed full-run profile or the bench trajectory.
+            os.makedirs(os.path.dirname(_PROFILE_PATH), exist_ok=True)
+            with open(_PROFILE_PATH, "w", encoding="utf-8") as fh:
+                fh.write(profile + "\n")
+            print(f"[profile written to {_PROFILE_PATH}]")
+            sim_runs = PROFILER.total_sim_runs
+            sim_seconds = PROFILER.total_sim_seconds
+            _append_bench_entry(_BENCH_PATH, {
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+                "experiments": list(names),
+                "jobs": n_workers,
+                "cpus": os.cpu_count(),
+                "wall_clock_s": round(wall_clock, 3),
+                "sim_runs": sim_runs,
+                "sim_seconds": round(sim_seconds, 3),
+                "ms_per_run": round(1000.0 * sim_seconds / sim_runs, 3)
+                if sim_runs else None,
+                "disk_cache": {
+                    "enabled": artifact_cache.store() is not None,
+                    "hits": PROFILER.disk_cache_hits,
+                    "misses": PROFILER.disk_cache_misses,
+                    "puts": PROFILER.disk_cache_puts,
+                },
+                "engines": engines,
+                "fallback_reasons": {
+                    reason: n
+                    for reason, n in dispatch["reasons"].items() if n
+                },
+                "drivers": driver_stats,
+            })
+            print(f"[bench entry appended to {_BENCH_PATH}]")
+    finally:
+        telemetry.LEDGER.disable()
     return 0
 
 

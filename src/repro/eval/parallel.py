@@ -35,9 +35,11 @@ import repro.cache as artifact_cache
 from repro.common.errors import SimulationError
 from repro.core.config import ClankConfig, PolicyOptimizations
 from repro.eval.settings import EvalSettings
+from repro.obs import telemetry
 from repro.obs.profile import PROFILER
 from repro.power.schedules import RuntPower
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim import fast as fast_dispatch
 from repro.sim import sections
 from repro.sim.fast import simulate_fast
 from repro.sim.result import SimulationResult
@@ -176,11 +178,39 @@ def execute_job(
     warm run skips the simulation outright.  Runs under ``--verify`` are
     never served from cache — a cached ``verified`` flag would claim a
     check that did not execute.
+
+    With the shared :data:`repro.obs.telemetry.LEDGER` enabled, one
+    provenance record per job is appended: which engine produced the
+    result (including ``disk-cached-result`` for cache hits), the typed
+    fallback reason, the chain-scan kernel, and the result-cache tier
+    outcome.  Recording happens strictly after dispatch, so telemetry
+    cannot change which engine runs.
     """
     from repro.eval.runner import pi_words_for
 
     trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
     config = job.clank_config()
+    ledger = telemetry.LEDGER
+
+    def ledger_record(engine, reason=None, result_cache="off",
+                      stalled=False, wall_s=0.0, t_start=None):
+        if not ledger.enabled:
+            return
+        ledger.record(telemetry.RunRecord(
+            workload=job.workload,
+            config=config.label(),
+            engine=engine,
+            fallback_reason=reason,
+            kernel=telemetry.active_kernel() if engine == "fast" else None,
+            result_cache=result_cache,
+            size=job.size,
+            salt=job.salt,
+            driver=ledger.driver,
+            stalled=stalled,
+            wall_s=wall_s,
+            t_start=ledger.now() if t_start is None else t_start,
+            worker=os.getpid(),
+        ))
 
     st = artifact_cache.store()
     rkey = None
@@ -194,9 +224,13 @@ def execute_job(
         )
         cached = st.get("result", rkey)
         if isinstance(cached, dict):
+            ledger_record("disk-cached-result", result_cache="hit")
             return SimulationResult.from_dict(cached), 0.0
         if cached == "stalled" and job.allow_stall:
+            ledger_record("disk-cached-result", result_cache="hit",
+                          stalled=True)
             return None, 0.0
+    result_cache = "miss" if rkey is not None else "off"
 
     if job.schedule == "runt":
         schedule = RuntPower(
@@ -263,6 +297,7 @@ def execute_job(
             )
 
     start = time.perf_counter()
+    t_start = start - ledger.epoch
     try:
         result = run_one()
     except SimulationError:
@@ -270,10 +305,22 @@ def execute_job(
             raise
         if rkey is not None:
             st.put("result", rkey, "stalled")
-        return None, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        # The abort can come from either simulator mid-run (dispatch
+        # counters never tick), so the stall is its own engine value.
+        ledger_record("stalled", result_cache=result_cache, stalled=True,
+                      wall_s=elapsed, t_start=t_start)
+        return None, elapsed
     if rkey is not None:
         st.put("result", rkey, result.to_dict(include_derived=False))
-    return result, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if job.engine == "undo":
+        engine, reason = "undo", None
+    else:
+        engine, reason = fast_dispatch.last_dispatch()
+    ledger_record(engine, reason=reason, result_cache=result_cache,
+                  wall_s=elapsed, t_start=t_start)
+    return result, elapsed
 
 
 # --------------------------------------------------------------------- #
@@ -295,6 +342,8 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     stats_before = trace_cache.cache_stats()
     sect_before = sections.cache_stats()
     disk_before = artifact_cache.stats()
+    disp_before = fast_dispatch.dispatch_stats()
+    tele_before = len(telemetry.LEDGER.records)
     result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
     # Pool children exit via os._exit (no atexit), so flush newly
     # enumerated artifacts to the shared store now.  Dirty tracking in
@@ -303,10 +352,23 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     stats_after = trace_cache.cache_stats()
     sect_after = sections.cache_stats()
     disk_after = artifact_cache.stats()
+    disp_after = fast_dispatch.dispatch_stats()
     return idx, {
         "workload": job.workload,
         "result": None if result is None else result.to_dict(include_derived=False),
         "sim_seconds": sim_seconds,
+        "telemetry": [
+            rec.to_dict()
+            for rec in telemetry.LEDGER.records[tele_before:]
+        ],
+        "dispatch": {
+            "fast": disp_after["fast"] - disp_before["fast"],
+            "reasons": {
+                reason: disp_after["reasons"][reason] - count
+                for reason, count in disp_before["reasons"].items()
+                if disp_after["reasons"][reason] != count
+            },
+        },
         "cache_hits": stats_after["hits"] - stats_before["hits"],
         "cache_misses": stats_after["misses"] - stats_before["misses"],
         "section_hits": sect_after["hits"] - sect_before["hits"],
@@ -376,6 +438,13 @@ def run_jobs(
     Per-worker simulator time and trace-cache hit/miss counts are merged
     into the shared :data:`~repro.obs.profile.PROFILER` (under
     ``settings.profile``), exactly as serial runs account themselves.
+
+    Provenance merges loss-lessly too: each payload carries the worker's
+    :data:`~repro.obs.telemetry.LEDGER` records and fast-path dispatch
+    deltas for that job, folded back here in **submission order** — so the
+    parent's ledger and :func:`repro.sim.fast.dispatch_stats` are
+    deterministic and identical (modulo wall-time fields) at any worker
+    count.
     """
     n_workers = resolve_workers(n_workers)
     if n_workers <= 1 or len(jobs) <= 1:
@@ -423,6 +492,9 @@ def run_jobs(
             puts=payload.get("disk_puts", 0),
             evictions=payload.get("disk_evictions", 0),
         )
+        fast_dispatch.merge_dispatch_stats(payload.get("dispatch", {}))
+        for rec in payload.get("telemetry", ()):
+            telemetry.LEDGER.record(telemetry.RunRecord.from_dict(rec))
         raw = payload["result"]
         results.append(None if raw is None else SimulationResult.from_dict(raw))
     return results

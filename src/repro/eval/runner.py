@@ -1,5 +1,6 @@
 """Shared simulation plumbing for the experiment drivers."""
 
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -7,7 +8,9 @@ import repro.cache as artifact_cache
 from repro.compiler.program_idempotence import profile_program_idempotent
 from repro.core.config import ClankConfig
 from repro.eval.settings import EvalSettings
+from repro.obs import telemetry
 from repro.obs.profile import PROFILER
+from repro.sim import fast as fast_dispatch
 from repro.sim.fast import simulate_fast
 from repro.sim.result import SimulationResult
 from repro.trace.trace import Trace
@@ -76,6 +79,11 @@ def run_clank(
     (no verification, no recorder, no volatile ranges) take the
     section-memoized walk, the rest fall back to the reference simulator —
     the results are bit-identical either way.
+
+    With the shared :data:`repro.obs.telemetry.LEDGER` enabled, each run
+    appends one provenance record (engine, fallback reason, kernel, wall
+    time) — read off the dispatch point after the run, so telemetry never
+    influences which engine runs.
     """
     schedule = settings.schedule(salt)
     kwargs = dict(
@@ -86,11 +94,30 @@ def run_clank(
         verify=settings.verify,
         recorder=recorder,
     )
-    if not settings.profile:
+    ledger = telemetry.LEDGER
+    if not settings.profile and not ledger.enabled:
         return simulate_fast(trace, config, schedule, **kwargs)
     start = time.perf_counter()
     result = simulate_fast(trace, config, schedule, **kwargs)
-    PROFILER.record_sim(trace.name, time.perf_counter() - start)
+    elapsed = time.perf_counter() - start
+    if settings.profile:
+        PROFILER.record_sim(trace.name, elapsed)
+    if ledger.enabled:
+        engine, reason = fast_dispatch.last_dispatch()
+        ledger.record(telemetry.RunRecord(
+            workload=trace.name,
+            config=config.label(),
+            engine=engine,
+            fallback_reason=reason,
+            kernel=telemetry.active_kernel() if engine == "fast" else None,
+            result_cache="off",
+            size=settings.size,
+            salt=salt,
+            driver=ledger.driver,
+            wall_s=elapsed,
+            t_start=start - ledger.epoch,
+            worker=os.getpid(),
+        ))
     return result
 
 

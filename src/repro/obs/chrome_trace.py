@@ -1,10 +1,12 @@
-"""Render an event log as a Chrome trace-event timeline.
+"""Render an event log — or a whole sweep's run ledger — as a Chrome
+trace-event timeline.
 
 The output dict follows the Trace Event Format consumed by
 ``chrome://tracing`` and https://ui.perfetto.dev: load the written JSON file
-directly.  One simulated cycle is rendered as one microsecond.
+directly.
 
-Lanes (threads):
+:func:`to_chrome_trace` renders one simulated run's *event log* (one
+simulated cycle = one microsecond) across four lanes:
 
 * ``power``      — one span per power-on period, instants at power failures.
 * ``execution``  — re-execution windows after rollbacks (span end is
@@ -13,10 +15,17 @@ Lanes (threads):
 * ``checkpoints``— one span per committed checkpoint routine; aborted
   attempts are instants.
 * ``signals``    — watchdog firings/halvings, buffer overflows, outputs.
+
+:func:`sweep_to_chrome_trace` renders a *sweep* from its run-provenance
+ledger (:mod:`repro.obs.telemetry`), in real wall-clock microseconds: one
+``drivers`` lane spanning each experiment driver, and one lane per worker
+process carrying a span per simulator run (engine, fallback reason, and
+cache-tier outcome in the span args) — the view that shows fork-pool
+utilization, stragglers, and where fallbacks cluster.
 """
 
 import json
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
 from repro.obs.events import Event
 
@@ -190,6 +199,99 @@ def write_chrome_trace(
 ) -> dict:
     """Write the Chrome trace JSON for ``events`` to ``path``; returns it."""
     trace = to_chrome_trace(events, name=name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+# --------------------------------------------------------------------- #
+# Sweep timelines (run-provenance ledgers).
+# --------------------------------------------------------------------- #
+
+_TID_DRIVERS = 1
+
+
+def sweep_to_chrome_trace(
+    records: Sequence,
+    drivers: Sequence[dict] = (),
+    name: str = "sweep",
+) -> dict:
+    """Build a Chrome trace-event dict for a sweep.
+
+    Args:
+        records: :class:`repro.obs.telemetry.RunRecord` objects (their
+            ``t_start``/``wall_s`` are seconds since the ledger epoch).
+        drivers: Driver marks — dicts with ``name``/``t0``/``t1`` — as
+            collected by the ledger or read back from its JSONL file.
+        name: Process name shown in the viewer.
+
+    One lane per worker PID (submission-merged records keep their
+    originating worker, so a pooled sweep shows true per-lane occupancy);
+    zero-length runs (disk-cache hits) render as 1 µs spans so they stay
+    visible.
+    """
+    out: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": _PID,
+         "args": {"name": name}},
+        {"name": "thread_name", "ph": "M", "pid": _PID,
+         "tid": _TID_DRIVERS, "args": {"name": "drivers"}},
+        # Drivers sort first in the viewer regardless of worker PIDs.
+        {"name": "thread_sort_index", "ph": "M", "pid": _PID,
+         "tid": _TID_DRIVERS, "args": {"sort_index": 0}},
+    ]
+    workers = sorted({rec.worker for rec in records})
+    tid_of = {}
+    for lane, worker in enumerate(workers, start=2):
+        tid_of[worker] = lane
+        out.append(
+            {"name": "thread_name", "ph": "M", "pid": _PID, "tid": lane,
+             "args": {"name": f"worker {worker}"}}
+        )
+        out.append(
+            {"name": "thread_sort_index", "ph": "M", "pid": _PID,
+             "tid": lane, "args": {"sort_index": lane}}
+        )
+    for mark in drivers:
+        t0 = float(mark.get("t0", 0.0))
+        t1 = float(mark.get("t1", t0))
+        out.append(
+            _span(str(mark.get("name", "driver")), t0 * 1e6,
+                  (t1 - t0) * 1e6, _TID_DRIVERS)
+        )
+    for rec in records:
+        args = {
+            "engine": rec.engine,
+            "config": rec.config,
+            "salt": rec.salt,
+            "result_cache": rec.result_cache,
+        }
+        if rec.fallback_reason:
+            args["fallback_reason"] = rec.fallback_reason
+        if rec.kernel:
+            args["kernel"] = rec.kernel
+        if rec.driver:
+            args["driver"] = rec.driver
+        if rec.stalled:
+            args["stalled"] = True
+        out.append(
+            _span(rec.workload, rec.t_start * 1e6,
+                  max(1.0, rec.wall_s * 1e6), tid_of[rec.worker], args)
+        )
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.telemetry", "runs": len(records)},
+    }
+
+
+def write_sweep_trace(
+    records: Sequence,
+    path: str,
+    drivers: Sequence[dict] = (),
+    name: str = "sweep",
+) -> dict:
+    """Write the sweep Chrome trace JSON to ``path``; returns it."""
+    trace = sweep_to_chrome_trace(records, drivers=drivers, name=name)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh)
     return trace

@@ -1,18 +1,117 @@
-"""Summarize a recorded event log: ``python -m repro.obs.inspect run.jsonl``.
+"""Summarize a recorded JSONL file: ``python -m repro.obs.inspect run.jsonl``.
 
-Answers the questions the raw overhead numbers cannot: which causes forced
-checkpoints, which addresses kept overflowing which buffer, when the
-Progress Watchdog fired and how far it halved itself, and how much of the
-run's power-cycle budget made no progress.
+Accepts either of the two JSONL artifacts this package writes and picks
+the right summary by sniffing the first line:
+
+* an **event log** (``repro.obs.recorder.JsonlRecorder``) — answers the
+  questions the raw overhead numbers cannot: which causes forced
+  checkpoints, which addresses kept overflowing which buffer, when the
+  Progress Watchdog fired and how far it halved itself, and how much of
+  the run's power-cycle budget made no progress;
+* a **run ledger** (``results/run_ledger.jsonl``, written by
+  ``python -m repro.eval``) — delegated to :mod:`repro.obs.report` for
+  the sweep-level view (engine mix, fallback reasons, cache tiers).
+
+``--format json`` emits the machine-readable summary instead of text.
 """
 
 import argparse
+import json
 import sys
 from collections import Counter, defaultdict
 from typing import List
 
+from repro.obs import telemetry
 from repro.obs.events import Event
 from repro.obs.recorder import read_events
+
+
+def summarize_data(events: List[Event], top: int = 10) -> dict:
+    """Machine-readable event-log summary (the ``--format json`` shape)."""
+    data = {
+        "events": len(events),
+        "counts": dict(Counter(e.kind for e in events).most_common()),
+    }
+
+    committed = Counter(
+        e.cause for e in events if e.kind == "checkpoint_committed"
+    )
+    aborted = Counter(
+        e.cause for e in events if e.kind == "checkpoint_aborted"
+    )
+    if committed or aborted:
+        data["checkpoints"] = {
+            cause: {
+                "committed": committed.get(cause, 0),
+                "aborted": aborted.get(cause, 0),
+            }
+            for cause in sorted(set(committed) | set(aborted))
+        }
+
+    overflows = [e for e in events if e.kind == "buffer_overflow"]
+    if overflows:
+        by_buffer = defaultdict(Counter)
+        for e in overflows:
+            by_buffer[e.buffer][e.waddr] += 1
+        data["overflows"] = {
+            buffer: {
+                "total": sum(addrs.values()),
+                "distinct_words": len(addrs),
+                "hot": [
+                    {"waddr": waddr, "count": n}
+                    for waddr, n in addrs.most_common(top)
+                ],
+            }
+            for buffer, addrs in sorted(by_buffer.items())
+        }
+
+    fired = [e for e in events if e.kind == "watchdog_fired"]
+    halved = [e for e in events if e.kind == "watchdog_halved"]
+    if fired or halved:
+        dogs = {}
+        for dog, n in sorted(Counter(e.watchdog for e in fired).items()):
+            ts = [e.t for e in fired if e.watchdog == dog and e.t is not None]
+            dogs[dog] = {"fired": n}
+            if ts:
+                dogs[dog]["t_first"] = min(ts)
+                dogs[dog]["t_last"] = max(ts)
+        data["watchdogs"] = dogs
+        if halved:
+            loads = [e.load_value for e in halved]
+            data["progress_halvings"] = {
+                "count": len(halved),
+                "load_first": loads[0],
+                "load_last": loads[-1],
+            }
+
+    failures = [e for e in events if e.kind == "power_failure"]
+    if failures:
+        data["power"] = {
+            "failures": len(failures),
+            "during_restart": sum(
+                1 for e in failures if e.phase == "restart"
+            ),
+            "no_progress": sum(1 for e in failures if not e.progress),
+        }
+
+    sections = [e for e in events if e.kind == "section_closed"]
+    if sections:
+        acc = [e.accesses for e in sections]
+        data["sections"] = {
+            "closed": len(sections),
+            "accesses_min": min(acc),
+            "accesses_mean": round(sum(acc) / len(acc), 1),
+            "accesses_max": max(acc),
+        }
+
+    outputs = [e for e in events if e.kind == "output_committed"]
+    if outputs:
+        data["outputs"] = {
+            "committed": len(outputs),
+            "duplicates": sum(1 for e in outputs if e.duplicate),
+        }
+
+    return data
 
 
 def summarize(events: List[Event], top: int = 10) -> str:
@@ -91,19 +190,42 @@ def summarize(events: List[Event], top: int = 10) -> str:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.inspect",
-        description="Summarize a JSON Lines event log recorded by repro.obs.",
+        description="Summarize a JSONL event log or run ledger.",
     )
-    parser.add_argument("log", help="path to a .jsonl event log")
+    parser.add_argument("log", help="path to a .jsonl event log or run ledger")
     parser.add_argument(
         "--top", type=int, default=10, help="hot addresses to list per buffer"
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text summary (default) or machine-readable JSON"
+    )
     args = parser.parse_args(argv)
+
+    if telemetry.is_ledger_file(args.log):
+        # Run ledgers get the sweep-level report.
+        from repro.obs import report
+
+        try:
+            ledger = telemetry.read_ledger(args.log)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            print(json.dumps(report.summary(ledger, top=args.top), indent=2))
+        else:
+            print(report.render_text(ledger, top=args.top))
+        return 0
+
     try:
         events = read_events(args.log)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(summarize(events, top=args.top))
+    if args.format == "json":
+        print(json.dumps(summarize_data(events, top=args.top), indent=2))
+    else:
+        print(summarize(events, top=args.top))
     return 0
 
 

@@ -37,6 +37,8 @@ class Profiler:
         self.disk_cache_misses = 0
         self.disk_cache_puts = 0
         self.disk_cache_evictions = 0
+        self.dispatch_fast = 0
+        self.dispatch_reasons: Dict[str, int] = {}
 
     def reset(self) -> None:
         """Drop all accumulated data (tests and fresh CLI runs)."""
@@ -55,6 +57,8 @@ class Profiler:
         self.disk_cache_misses = 0
         self.disk_cache_puts = 0
         self.disk_cache_evictions = 0
+        self.dispatch_fast = 0
+        self.dispatch_reasons.clear()
 
     @contextmanager
     def phase(self, name: str):
@@ -109,6 +113,17 @@ class Profiler:
         self.disk_cache_puts += puts
         self.disk_cache_evictions += evictions
 
+    def record_dispatch(self, stats: dict) -> None:
+        """Merge fast-path dispatch counts with their per-reason fallback
+        breakdown (:func:`repro.sim.fast.dispatch_stats`; parallel worker
+        deltas are already folded in by ``run_jobs``)."""
+        self.dispatch_fast += stats.get("fast", 0)
+        for reason, count in stats.get("reasons", {}).items():
+            if count:
+                self.dispatch_reasons[reason] = (
+                    self.dispatch_reasons.get(reason, 0) + count
+                )
+
     @property
     def total_sim_seconds(self) -> float:
         return sum(self.sim_seconds.values())
@@ -153,6 +168,22 @@ class Profiler:
                 rest = sum(secs for _, secs in ranked[top:])
                 lines.append(
                     f"   ({len(ranked) - top} more workloads, {rest:.3f}s)"
+                )
+        fallback = sum(self.dispatch_reasons.values())
+        if self.dispatch_fast or fallback:
+            total = self.dispatch_fast + fallback
+            lines.append(
+                f"-- fast-path dispatch: {self.dispatch_fast} fast / "
+                f"{fallback} fallback "
+                f"({self.dispatch_fast / total:.1%} fast)"
+            )
+            if fallback:
+                ranked = sorted(
+                    self.dispatch_reasons.items(), key=lambda kv: -kv[1]
+                )
+                lines.append(
+                    "   fallback reasons: "
+                    + ", ".join(f"{reason} {n}" for reason, n in ranked)
                 )
         if cache_stats is not None:
             hits = cache_stats.get("hits", 0)

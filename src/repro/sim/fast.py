@@ -46,6 +46,7 @@ from bisect import bisect_left, bisect_right
 
 from repro.common.errors import SimulationError
 from repro.obs.recorder import live_recorder
+from repro.obs.telemetry import FallbackReason
 from repro.sim.result import SimulationResult
 from repro.sim.sections import (
     SEC_DETECTOR,
@@ -62,7 +63,15 @@ from repro.sim.simulator import IntermittentSimulator
 
 
 class FastPathIneligible(Exception):
-    """This run needs the reference simulator (see module docstring)."""
+    """This run needs the reference simulator (see module docstring).
+
+    Carries the typed :class:`~repro.obs.telemetry.FallbackReason` so the
+    dispatch point can count *why* — not just *that* — a run fell back.
+    """
+
+    def __init__(self, reason: FallbackReason, detail: str = ""):
+        self.reason = reason
+        super().__init__(detail or reason.value)
 
 
 def fast_path_enabled() -> bool:
@@ -84,11 +93,20 @@ class FastReplaySimulator(IntermittentSimulator):
 
     def run(self) -> SimulationResult:
         if self.verify:
-            raise FastPathIneligible("dynamic verification replays per access")
+            raise FastPathIneligible(
+                FallbackReason.VERIFY,
+                "dynamic verification replays per access",
+            )
         if live_recorder(self.recorder) is not None:
-            raise FastPathIneligible("event recording replays per access")
+            raise FastPathIneligible(
+                FallbackReason.LIVE_RECORDER,
+                "event recording replays per access",
+            )
         if self.volatile_ranges:
-            raise FastPathIneligible("mixed-volatility is not section-memoized")
+            raise FastPathIneligible(
+                FallbackReason.VOLATILE_RANGES,
+                "mixed-volatility is not section-memoized",
+            )
         trace = self.trace
         smap = get_section_map(
             trace,
@@ -99,8 +117,9 @@ class FastReplaySimulator(IntermittentSimulator):
         )
         if smap.pi_hazard:
             raise FastPathIneligible(
+                FallbackReason.PI_HAZARD,
                 "access-marked PI writes alias tracked writes under "
-                "ignore-false-writes"
+                "ignore-false-writes",
             )
 
         ct = smap.ct
@@ -303,8 +322,9 @@ class FastReplaySimulator(IntermittentSimulator):
                     # live memory view decides those; hand the whole run
                     # back to it.
                     raise FastPathIneligible(
+                        FallbackReason.WATCHDOG_CUT,
                         "watchdog checkpoint below the furthest executed "
-                        "index with ignore-false-writes"
+                        "index with ignore-false-writes",
                     )
                 on_left -= c
                 ckpt_cycles += c
@@ -470,20 +490,65 @@ class FastReplaySimulator(IntermittentSimulator):
         )
 
 
-#: Process-wide dispatch counters: runs completed on the section walk vs.
-#: runs that fell back to the reference simulator (ineligible or bailed).
-_STATS = {"fast": 0, "fallback": 0}
+#: Process-wide dispatch counters: runs completed on the section walk, and
+#: runs handed to the reference simulator broken out by typed reason.
+_STATS = {
+    "fast": 0,
+    "reasons": {reason.value: 0 for reason in FallbackReason},
+}
+
+#: (engine, fallback_reason) of the most recent simulate_fast dispatch —
+#: the hook run_clank/execute_job read to stamp their RunRecords without
+#: simulate_fast having to know any sweep context.
+_LAST = ("fast", None)
+
+
+def dispatch_stats() -> dict:
+    """Dispatch counts since reset, with the fallback-reason breakdown.
+
+    ``{"fast": int, "fallback": int, "reasons": {reason: int}}`` — the
+    ``fast``/``fallback`` pair keeps the historical two-counter shape
+    (``fallback`` is the sum over reasons).
+    """
+    reasons = dict(_STATS["reasons"])
+    return {
+        "fast": _STATS["fast"],
+        "fallback": sum(reasons.values()),
+        "reasons": reasons,
+    }
 
 
 def fast_stats() -> dict:
-    """``{"fast": int, "fallback": int}`` dispatch counts since reset."""
-    return dict(_STATS)
+    """``{"fast": int, "fallback": int}`` dispatch counts since reset
+    (the pre-reason API; see :func:`dispatch_stats` for the breakdown)."""
+    stats = dispatch_stats()
+    return {"fast": stats["fast"], "fallback": stats["fallback"]}
 
 
-def reset_fast_stats() -> None:
-    """Zero the dispatch counters (benchmark guards, tests)."""
+def reset_dispatch_stats() -> None:
+    """Zero the dispatch counters (benchmark guards, tests, eval CLI)."""
     _STATS["fast"] = 0
-    _STATS["fallback"] = 0
+    for reason in _STATS["reasons"]:
+        _STATS["reasons"][reason] = 0
+
+
+#: Historical name, kept for callers of the two-counter API.
+reset_fast_stats = reset_dispatch_stats
+
+
+def merge_dispatch_stats(delta: dict) -> None:
+    """Fold a worker's dispatch-count delta into this process's counters
+    (:func:`repro.eval.parallel.run_jobs` merges per-job payload deltas so
+    parent-side :func:`dispatch_stats` covers pooled runs too)."""
+    _STATS["fast"] += delta.get("fast", 0)
+    reasons = _STATS["reasons"]
+    for reason, count in delta.get("reasons", {}).items():
+        reasons[reason] = reasons.get(reason, 0) + count
+
+
+def last_dispatch():
+    """``(engine, fallback_reason)`` of the most recent dispatch."""
+    return _LAST
 
 
 def simulate_fast(trace, config, schedule, **kwargs) -> SimulationResult:
@@ -493,12 +558,17 @@ def simulate_fast(trace, config, schedule, **kwargs) -> SimulationResult:
     a reference rerun — even after a partially walked fast attempt —
     consumes the identical on-time sequence.
     """
+    global _LAST
     if fast_path_enabled():
         try:
             result = FastReplaySimulator(trace, config, schedule, **kwargs).run()
             _STATS["fast"] += 1
+            _LAST = ("fast", None)
             return result
-        except FastPathIneligible:
-            pass
-    _STATS["fallback"] += 1
+        except FastPathIneligible as exc:
+            reason = exc.reason.value
+    else:
+        reason = FallbackReason.DISABLED.value
+    _STATS["reasons"][reason] += 1
+    _LAST = ("reference", reason)
     return IntermittentSimulator(trace, config, schedule, **kwargs).run()

@@ -1,8 +1,11 @@
 """The ``python -m repro.obs.inspect`` event-log summarizer."""
 
+import json
+
 from repro.core.config import ClankConfig
-from repro.obs.inspect import main, summarize
+from repro.obs.inspect import main, summarize, summarize_data
 from repro.obs.recorder import JsonlRecorder, read_events
+from repro.obs.telemetry import RunLedger, RunRecord
 from repro.power.schedules import ExponentialPower
 from repro.sim.simulator import simulate
 
@@ -39,6 +42,22 @@ class TestSummarize:
         assert summarize([]).startswith("event log: 0 events")
 
 
+class TestSummarizeData:
+    def test_machine_readable_mirror(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        result = record_log(path)
+        events = read_events(path)
+        data = summarize_data(events)
+        assert data["events"] == len(events)
+        assert data["power"]["failures"] == result.power_cycles - 1
+        for cause in result.checkpoints_by_cause:
+            assert cause in data["checkpoints"]
+        json.dumps(data)  # fully JSON-serializable
+
+    def test_empty(self):
+        assert summarize_data([]) == {"events": 0, "counts": {}}
+
+
 class TestCli:
     def test_main_prints_summary(self, tmp_path, capsys):
         path = str(tmp_path / "run.jsonl")
@@ -47,6 +66,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "event counts" in out
         assert "checkpoint_committed" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        record_log(path)
+        assert main([path, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["events"] > 0
+        assert "checkpoint_committed" in data["counts"]
+
+    def test_run_ledger_input_delegates_to_report(self, tmp_path, capsys):
+        led = RunLedger()
+        led.enable()
+        led.record(RunRecord(workload="crc", config="1,0,0,0",
+                             engine="fast", kernel="c"))
+        path = str(tmp_path / "ledger.jsonl")
+        led.write_jsonl(path)
+        assert main([path]) == 0
+        assert "engine mix" in capsys.readouterr().out
+        assert main([path, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engines"] == {"fast": 1}
 
     def test_module_is_runnable(self):
         # ``python -m repro.obs.inspect`` resolves to this module's main().

@@ -1,0 +1,180 @@
+"""The ``python -m repro.obs.report`` sweep-report renderer."""
+
+import json
+
+import pytest
+
+from repro.obs import report, telemetry
+from repro.obs.chrome_trace import sweep_to_chrome_trace
+from repro.obs.telemetry import Ledger, RunRecord
+
+
+def sample_ledger():
+    """A hand-built two-driver ledger with every engine represented."""
+    records = [
+        RunRecord(workload="crc", config="1,0,0,0", engine="fast",
+                  kernel="c", driver="fig5", salt=0,
+                  wall_s=0.010, t_start=0.0, worker=100, index=0),
+        RunRecord(workload="aes", config="8,4,2,0", engine="fast",
+                  kernel="c", driver="fig5", salt=1,
+                  wall_s=0.200, t_start=0.011, worker=101, index=1),
+        RunRecord(workload="crc", config="8,4,2,0", engine="reference",
+                  fallback_reason="watchdog_cut", driver="fig5", salt=0,
+                  wall_s=0.050, t_start=0.012, worker=100, index=2),
+        RunRecord(workload="qsort", config="1,0,0,0",
+                  engine="disk-cached-result", result_cache="hit",
+                  driver="fig7", salt=0,
+                  wall_s=0.0, t_start=0.3, worker=100, index=3),
+        RunRecord(workload="rc4", config="16,8,4,4", engine="stalled",
+                  stalled=True, driver="fig7", salt=2,
+                  wall_s=0.002, t_start=0.31, worker=101, index=4),
+    ]
+    drivers = [
+        {"type": "driver", "name": "fig5", "t0": 0.0, "t1": 0.25},
+        {"type": "driver", "name": "fig7", "t0": 0.25, "t1": 0.4},
+    ]
+    return Ledger(
+        header={"type": "sweep_start", "version": 1, "jobs": 2,
+                "experiments": ["fig5", "fig7"]},
+        records=records,
+        drivers=drivers,
+        footer={"type": "sweep_end", "wall_clock_s": 0.4,
+                "dispatch": {"fast": 2, "fallback": 1},
+                "aggregates": {"section_cache_hits": 3,
+                               "section_cache_misses": 2,
+                               "section_disk_loads": 1,
+                               "disk_cache_hits": 1,
+                               "disk_cache_misses": 3,
+                               "disk_cache_puts": 3}},
+    )
+
+
+class TestSummary:
+    def test_counts_and_slowest(self):
+        s = report.summary(sample_ledger(), top=2)
+        assert s["runs"] == 5
+        assert s["engines"] == {"fast": 2, "reference": 1,
+                                "disk-cached-result": 1, "stalled": 1}
+        assert s["fallback_reasons"] == {"watchdog_cut": 1}
+        assert s["kernels"] == {"c": 2}
+        assert s["result_cache"] == {"off": 4, "hit": 1}
+        assert s["stalled"] == 1
+        assert [r["workload"] for r in s["slowest"]] == ["aes", "crc"]
+
+    def test_driver_rows_join_marks_with_records(self):
+        s = report.summary(sample_ledger())
+        by_name = {row["driver"]: row for row in s["drivers"]}
+        assert by_name["fig5"]["runs"] == 3
+        assert by_name["fig5"]["wall_s"] == 0.25
+        assert by_name["fig7"]["runs"] == 2
+
+    def test_empty_ledger(self):
+        s = report.summary(Ledger())
+        assert s["runs"] == 0
+        assert s["engines"] == {}
+        assert s["slowest"] == []
+
+
+class TestRenderText:
+    def test_sections_present(self):
+        text = report.render_text(sample_ledger())
+        assert "sweep report — 5 runs" in text
+        assert "engine mix" in text
+        assert "fallback reasons" in text
+        assert "watchdog_cut" in text
+        assert "cache-tier funnel" in text
+        assert "per-driver timings" in text
+        assert "slowest runs" in text
+        assert "artifact cache (disk): 1 hits / 3 misses" in text
+
+    def test_empty_ledger_renders(self):
+        assert "0 runs" in report.render_text(Ledger())
+
+
+class TestRenderHtml:
+    def test_is_selfcontained_html(self):
+        html_out = report.render_html(sample_ledger())
+        assert html_out.startswith("<!doctype html>")
+        assert "<script" not in html_out  # static, dependency-free
+        assert "Engine mix" in html_out
+        assert "watchdog_cut" in html_out
+        assert "aes" in html_out
+
+    def test_escapes_content(self):
+        ledger = Ledger(records=[RunRecord(
+            workload="<b>evil</b>", config="1,0,0,0", engine="fast",
+        )])
+        html_out = report.render_html(ledger)
+        assert "<b>evil</b>" not in html_out
+        assert "&lt;b&gt;evil&lt;/b&gt;" in html_out
+
+
+class TestSweepTrace:
+    def test_lanes_and_spans(self):
+        ledger = sample_ledger()
+        trace = sweep_to_chrome_trace(ledger.records, ledger.drivers)
+        events = trace["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["name"] == "thread_name"}
+        assert names == {"drivers", "worker 100", "worker 101"}
+        spans = [e for e in events if e["ph"] == "X"]
+        # 2 driver spans + 5 run spans.
+        assert len(spans) == 7
+        run_spans = [e for e in spans if "engine" in e.get("args", {})]
+        assert {e["args"]["engine"] for e in run_spans} == {
+            "fast", "reference", "disk-cached-result", "stalled"}
+        # Zero-wall cached runs stay visible as 1 us spans.
+        cached = next(e for e in run_spans
+                      if e["args"]["engine"] == "disk-cached-result")
+        assert cached["dur"] == 1.0
+
+    def test_times_are_microseconds(self):
+        ledger = sample_ledger()
+        trace = sweep_to_chrome_trace(ledger.records, ledger.drivers)
+        aes = next(e for e in trace["traceEvents"]
+                   if e.get("name") == "aes")
+        assert aes["ts"] == pytest.approx(0.011 * 1e6)
+        assert aes["dur"] == pytest.approx(0.200 * 1e6)
+
+
+class TestCli:
+    def _write(self, tmp_path):
+        ledger = sample_ledger()
+        led = telemetry.RunLedger()
+        led.enable()
+        for rec in ledger.records:
+            led.record(RunRecord.from_dict(rec.to_dict()))
+        led.driver_marks = [
+            {"name": m["name"], "t0": m["t0"], "t1": m["t1"]}
+            for m in ledger.drivers
+        ]
+        path = str(tmp_path / "ledger.jsonl")
+        led.write_jsonl(path, header={"jobs": 2},
+                        footer=ledger.footer)
+        return path
+
+    def test_text_and_artifacts(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        html_path = str(tmp_path / "report.html")
+        trace_path = str(tmp_path / "trace.json")
+        assert report.main([path, "--html", html_path,
+                            "--chrome-trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "engine mix" in out
+        with open(html_path) as fh:
+            assert "Engine mix" in fh.read()
+        with open(trace_path) as fh:
+            assert json.load(fh)["otherData"]["runs"] == 5
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert report.main([path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["runs"] == 5
+        assert data["engines"]["fast"] == 2
+
+    def test_bad_input_is_error(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "power_failure"}\n')
+        assert report.main([str(path)]) == 2
+        assert "error" in capsys.readouterr().err
