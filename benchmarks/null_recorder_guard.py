@@ -31,7 +31,15 @@ and appends one record at the dispatch point — never per access — so the
 same sweep must stay within the telemetry threshold (default 2%) of the
 ledger-off baseline, and must actually have recorded every run.
 
-A fifth check guards the persistent artifact cache
+A fifth check guards architectural introspection
+(:mod:`repro.obs.analyze`): the shared :data:`~repro.obs.analyze.COLLECTOR`
+must be disabled by default, an introspection-off sweep must stay within
+the arch threshold (default 2%) of the ledger-off baseline (both engines
+pay exactly one flag check per run when it is off), and a collector-on
+sweep must fold every run and reconcile its cause totals exactly against
+the per-run ``checkpoints_by_cause``.
+
+A sixth check guards the persistent artifact cache
 (``REPRO_CACHE_DIR``): a sweep against a fresh store populates it, every
 in-memory SectionMap is then dropped, and the repeat sweep must seed its
 maps from disk (no cold re-enumeration) while reproducing bit-identical
@@ -50,6 +58,7 @@ import repro.cache as artifact_cache
 from repro.core.config import ClankConfig
 from repro.eval.runner import run_clank
 from repro.eval.settings import EvalSettings
+from repro.obs.analyze import COLLECTOR
 from repro.obs.recorder import NullRecorder
 from repro.obs.telemetry import LEDGER
 from repro.sim.fast import fast_stats, reset_fast_stats
@@ -97,6 +106,8 @@ def main(argv=None) -> int:
                         help="max allowed NullRecorder/baseline ratio")
     parser.add_argument("--telemetry-threshold", type=float, default=1.02,
                         help="max allowed ledger-on/ledger-off ratio")
+    parser.add_argument("--arch-threshold", type=float, default=1.02,
+                        help="max allowed introspection-off/baseline ratio")
     parser.add_argument("--repeats", type=int, default=5,
                         help="sweep repetitions (best-of timing)")
     parser.add_argument("--size", default="small", help="workload size preset")
@@ -192,6 +203,50 @@ def main(argv=None) -> int:
         print("FAIL: run-ledger telemetry added measurable overhead")
         return 1
     print("OK: telemetry records every run within the overhead budget")
+
+    # Architectural-introspection guard.  Off is the default and must
+    # stay free: the engines ask the collector once per run and get None.
+    if COLLECTOR.enabled:
+        print("FAIL: arch collector is enabled by default")
+        return 1
+    arch_repeats = max(args.repeats, 10)
+    arch_off = sweep_seconds(traces, settings, None, arch_repeats)
+    ratio = arch_off / ledger_off
+    print(f"arch collector off: {arch_off:.3f}s")
+    print(f"ratio vs ledger-off baseline: {ratio:.4f} "
+          f"(threshold {args.arch_threshold:.2f})")
+    if ratio > args.arch_threshold:
+        print("FAIL: introspection-off sweep exceeds the overhead budget")
+        return 1
+    # Collector on: every run must fold, and the aggregated cause totals
+    # must reconcile exactly with the per-run results.
+    COLLECTOR.reset()
+    COLLECTOR.enable()
+    try:
+        arch_on_start = time.perf_counter()
+        results = sweep_results(traces, settings)
+        arch_on = time.perf_counter() - arch_on_start
+        folded = sum(COLLECTOR.run_totals().values())
+        totals = COLLECTOR.cause_totals()
+    finally:
+        COLLECTOR.disable()
+        COLLECTOR.reset()
+    expected = {}
+    for result in results:
+        for cause, n in result["checkpoints_by_cause"].items():
+            if n:
+                expected[cause] = expected.get(cause, 0) + n
+    print(f"arch collector on:  {arch_on:.3f}s for one sweep "
+          f"({folded} runs folded)")
+    if folded != runs_per_sweep:
+        print(f"FAIL: collector folded {folded} runs, "
+              f"expected {runs_per_sweep}")
+        return 1
+    if totals != expected:
+        print(f"FAIL: collector cause totals {totals} != per-run "
+              f"checkpoint totals {expected}")
+        return 1
+    print("OK: introspection off is free, on reconciles exactly")
 
     # Warm-disk-cache guard: populate a fresh store, drop every
     # in-memory map, and demand the repeat sweep seeds from disk — no

@@ -21,6 +21,7 @@ ISS attachment):
 """
 
 from array import array
+from bisect import bisect_left
 from typing import Dict, Optional, Tuple
 
 from repro.core import cext
@@ -588,6 +589,181 @@ class IdempotencyDetector:
             else:
                 direct = False
                 start = end
+
+    def section_arch_scan(
+        self,
+        ct,
+        start: int,
+        variant: int,
+        forced_sorted,
+        pi_words,
+        pi_indices,
+        scratch: "Optional[ChainScratch]" = None,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], int]:
+        """Growth-step indices of one section's tracking buffers.
+
+        Replays exactly the decision walk of :meth:`straightline_chain`
+        for the single section entered at ``(start, variant)`` (variants
+        as in :mod:`repro.sim.sections`: ``0`` normal, ``1`` compiler
+        checkpoint at ``start`` already committed, ``2`` direct text
+        write at ``start``) and records *where* each buffer grew,
+        returning ``(rf_steps, wf_steps, apb_steps, rf_peak)``:
+
+        * ``rf_steps`` / ``wf_steps`` / ``apb_steps`` — ascending trace
+          indices at which the Read-First, Write-First, and
+          Address-Prefix buffers admitted a new entry.  Together with
+          the section's ``wbb_steps`` (already memoized on the
+          :class:`~repro.sim.sections.Section` record) they give the
+          exact occupancy at any cut point ``p`` by bisection:
+          WF/WBB/APB net occupancy is ``bisect_left(steps, p)``; RF net
+          occupancy is ``bisect_left(rf_steps, p)`` minus
+          ``bisect_left(wbb_steps, p)`` under remove-duplicates (every
+          WBB capture evicts its word from the RF).
+        * ``rf_peak`` — the RF's exact high-water mark over the section.
+          Remove-duplicates can shrink the RF mid-section, so unlike the
+          other three (monotone; peak = ``len(steps)``) the RF's
+          at-commit count is not its maximum.
+
+        Like the ``wbb_steps`` prefix sums, these are schedule-independent
+        — computed once per section and reused by every schedule that
+        commits it — which is what lets the introspection layer
+        (:mod:`repro.obs.analyze`) ride the fast path without per-access
+        work.  This scan runs only when introspection is enabled; it is
+        never part of the hot enumeration.
+        """
+        n = ct.n
+        waddrs = ct.waddrs
+        rf_cap = self._rf_capacity
+        wf_cap = self._wf_capacity
+        wbb_cap = self.wbb.capacity
+        apb_cap = self.apb.capacity
+        apb_on = self._apb_enabled
+        ignore_text = self._ignore_text
+        ig_fw = self._ignore_false_writes
+        rm_dup = self._remove_duplicates
+        no_wf_ovf = self._no_wf_overflow
+        latest = self._latest_checkpoint
+        pi_words = pi_words or ()
+        pi_indices = pi_indices or ()
+        has_pi = bool(pi_words) or bool(pi_indices)
+
+        ops, wids, _ = ct.scan_arrays(self._text_lo, self._text_hi)
+        if apb_on:
+            pids, _ = ct.prefix_ids(self.apb.prefix_low_bits)
+        else:
+            pids = ()
+        if scratch is None:
+            scratch = self.chain_scratch(ct)
+        rf_g = scratch.rf
+        wf_g = scratch.wf
+        wbb_g = scratch.wbb
+        apb_g = scratch.apb
+
+        fs = forced_sorted
+        j = bisect_left(fs, start)
+        at_forced = j < len(fs) and fs[j] == start
+        if variant == 0 and at_forced:
+            # Zero-length compiler section: nothing is classified.
+            return (), (), (), 0
+        nf_idx = j + 1 if at_forced else j
+        next_forced = fs[nf_idx] if nf_idx < len(fs) else n + 1
+        scan_from = start + 1 if variant == 2 else start
+
+        g = scratch.gen + 1
+        scratch.gen = g
+        rf_len = 0
+        rf_peak = 0
+        wf_len = 0
+        wbb_len = 0
+        apb_len = 0
+        rf_i = []
+        wf_i = []
+        apb_i = []
+        i = scan_from
+        while i < n:
+            if i == next_forced:
+                break
+            op = ops[i]
+            if op & 1:
+                if op & 4:
+                    break
+                if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                    i += 1
+                    continue
+                if ignore_text and op & 2:
+                    break
+                v = wids[i]
+                if wbb_g[v] == g or wf_g[v] == g:
+                    i += 1
+                    continue
+                if rf_g[v] == g:
+                    if ig_fw and op & 8:
+                        i += 1
+                        continue
+                    if wbb_cap == 0 or wbb_len >= wbb_cap:
+                        break
+                    wbb_g[v] = g
+                    wbb_len += 1
+                    if rm_dup:
+                        rf_g[v] = 0
+                        rf_len -= 1
+                    i += 1
+                    continue
+                if wf_cap == 0:
+                    i += 1
+                    continue
+                if wf_len >= wf_cap:
+                    if no_wf_ovf:
+                        i += 1
+                        continue
+                    break
+                if apb_on:
+                    p = pids[i]
+                    if apb_g[p] != g:
+                        if apb_len >= apb_cap:
+                            if no_wf_ovf:
+                                i += 1
+                                continue
+                            break
+                        apb_g[p] = g
+                        apb_len += 1
+                        apb_i.append(i)
+                wf_g[v] = g
+                wf_len += 1
+                wf_i.append(i)
+                i += 1
+                continue
+            # Read.
+            if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                i += 1
+                continue
+            if ignore_text and op & 2:
+                i += 1
+                continue
+            v = wids[i]
+            if rf_g[v] == g or wbb_g[v] == g or wf_g[v] == g:
+                i += 1
+                continue
+            if rf_len >= rf_cap:
+                # Read-side fill: checkpoint boundary, or (latest mode)
+                # the untracked tail — which admits nothing either way.
+                break
+            if apb_on:
+                p = pids[i]
+                if apb_g[p] != g:
+                    if apb_len >= apb_cap:
+                        break
+                    apb_g[p] = g
+                    apb_len += 1
+                    apb_i.append(i)
+            rf_g[v] = g
+            rf_len += 1
+            if rf_len > rf_peak:
+                rf_peak = rf_len
+            rf_i.append(i)
+            i += 1
+        return tuple(rf_i), tuple(wf_i), tuple(apb_i), rf_peak
+
     # ------------------------------------------------------------------ #
     # View and lifecycle.
     # ------------------------------------------------------------------ #

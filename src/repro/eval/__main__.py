@@ -14,6 +14,9 @@ machine-readable entry to the performance trajectory in
 ``results/run_ledger.jsonl`` (``--ledger PATH`` redirects it and enables
 it for ``--quick`` runs; render it with ``python -m repro.obs.report``,
 gate the trajectory with ``python -m repro.obs.bench --check``).
+``--arch PATH`` additionally collects per-section architectural
+statistics (buffer occupancy, hazard attribution) and writes the summary
+JSON for ``python -m repro.obs.analyze``.
 """
 
 import argparse
@@ -25,6 +28,7 @@ from datetime import datetime, timezone
 
 import repro.cache as artifact_cache
 from repro.eval.parallel import resolve_workers
+from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR
 from repro.eval.settings import EvalSettings
 from repro.obs import telemetry
 from repro.obs.profile import PROFILER
@@ -84,6 +88,11 @@ def main(argv=None) -> int:
                         help="write the run-provenance ledger (JSONL) to "
                              "PATH; full runs default to "
                              f"{_LEDGER_PATH}")
+    parser.add_argument("--arch", metavar="PATH", default=None,
+                        help="collect per-section architectural statistics "
+                             "(buffer occupancy, hazard attribution) and "
+                             "write the summary JSON to PATH; render it "
+                             "with python -m repro.obs.analyze")
     args = parser.parse_args(argv)
 
     settings = EvalSettings(
@@ -100,6 +109,9 @@ def main(argv=None) -> int:
     fast_dispatch.reset_dispatch_stats()
     telemetry.LEDGER.reset()
     telemetry.LEDGER.enable()
+    if args.arch:
+        ARCH_COLLECTOR.reset()
+        ARCH_COLLECTOR.enable()
 
     driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
@@ -188,6 +200,16 @@ def main(argv=None) -> int:
             )
             print(f"[run ledger written to {ledger_path}]")
 
+        if args.arch:
+            summary = ARCH_COLLECTOR.to_summary()
+            arch_dir = os.path.dirname(args.arch)
+            if arch_dir:
+                os.makedirs(arch_dir, exist_ok=True)
+            with open(args.arch, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[architecture stats written to {args.arch}]")
+
         if not args.quick:
             # Quick smoke runs (and the test suite) must not clobber the
             # committed full-run profile or the bench trajectory.
@@ -225,6 +247,7 @@ def main(argv=None) -> int:
             print(f"[bench entry appended to {_BENCH_PATH}]")
     finally:
         telemetry.LEDGER.disable()
+        ARCH_COLLECTOR.disable()
     return 0
 
 

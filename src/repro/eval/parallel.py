@@ -36,6 +36,7 @@ from repro.common.errors import SimulationError
 from repro.core.config import ClankConfig, PolicyOptimizations
 from repro.eval.settings import EvalSettings
 from repro.obs import telemetry
+from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR
 from repro.obs.profile import PROFILER
 from repro.power.schedules import RuntPower
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
@@ -225,10 +226,19 @@ def execute_job(
         cached = st.get("result", rkey)
         if isinstance(cached, dict):
             ledger_record("disk-cached-result", result_cache="hit")
-            return SimulationResult.from_dict(cached), 0.0
+            restored = SimulationResult.from_dict(cached)
+            # A warm run skips the simulation, so attribution folds from
+            # the cached result's cause counts (occupancy detail only
+            # exists for simulated runs).
+            ARCH_COLLECTOR.fold_causes(
+                job.workload, config.label(),
+                restored.checkpoints_by_cause, "disk-cached-result",
+            )
+            return restored, 0.0
         if cached == "stalled" and job.allow_stall:
             ledger_record("disk-cached-result", result_cache="hit",
                           stalled=True)
+            ARCH_COLLECTOR.fold_stalled(job.workload, config.label())
             return None, 0.0
     result_cache = "miss" if rkey is not None else "off"
 
@@ -310,12 +320,19 @@ def execute_job(
         # counters never tick), so the stall is its own engine value.
         ledger_record("stalled", result_cache=result_cache, stalled=True,
                       wall_s=elapsed, t_start=t_start)
+        ARCH_COLLECTOR.fold_stalled(job.workload, config.label())
         return None, elapsed
     if rkey is not None:
         st.put("result", rkey, result.to_dict(include_derived=False))
     elapsed = time.perf_counter() - start
     if job.engine == "undo":
         engine, reason = "undo", None
+        # The undo-log engine has no section enumeration to derive
+        # occupancy from; cause totals still reconcile.
+        ARCH_COLLECTOR.fold_causes(
+            job.workload, config.label(),
+            result.checkpoints_by_cause, "undo",
+        )
     else:
         engine, reason = fast_dispatch.last_dispatch()
     ledger_record(engine, reason=reason, result_cache=result_cache,
@@ -344,7 +361,16 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     disk_before = artifact_cache.stats()
     disp_before = fast_dispatch.dispatch_stats()
     tele_before = len(telemetry.LEDGER.records)
-    result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
+    # Architecture-stats folds mirror into a per-job capture list so the
+    # parent can replay them in submission order (determinism at any
+    # worker count); an empty list costs nothing when collection is off.
+    arch_entries: list = []
+    if ARCH_COLLECTOR.enabled:
+        ARCH_COLLECTOR.capture = arch_entries
+    try:
+        result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
+    finally:
+        ARCH_COLLECTOR.capture = None
     # Pool children exit via os._exit (no atexit), so flush newly
     # enumerated artifacts to the shared store now.  Dirty tracking in
     # repro.sim.sections makes this O(maps this job grew) — usually one.
@@ -361,6 +387,7 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
             rec.to_dict()
             for rec in telemetry.LEDGER.records[tele_before:]
         ],
+        "arch": arch_entries,
         "dispatch": {
             "fast": disp_after["fast"] - disp_before["fast"],
             "reasons": {
@@ -495,6 +522,7 @@ def run_jobs(
         fast_dispatch.merge_dispatch_stats(payload.get("dispatch", {}))
         for rec in payload.get("telemetry", ()):
             telemetry.LEDGER.record(telemetry.RunRecord.from_dict(rec))
+        ARCH_COLLECTOR.merge_entries(payload.get("arch", ()))
         raw = payload["result"]
         results.append(None if raw is None else SimulationResult.from_dict(raw))
     return results

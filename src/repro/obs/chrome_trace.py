@@ -211,6 +211,15 @@ def write_chrome_trace(
 _TID_DRIVERS = 1
 
 
+def _num(value, default=0.0) -> float:
+    """Best-effort float: hand-edited or partial ledgers may carry null
+    (or junk) wall-time fields; the timeline should render, not crash."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def sweep_to_chrome_trace(
     records: Sequence,
     drivers: Sequence[dict] = (),
@@ -239,7 +248,11 @@ def sweep_to_chrome_trace(
         {"name": "thread_sort_index", "ph": "M", "pid": _PID,
          "tid": _TID_DRIVERS, "args": {"sort_index": 0}},
     ]
-    workers = sorted({rec.worker for rec in records})
+    # Worker IDs are PIDs in well-formed ledgers, but degenerate inputs
+    # (null or mixed-typed fields) must still get one lane per distinct
+    # value — order by string form, which never raises.
+    workers = sorted({rec.worker for rec in records},
+                     key=lambda w: (w is None, str(w)))
     tid_of = {}
     for lane, worker in enumerate(workers, start=2):
         tid_of[worker] = lane
@@ -252,8 +265,8 @@ def sweep_to_chrome_trace(
              "tid": lane, "args": {"sort_index": lane}}
         )
     for mark in drivers:
-        t0 = float(mark.get("t0", 0.0))
-        t1 = float(mark.get("t1", t0))
+        t0 = _num(mark.get("t0"))
+        t1 = _num(mark.get("t1"), default=t0)
         out.append(
             _span(str(mark.get("name", "driver")), t0 * 1e6,
                   (t1 - t0) * 1e6, _TID_DRIVERS)
@@ -274,8 +287,8 @@ def sweep_to_chrome_trace(
         if rec.stalled:
             args["stalled"] = True
         out.append(
-            _span(rec.workload, rec.t_start * 1e6,
-                  max(1.0, rec.wall_s * 1e6), tid_of[rec.worker], args)
+            _span(rec.workload, _num(rec.t_start) * 1e6,
+                  max(1.0, _num(rec.wall_s) * 1e6), tid_of[rec.worker], args)
         )
     return {
         "traceEvents": out,

@@ -103,6 +103,14 @@ class SectionClosed(Event):
     ``accesses`` counts trace positions covered since the previous committed
     checkpoint; ``cycles`` counts all consumed cycles in between (including
     re-execution and restart time spent inside the section).
+
+    The occupancy fields snapshot the detector's buffer entry counts at the
+    commit instant, *before* the checkpoint reset — the architectural view
+    :mod:`repro.obs.analyze` aggregates.  ``hazard_waddr`` is the word
+    address whose access tripped the boundary, present only for the
+    detector-attributed causes (``violation``, ``rf_full``, ``wf_full``,
+    ``apb_full``, ``wbb_full``, ``latest_write``).  All default to
+    zero/None so logs written before these fields existed still parse.
     """
 
     kind: ClassVar[str] = "section_closed"
@@ -110,6 +118,11 @@ class SectionClosed(Event):
     cause: str = ""
     accesses: int = 0
     cycles: int = 0
+    occ_rf: int = 0
+    occ_wf: int = 0
+    occ_wbb: int = 0
+    occ_apb: int = 0
+    hazard_waddr: Optional[int] = None
 
 
 @dataclass

@@ -21,7 +21,9 @@ CLI::
 
 The HTML report is a single static dependency-free file.  The
 ``--chrome-trace`` export writes the worker-lane sweep timeline
-(:func:`repro.obs.chrome_trace.write_sweep_trace`).
+(:func:`repro.obs.chrome_trace.write_sweep_trace`).  ``--arch PATH``
+embeds the architectural statistics written by ``repro.eval --arch``
+(:mod:`repro.obs.analyze`) as an extra report section.
 """
 
 import argparse
@@ -30,7 +32,7 @@ import json
 import sys
 from typing import Dict, List
 
-from repro.obs import telemetry
+from repro.obs import analyze, telemetry
 from repro.obs.chrome_trace import write_sweep_trace
 
 
@@ -113,7 +115,8 @@ def _share_lines(counts: Dict[str, int], total: int, indent: str) -> List[str]:
     return lines
 
 
-def render_text(ledger: telemetry.Ledger, top: int = 10) -> str:
+def render_text(ledger: telemetry.Ledger, top: int = 10,
+                arch_summary: dict = None) -> str:
     """Aligned text report over a loaded ledger."""
     s = summary(ledger, top=top)
     total = s["runs"]
@@ -190,6 +193,9 @@ def render_text(ledger: telemetry.Ledger, top: int = 10) -> str:
                 f"{row['engine']:<12s} {row['driver'] or '-':<12s} "
                 f"{row['config']}"
             )
+    if arch_summary is not None:
+        lines.append("-- architecture")
+        lines.append(analyze.render_text(arch_summary, top=top))
     return "\n".join(lines)
 
 
@@ -232,7 +238,8 @@ def _count_table(counts: Dict[str, int], total: int, label: str) -> str:
     return _table([label, "runs", "share"], rows, numeric=(1, 2))
 
 
-def render_html(ledger: telemetry.Ledger, top: int = 10) -> str:
+def render_html(ledger: telemetry.Ledger, top: int = 10,
+                arch_summary: dict = None) -> str:
     """Single-file static HTML report over a loaded ledger."""
     s = summary(ledger, top=top)
     total = s["runs"]
@@ -247,7 +254,9 @@ def render_html(ledger: telemetry.Ledger, top: int = 10) -> str:
         bits = [f"{html.escape(str(k))}={html.escape(str(v))}"
                 for k, v in header.items()]
         if s["wall_clock_s"] is not None:
-            bits.append(f"wall_clock={s['wall_clock_s']}s")
+            # The footer is attacker-controllable text like everything else
+            # read from the ledger — escape it on the way into the markup.
+            bits.append(f"wall_clock={html.escape(str(s['wall_clock_s']))}s")
         parts.append(f"<p class='meta'>{' &middot; '.join(bits)}</p>")
 
     parts.append("<h2>Engine mix</h2>")
@@ -297,6 +306,10 @@ def render_html(ledger: telemetry.Ledger, top: int = 10) -> str:
             ["workload", "wall (ms)", "engine", "driver", "config"],
             rows, numeric=(1,)))
 
+    if arch_summary is not None:
+        parts.append("<h2>Architecture</h2>")
+        parts.append(analyze.render_html_fragment(arch_summary, top=top))
+
     parts.append("</body></html>")
     return "".join(parts)
 
@@ -313,6 +326,9 @@ def main(argv=None) -> int:
     parser.add_argument("--chrome-trace", metavar="PATH", default=None,
                         help="also write the worker-lane sweep timeline "
                              "(chrome://tracing / Perfetto JSON) to PATH")
+    parser.add_argument("--arch", metavar="PATH", default=None,
+                        help="embed the architecture statistics summary "
+                             "(repro.eval --arch PATH) as a report section")
     parser.add_argument("--json", action="store_true",
                         help="print the machine-readable summary instead "
                              "of the text report")
@@ -325,14 +341,25 @@ def main(argv=None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    arch_summary = None
+    if args.arch:
+        try:
+            arch_summary = analyze.load_summary(args.arch)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.json:
-        print(json.dumps(summary(ledger, top=args.top), indent=2))
+        doc = summary(ledger, top=args.top)
+        if arch_summary is not None:
+            doc["architecture"] = arch_summary
+        print(json.dumps(doc, indent=2))
     else:
-        print(render_text(ledger, top=args.top))
+        print(render_text(ledger, top=args.top, arch_summary=arch_summary))
     if args.html:
         with open(args.html, "w", encoding="utf-8") as fh:
-            fh.write(render_html(ledger, top=args.top) + "\n")
+            fh.write(render_html(ledger, top=args.top,
+                                 arch_summary=arch_summary) + "\n")
         print(f"[html report written to {args.html}]", file=sys.stderr)
     if args.chrome_trace:
         write_sweep_trace(

@@ -45,6 +45,7 @@ import os
 from bisect import bisect_left, bisect_right
 
 from repro.common.errors import SimulationError
+from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR, HAZARD_CAUSES
 from repro.obs.recorder import live_recorder
 from repro.obs.telemetry import FallbackReason
 from repro.sim.result import SimulationResult
@@ -141,6 +142,17 @@ class FastReplaySimulator(IntermittentSimulator):
         max_pc = self.max_power_cycles
         name = trace.name
         ig_fw = self.config.optimizations.ignore_false_writes
+
+        # Architectural introspection (repro.obs.analyze): one flag check
+        # per run.  When enabled, each *commit* (never each access) does
+        # bisect arithmetic over the section's memoized growth steps —
+        # the schedule-independent stats ride the section walk for free.
+        arch = ARCH_COLLECTOR.run_accumulator()
+        if arch is not None:
+            arch_stats = smap.arch_stats
+            arch_waddrs = ct.waddrs
+            rm_dup = self.config.optimizations.remove_duplicates
+            arch_last_t = 0
 
         perf_load = self.perf_watchdog_load
         perf_on = perf_load > 0
@@ -330,6 +342,27 @@ class FastReplaySimulator(IntermittentSimulator):
                 ckpt_cycles += c
                 wbb_flushed += nwbb
                 ckpt_counts[fire_cause] = ckpt_get(fire_cause, 0) + 1
+                if arch is not None:
+                    rf_s, wf_s, apb_s, rf_peak = arch_stats(s, variant)
+                    e = useful + reexec + wasted + ckpt_cycles + restart_cycles
+                    arch.record_commit(
+                        fire_cause,
+                        (
+                            bisect_left(rf_s, m1) - (nwbb if rm_dup else 0),
+                            bisect_left(wf_s, m1),
+                            nwbb,
+                            bisect_left(apb_s, m1),
+                        ),
+                        None,
+                        m1 - s,
+                        (e - c) - arch_last_t,
+                        c,
+                    )
+                    arch.record_section(
+                        (s << 2) | variant,
+                        (rf_peak, len(wf_s), len(steps), len(apb_s)),
+                    )
+                    arch_last_t = e
                 if prog_configured:
                     prog_enabled = False
                     prog_nv_load = 0
@@ -375,6 +408,27 @@ class FastReplaySimulator(IntermittentSimulator):
                 ckpt_cycles += c
                 wbb_flushed += nwbb
                 ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+                if arch is not None:
+                    rf_s, wf_s, apb_s, rf_peak = arch_stats(s, variant)
+                    e = useful + reexec + wasted + ckpt_cycles + restart_cycles
+                    arch.record_commit(
+                        cause,
+                        (
+                            len(rf_s) - (nwbb if rm_dup else 0),
+                            len(wf_s),
+                            nwbb,
+                            len(apb_s),
+                        ),
+                        arch_waddrs[end] if cause in HAZARD_CAUSES else None,
+                        end - s,
+                        (e - c) - arch_last_t,
+                        c,
+                    )
+                    arch.record_section(
+                        (s << 2) | variant,
+                        (rf_peak, len(wf_s), nwbb, len(apb_s)),
+                    )
+                    arch_last_t = e
                 if prog_configured:
                     prog_enabled = False
                     prog_nv_load = 0
@@ -420,6 +474,15 @@ class FastReplaySimulator(IntermittentSimulator):
                 on_left -= base_ck
                 ckpt_cycles += base_ck
                 ckpt_counts["output"] = ckpt_get("output", 0) + 1
+                if arch is not None:
+                    # GO-phase post-commit: the buffers were reset by the
+                    # pre-checkpoint and the output bypasses the detector.
+                    e = useful + reexec + wasted + ckpt_cycles + restart_cycles
+                    arch.record_commit(
+                        "output", (0, 0, 0, 0), None, 1,
+                        (e - base_ck) - arch_last_t, base_ck,
+                    )
+                    arch_last_t = e
                 if prog_configured:
                     prog_enabled = False
                     prog_nv_load = 0
@@ -441,6 +504,27 @@ class FastReplaySimulator(IntermittentSimulator):
                 ckpt_cycles += c
                 wbb_flushed += nwbb
                 ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+                if arch is not None:
+                    rf_s, wf_s, apb_s, rf_peak = arch_stats(s, variant)
+                    e = useful + reexec + wasted + ckpt_cycles + restart_cycles
+                    arch.record_commit(
+                        cause,
+                        (
+                            len(rf_s) - (nwbb if rm_dup else 0),
+                            len(wf_s),
+                            nwbb,
+                            len(apb_s),
+                        ),
+                        None,
+                        end - s,
+                        (e - c) - arch_last_t,
+                        c,
+                    )
+                    arch.record_section(
+                        (s << 2) | variant,
+                        (rf_peak, len(wf_s), nwbb, len(apb_s)),
+                    )
+                    arch_last_t = e
                 if prog_configured:
                     prog_enabled = False
                     prog_nv_load = 0
@@ -463,11 +547,34 @@ class FastReplaySimulator(IntermittentSimulator):
             ckpt_cycles += c
             wbb_flushed += nwbb
             ckpt_counts[cause] = ckpt_get(cause, 0) + 1
+            if arch is not None:
+                rf_s, wf_s, apb_s, rf_peak = arch_stats(s, variant)
+                e = useful + reexec + wasted + ckpt_cycles + restart_cycles
+                arch.record_commit(
+                    cause,
+                    (
+                        len(rf_s) - (nwbb if rm_dup else 0),
+                        len(wf_s),
+                        nwbb,
+                        len(apb_s),
+                    ),
+                    None,
+                    n - s,
+                    (e - c) - arch_last_t,
+                    c,
+                )
+                arch.record_section(
+                    (s << 2) | variant,
+                    (rf_peak, len(wf_s), nwbb, len(apb_s)),
+                )
             if prog_configured:
                 prog_enabled = False
                 prog_nv_load = 0
                 prog_no_ckpt = False
             break
+
+        if arch is not None:
+            ARCH_COLLECTOR.fold_run(name, self.config.label(), arch, "fast")
 
         return SimulationResult(
             name=name,

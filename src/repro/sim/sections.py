@@ -110,7 +110,7 @@ class SectionMap:
     __slots__ = (
         "ct", "n", "pi_words", "pi_indices", "forced", "_forced_sorted",
         "_forced_set", "_detector", "_sections", "pi_hazard",
-        "_scratch", "_dw_cache", "_dw_groups", "_engine",
+        "_scratch", "_dw_cache", "_dw_groups", "_arch_cache", "_engine",
         "_family", "_caps", "_latest", "_nwf", "_disk_key", "_loaded_n",
     )
 
@@ -142,6 +142,7 @@ class SectionMap:
         self._scratch = None  # lazily built ChainScratch, reused per chain
         self._dw_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._dw_groups: Dict[Tuple[int, int], Dict[int, list]] = {}
+        self._arch_cache: Dict[int, tuple] = {}
         self._engine = _UNSET  # lazily built C ChainScanEngine (or None)
         opts = config.optimizations
         #: Static false-write hazard: an access-marked PI write commits to
@@ -369,6 +370,36 @@ class SectionMap:
                 chain.close()
             self._dw_cache[key] = dw
         return dw
+
+    def arch_stats(
+        self, start: int, variant: int
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], int]:
+        """The section's buffer growth steps and RF peak (memoized).
+
+        ``(rf_steps, wf_steps, apb_steps, rf_peak)`` from
+        :meth:`~repro.core.detector.IdempotencyDetector.section_arch_scan`
+        — schedule-independent, like the ``wbb_steps`` already stored on
+        the section record, so every schedule that commits this section
+        shares one scan.  Only the introspection layer
+        (:mod:`repro.obs.analyze`) asks for these, and only when enabled;
+        the hot enumeration and replay paths never touch them.
+        """
+        key = (start << 2) | variant
+        stats = self._arch_cache.get(key)
+        if stats is None:
+            if self._scratch is None:
+                self._scratch = self._detector.chain_scratch(self.ct)
+            stats = self._detector.section_arch_scan(
+                self.ct,
+                start,
+                variant,
+                self._forced_sorted,
+                self.pi_words,
+                self.pi_indices,
+                self._scratch,
+            )
+            self._arch_cache[key] = stats
+        return stats
 
     def watchdog_cut_safe(
         self, start: int, variant: int, p: int, f: int, reaches

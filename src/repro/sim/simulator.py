@@ -36,6 +36,7 @@ from repro.core.watchdogs import (
     ProgressWatchdog,
     optimal_watchdog_value,
 )
+from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR, HAZARD_CAUSES
 from repro.obs.events import (
     CheckpointAborted,
     CheckpointCommitted,
@@ -185,6 +186,9 @@ class IntermittentSimulator:
         # emission site below is the untouched original code path.
         rec = live_recorder(self.recorder)
         metrics = MetricsRegistry() if rec is not None else None
+        # Architectural introspection (repro.obs.analyze): one flag check
+        # per run; None keeps every commit site on its original path.
+        arch = ARCH_COLLECTOR.run_accumulator()
 
         detector = IdempotencyDetector(
             self.config, mmap.text_word_range, recorder=rec
@@ -338,6 +342,15 @@ class IntermittentSimulator:
                     )
                     metrics.counter("checkpoints_aborted").inc()
                 return False, power_loss()
+            if rec is not None or arch is not None:
+                # Commit-instant architectural snapshot, taken before the
+                # reset below empties the buffers.  The hazard address is
+                # the word whose access tripped the boundary — defined
+                # only for the detector-attributed causes.
+                occ = detector.occupancy()
+                hazard = (
+                    waddrs[i] if cause in HAZARD_CAUSES and i < n else None
+                )
             flushed = detector.reset_section()
             if flushed:
                 nv.update(flushed)
@@ -347,38 +360,53 @@ class IntermittentSimulator:
                     vol_snapshot[w] = vol_mem[w]
                 vol_dirty.clear()
             ckpt_cycles += c
-            if rec is not None:
+            if rec is not None or arch is not None:
                 t = elapsed()
                 section_cycles = (t - c) - last_commit_t
-                rec.emit(
-                    SectionClosed(
-                        t=t - c,
-                        cause=cause,
-                        accesses=i - ckpt_i,
-                        cycles=section_cycles,
+                if rec is not None:
+                    rec.emit(
+                        SectionClosed(
+                            t=t - c,
+                            cause=cause,
+                            accesses=i - ckpt_i,
+                            cycles=section_cycles,
+                            occ_rf=occ["rf"],
+                            occ_wf=occ["wf"],
+                            occ_wbb=occ["wbb"],
+                            occ_apb=occ["apb"],
+                            hazard_waddr=hazard,
+                        )
                     )
-                )
-                rec.emit(
-                    CheckpointCommitted(
-                        t=t,
-                        cause=cause,
-                        cycles=c,
-                        index=i,
-                        flushed_words=len(flushed),
-                        power_cycle=power_cycles,
+                    rec.emit(
+                        CheckpointCommitted(
+                            t=t,
+                            cause=cause,
+                            cycles=c,
+                            index=i,
+                            flushed_words=len(flushed),
+                            power_cycle=power_cycles,
+                        )
                     )
-                )
+                    metrics.counter("checkpoints_committed").inc()
+                    metrics.histogram(
+                        "section_accesses", SECTION_ACCESS_BUCKETS
+                    ).observe(i - ckpt_i)
+                    metrics.histogram(
+                        "section_cycles", SECTION_CYCLE_BUCKETS
+                    ).observe(section_cycles)
+                    metrics.histogram(
+                        "wbb_flush_words", FLUSH_BUCKETS
+                    ).observe(len(flushed))
+                if arch is not None:
+                    arch.record_commit(
+                        cause,
+                        (occ["rf"], occ["wf"], occ["wbb"], occ["apb"]),
+                        hazard,
+                        i - ckpt_i,
+                        section_cycles,
+                        c,
+                    )
                 last_commit_t = t
-                metrics.counter("checkpoints_committed").inc()
-                metrics.histogram(
-                    "section_accesses", SECTION_ACCESS_BUCKETS
-                ).observe(i - ckpt_i)
-                metrics.histogram(
-                    "section_cycles", SECTION_CYCLE_BUCKETS
-                ).observe(section_cycles)
-                metrics.histogram("wbb_flush_words", FLUSH_BUCKETS).observe(
-                    len(flushed)
-                )
             ckpt_i = i
             ckpt_counts[cause] = ckpt_counts.get(cause, 0) + 1
             perf_wdt.reload()
@@ -577,6 +605,11 @@ class IntermittentSimulator:
                         f"{got:#x}, oracle has {v:#x}"
                     )
             verified = True
+
+        if arch is not None:
+            ARCH_COLLECTOR.fold_run(
+                trace.name, self.config.label(), arch, "reference"
+            )
 
         return SimulationResult(
             name=trace.name,

@@ -3,7 +3,11 @@
 import json
 
 from repro.core.config import ClankConfig
-from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.chrome_trace import (
+    sweep_to_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.recorder import MemoryRecorder
 from repro.power.schedules import ExponentialPower
 from repro.sim.simulator import simulate
@@ -74,3 +78,77 @@ class TestChromeTrace:
         for e in to_chrome_trace(rec.events)["traceEvents"]:
             if e.get("ph") == "X":
                 assert e["dur"] >= 0
+
+
+class TestDegenerateSweepLedgers:
+    """Hand-edited or partial ledgers must render, not crash."""
+
+    def _ledger(self, tmp_path, lines):
+        import json as _json
+
+        from repro.obs.telemetry import read_ledger
+
+        path = tmp_path / "ledger.jsonl"
+        with path.open("w") as fh:
+            for line in lines:
+                fh.write(_json.dumps(line) + "\n")
+        return read_ledger(str(path))
+
+    RUN = {"type": "run", "workload": "crc", "config": "8,4,2,0",
+           "engine": "fast", "salt": 0, "result_cache": "off",
+           "wall_s": 0.5, "t_start": 1.0, "worker": 101, "index": 0}
+
+    def test_empty_ledger(self, tmp_path):
+        led = self._ledger(tmp_path, [])
+        trace = sweep_to_chrome_trace(led.records, drivers=led.drivers)
+        assert trace["otherData"]["runs"] == 0
+
+    def test_stalled_only_ledger(self, tmp_path):
+        led = self._ledger(tmp_path, [
+            dict(self.RUN, engine="stalled", stalled=True),
+        ])
+        trace = sweep_to_chrome_trace(led.records, drivers=led.drivers)
+        [span] = [e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and "engine" in e.get("args", {})]
+        assert span["args"]["stalled"] is True
+
+    def test_null_wall_time_fields(self, tmp_path):
+        led = self._ledger(tmp_path, [
+            dict(self.RUN, t_start=None, wall_s=None, worker=None),
+            self.RUN,
+        ])
+        trace = sweep_to_chrome_trace(led.records, drivers=led.drivers)
+        spans = [e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and "engine" in e.get("args", {})]
+        assert len(spans) == 2
+        degenerate = min(spans, key=lambda e: e["ts"])
+        assert degenerate["ts"] == 0.0
+        assert degenerate["dur"] == 1.0  # still visible
+
+    def test_mixed_typed_workers_get_distinct_lanes(self, tmp_path):
+        led = self._ledger(tmp_path, [
+            dict(self.RUN, worker="w1"),
+            dict(self.RUN, worker=None, index=1),
+            dict(self.RUN, index=2),
+        ])
+        trace = sweep_to_chrome_trace(led.records, drivers=led.drivers)
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes == {"drivers", "worker w1", "worker None",
+                         "worker 101"}
+
+    def test_null_driver_marks(self, tmp_path):
+        led = self._ledger(tmp_path, [
+            {"type": "driver", "name": "fig7", "t0": None, "t1": None},
+            self.RUN,
+        ])
+        trace = sweep_to_chrome_trace(led.records, drivers=led.drivers)
+        driver = next(e for e in trace["traceEvents"]
+                      if e.get("name") == "fig7")
+        assert driver["ts"] == 0.0 and driver["dur"] == 0.0
+
+    def test_degenerate_ledger_json_serializable(self, tmp_path):
+        import json as _json
+
+        led = self._ledger(tmp_path, [dict(self.RUN, wall_s=None)])
+        _json.dumps(sweep_to_chrome_trace(led.records))

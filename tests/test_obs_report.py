@@ -108,6 +108,25 @@ class TestRenderHtml:
         assert "<b>evil</b>" not in html_out
         assert "&lt;b&gt;evil&lt;/b&gt;" in html_out
 
+    def test_escapes_every_ledger_string(self):
+        # Every string a hand-edited (or hostile) ledger can carry must
+        # pass through html.escape — including the footer's wall clock,
+        # which is interpolated outside the table helper.
+        evil = "<script>alert(1)</script>"
+        ledger = Ledger(
+            header={"type": "sweep_start", "experiments": [evil],
+                    "timestamp": evil},
+            records=[RunRecord(
+                workload=evil, config=evil, engine=evil,
+                fallback_reason=evil, kernel=evil, driver=evil,
+            )],
+            drivers=[{"type": "driver", "name": evil, "t0": 0.0, "t1": 1.0}],
+            footer={"type": "sweep_end", "wall_clock_s": evil},
+        )
+        html_out = report.render_html(ledger)
+        assert "<script" not in html_out
+        assert "&lt;script&gt;" in html_out
+
 
 class TestSweepTrace:
     def test_lanes_and_spans(self):
@@ -177,4 +196,31 @@ class TestCli:
         path = tmp_path / "events.jsonl"
         path.write_text('{"kind": "power_failure"}\n')
         assert report.main([str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_arch_section_embedded(self, tmp_path, capsys):
+        from repro.obs import analyze
+
+        ledger_path = self._write(tmp_path)
+        acc = analyze.ArchAccumulator()
+        acc.record_commit("violation", (3, 1, 0, 2), 0x40, 7, 50, 40)
+        arch_path = tmp_path / "arch.json"
+        arch_path.write_text(json.dumps(
+            analyze.summary_from_accumulator(acc, "crc", "8,4,2,0")
+        ))
+        html_path = tmp_path / "report.html"
+        assert report.main([ledger_path, "--arch", str(arch_path),
+                            "--html", str(html_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- architecture" in out
+        assert "violation" in out
+        html_out = html_path.read_text()
+        assert "Architecture" in html_out
+        assert "0x40" in html_out
+
+    def test_bad_arch_input_is_error(self, tmp_path, capsys):
+        ledger_path = self._write(tmp_path)
+        bad = tmp_path / "arch.json"
+        bad.write_text('{"not": "a summary"}\n')
+        assert report.main([ledger_path, "--arch", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
