@@ -45,6 +45,14 @@ in-memory SectionMap is then dropped, and the repeat sweep must seed its
 maps from disk (no cold re-enumeration) while reproducing bit-identical
 results.
 
+A seventh check guards the batched Monte Carlo engine
+(:mod:`repro.sim.batch`): a seed-repeat sweep (``SimJob.n_seeds > 1``,
+the shape of the ``--seeds N`` figure variants) must actually be served
+by the batched engine — at least 90% of its schedule rows, per the run
+ledger — and the ledger's row accounting must reconcile exactly with the
+job list.  A regression that silently dropped every row to the scalar
+fallback would still produce correct numbers, just at per-run cost.
+
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
 
@@ -56,11 +64,12 @@ import time
 
 import repro.cache as artifact_cache
 from repro.core.config import ClankConfig
+from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.runner import run_clank
 from repro.eval.settings import EvalSettings
 from repro.obs.analyze import COLLECTOR
 from repro.obs.recorder import NullRecorder
-from repro.obs.telemetry import LEDGER
+from repro.obs.telemetry import ENGINE_BATCH, LEDGER
 from repro.sim.fast import fast_stats, reset_fast_stats
 from repro.sim.sections import (
     cache_stats, clear_cache, reset_cache_stats,
@@ -275,6 +284,43 @@ def main(argv=None) -> int:
         print("FAIL: warm sweep re-enumerated maps the store should hold")
         return 1
     print("OK: warm-from-disk sweep is bit-identical, no cold enumeration")
+
+    # Batch-engaged guard: a seed-repeat sweep (the --seeds N figure
+    # shape) must route its rows through the batched engine.  The scalar
+    # fallback is bit-identical, so a dispatch regression would only
+    # show up as cost — catch it by row accounting instead.
+    n_seeds = 8
+    batch_jobs = [
+        SimJob(workload=name, config=spec, size=args.size, salt=salt,
+               n_seeds=n_seeds)
+        for salt, name in enumerate(WORKLOADS)
+        for spec in CONFIGS
+    ]
+    LEDGER.reset()
+    LEDGER.enable()
+    try:
+        batch_results = run_jobs(batch_jobs, settings, None)
+        batch_rows = sum(
+            rec.rows for rec in LEDGER.records if rec.engine == ENGINE_BATCH
+        )
+        ledger_rows = LEDGER.total_rows()
+    finally:
+        LEDGER.disable()
+        LEDGER.reset()
+    expected_rows = len(batch_jobs) * n_seeds
+    print(f"seed-repeat sweep: {expected_rows} rows over "
+          f"{len(batch_jobs)} jobs; {batch_rows} rows via batch engine")
+    if ledger_rows != expected_rows:
+        print(f"FAIL: ledger accounts {ledger_rows} rows, "
+              f"expected {expected_rows}")
+        return 1
+    if any(result.rows != n_seeds for result in batch_results):
+        print("FAIL: a seed-repeat job returned the wrong row count")
+        return 1
+    if batch_rows < 0.9 * expected_rows:
+        print("FAIL: batched engine no longer carries seed-repeat sweeps")
+        return 1
+    print("OK: seed-repeat rows served by the batched engine")
     return 0
 
 

@@ -556,3 +556,498 @@ done:
     meta_out[7] = complete;
     return 0;
 }
+
+/* ------------------------------------------------------------------ *
+ * Batched schedule replay: one schedule row's section walk.
+ *
+ * A C port of the section walk in ``repro.sim.fast.FastReplaySimulator``
+ * for the batch engine (``repro.sim.batch``): one call replays one
+ * schedule row over the memoized section tables until it finishes or
+ * needs Python — an unmaterialized section, more schedule on-times, a
+ * ``watchdog_cut_safe`` verdict — and is then re-entered with the same
+ * state arrays once Python has supplied what was missing.  Resumability
+ * is by construction: every return to Python happens either before any
+ * state mutation of the current section attempt (BW_NEED_SECTION,
+ * BW_NEED_CUT — the re-entered walk re-derives the identical decision
+ * point) or with the attempt fully accounted and only the restart
+ * sequence pending (BW_NEED_ONTIMES, marked by PH_RESTART, where each
+ * restart iteration is itself atomic around its single schedule draw).
+ * BW_FALLBACK rows (power-cycle budget exhausted, an unsafe watchdog
+ * cut, reach-buffer overflow) are rerun whole by the scalar engines —
+ * schedules re-seed, so the rerun is exact.
+ */
+
+/* Stop codes. */
+#define BW_DONE 0
+#define BW_NEED_SECTION 1   /* out[0] = (start<<2)|variant */
+#define BW_NEED_ONTIMES 2
+#define BW_NEED_CUT 3       /* out[0..3] = start, variant, cut, furthest */
+#define BW_FALLBACK 4
+
+/* Persistent int64 state slots (one stripe per row). */
+#define ST_I 0
+#define ST_FURTHEST 1
+#define ST_ONLEFT 2
+#define ST_FORCED_DONE 3
+#define ST_POS 4            /* next schedule column */
+#define ST_PROG_NV 5
+#define ST_PROG_REM 6
+#define ST_USEFUL 7
+#define ST_REEXEC 8
+#define ST_WASTED 9
+#define ST_CKPT 10
+#define ST_RESTART 11
+#define ST_PC 12
+#define ST_WASTED_PC 13
+#define ST_OUTPUTS 14
+#define ST_DUP 15
+#define ST_WBB 16
+#define ST_NREACH 17
+#define ST_PHASE 18
+#define BW_NSLOTS 19
+
+/* Persistent flag slots. */
+#define FL_DIRECT 0
+#define FL_PROGRESS 1
+#define FL_PROG_NO_CKPT 2
+#define FL_PROG_EN 3
+#define BW_NFLAGS 4
+
+#define PH_WALK 0
+#define PH_RESTART 1        /* mid power-loss: resume the boot loop */
+
+/* Section kinds / entry variants; repro.sim.sections mirrors them. */
+#define BSEC_DETECTOR 0
+#define BSEC_TEXT 1
+#define BSEC_FORCED 2
+#define BSEC_OUTPUT 3
+#define BSEC_FINAL 4
+#define BVAR_FORCED_DONE 1
+#define BVAR_DIRECT 2
+
+static int32_t bw_bisect_left64(const int64_t *a, int64_t x,
+                                int32_t lo, int32_t hi)
+{
+    while (lo < hi) {
+        int32_t mid = (int32_t)(((int64_t)lo + hi) >> 1);
+        if (a[mid] < x) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+static int32_t bw_bisect_right64(const int64_t *a, int64_t x,
+                                 int32_t lo, int32_t hi)
+{
+    while (lo < hi) {
+        int32_t mid = (int32_t)(((int64_t)lo + hi) >> 1);
+        if (a[mid] <= x) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+static int32_t bw_bisect_left32(const int32_t *a, int32_t x,
+                                int32_t lo, int32_t hi)
+{
+    while (lo < hi) {
+        int32_t mid = (int32_t)(((int64_t)lo + hi) >> 1);
+        if (a[mid] < x) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* The boot loop of ``restart_sequence``: draw on-times until one affords
+ * the restart routine.  Atomic per iteration around its draw, so a
+ * BW_NEED_ONTIMES return re-enters cleanly at the loop top. */
+static int bw_restart(const int64_t *ontimes, int64_t n_ontimes,
+                      int64_t rcost, int64_t prog_default,
+                      int32_t prog_adaptive, int64_t max_pc,
+                      int64_t *st, uint8_t *fl)
+{
+    for (;;) {
+        int64_t on;
+        if (st[ST_POS] >= n_ontimes) return BW_NEED_ONTIMES;
+        on = ontimes[st[ST_POS]++];
+        fl[FL_PROGRESS] = 0;
+        fl[FL_PROG_EN] = 0;
+        if (prog_default > 0) {
+            if (!fl[FL_PROG_NO_CKPT]) {
+                fl[FL_PROG_NO_CKPT] = 1;
+            } else {
+                if (st[ST_PROG_NV] > 0 && prog_adaptive) {
+                    st[ST_PROG_NV] >>= 1;
+                    if (st[ST_PROG_NV] < 1) st[ST_PROG_NV] = 1;
+                } else if (st[ST_PROG_NV] == 0) {
+                    st[ST_PROG_NV] = prog_default;
+                }
+                fl[FL_PROG_EN] = 1;
+                st[ST_PROG_REM] = st[ST_PROG_NV];
+            }
+        }
+        if (on >= rcost) {
+            st[ST_RESTART] += rcost;
+            st[ST_ONLEFT] = on - rcost;
+            return 0;
+        }
+        st[ST_RESTART] += on;
+        st[ST_PC] += 1;
+        st[ST_WASTED_PC] += 1;
+        if (st[ST_PC] > max_pc) return BW_FALLBACK;
+    }
+}
+
+/* ``power_loss(at_i)`` + the restart: record the failed cycle's reach,
+ * tick the power-cycle counters, then boot.  Enters PH_RESTART before
+ * the boot loop so a BW_NEED_ONTIMES resume skips straight back in. */
+static int bw_power_loss(int64_t at_i,
+                         const int64_t *ontimes, int64_t n_ontimes,
+                         int64_t rcost, int64_t prog_default,
+                         int32_t prog_adaptive, int64_t max_pc,
+                         int32_t ig_fw,
+                         int64_t *reach_buf, int32_t reach_cap,
+                         int64_t *st, uint8_t *fl)
+{
+    int64_t i = st[ST_I];
+    if (ig_fw && at_i > i) {
+        int64_t nr = st[ST_NREACH];
+        while (nr > 0 && reach_buf[2 * (nr - 1) + 1] == i
+               && reach_buf[2 * (nr - 1)] <= at_i)
+            nr--;
+        if (nr >= reach_cap) return BW_FALLBACK;
+        reach_buf[2 * nr] = at_i;
+        reach_buf[2 * nr + 1] = i;
+        nr++;
+        if (nr > 64) {
+            int64_t w = 0, k;
+            for (k = 0; k < nr; k++) {
+                if (reach_buf[2 * k] > i) {
+                    reach_buf[2 * w] = reach_buf[2 * k];
+                    reach_buf[2 * w + 1] = reach_buf[2 * k + 1];
+                    w++;
+                }
+            }
+            nr = w;
+        }
+        st[ST_NREACH] = nr;
+    }
+    if (!fl[FL_PROGRESS]) st[ST_WASTED_PC] += 1;
+    st[ST_PC] += 1;
+    if (st[ST_PC] > max_pc) return BW_FALLBACK;
+    st[ST_PHASE] = PH_RESTART;
+    return bw_restart(ontimes, n_ontimes, rcost, prog_default,
+                      prog_adaptive, max_pc, st, fl);
+}
+
+/* The useful/re-executed split of an executed span [st[ST_I], m). */
+static void bw_account(int64_t m, const int64_t *gcum,
+                       int64_t *st, uint8_t *fl)
+{
+    int64_t s = st[ST_I], fu = st[ST_FURTHEST];
+    if (m <= fu) {
+        st[ST_REEXEC] += gcum[m] - gcum[s];
+    } else if (s >= fu) {
+        st[ST_USEFUL] += gcum[m] - gcum[s];
+        st[ST_FURTHEST] = m;
+        fl[FL_PROGRESS] = 1;
+    } else {
+        st[ST_REEXEC] += gcum[fu] - gcum[s];
+        st[ST_USEFUL] += gcum[m] - gcum[fu];
+        st[ST_FURTHEST] = m;
+        fl[FL_PROGRESS] = 1;
+    }
+}
+
+int64_t batch_walk(
+    const int64_t *gcum,       /* [n+1] trace cycle prefix sums */
+    const int64_t *acc,        /* [n] per-access cycles */
+    int32_t n,
+    const uint8_t *forced_mask,/* [n+1] forced-checkpoint membership */
+    const int32_t *slot_of,    /* [(n+1)*4] key -> slot, -1 unknown */
+    const int32_t *sec_end,    /* per slot: end, cause id, kind, nsteps */
+    const int32_t *sec_cause,
+    const int32_t *sec_kind,
+    const int32_t *sec_nsteps,
+    const int64_t *steps_off,  /* per slot: offset into steps_val */
+    const int32_t *steps_val,  /* flattened wbb growth steps */
+    const int64_t *ontimes,    /* this row's schedule on-times */
+    int64_t n_ontimes,
+    int64_t base_ck, int64_t flush_base, int64_t per_entry, int64_t rcost,
+    int64_t perf_load, int64_t prog_default,
+    int32_t prog_adaptive, int32_t ig_fw,
+    int64_t max_pc,
+    int32_t cause_prog, int32_t cause_perf, int32_t cause_output,
+    int32_t cut_ok,            /* 1: first cut check this call is safe */
+    int64_t *st,               /* [BW_NSLOTS] persistent row state */
+    uint8_t *fl,               /* [BW_NFLAGS] persistent row flags */
+    int64_t *counts,           /* per-cause checkpoint counters */
+    int64_t *reach_buf,        /* [2*reach_cap] (reach, start) pairs */
+    int32_t reach_cap,
+    int64_t *out)              /* stop-code details */
+{
+    int rc;
+    if (st[ST_PHASE] == PH_RESTART) {
+        rc = bw_restart(ontimes, n_ontimes, rcost, prog_default,
+                        prog_adaptive, max_pc, st, fl);
+        if (rc) return rc;
+        st[ST_PHASE] = PH_WALK;
+    }
+    for (;;) {
+        int64_t s = st[ST_I];
+        int64_t variant = 0;
+        int64_t key, base, on_left;
+        int32_t slot, end, kind;
+        int32_t fire_m = -1, fire_prog = 0, u;
+        if (fl[FL_DIRECT]) {
+            variant = BVAR_DIRECT;
+        } else if (st[ST_FORCED_DONE] == s && forced_mask[s]) {
+            variant = BVAR_FORCED_DONE;
+        }
+        key = (s << 2) | variant;
+        slot = slot_of[key];
+        if (slot < 0) {
+            out[0] = key;
+            return BW_NEED_SECTION;
+        }
+        end = sec_end[slot];
+        kind = sec_kind[slot];
+        base = gcum[s];
+        on_left = st[ST_ONLEFT];
+
+        if (fl[FL_PROG_EN]) {
+            int32_t j = bw_bisect_left64(gcum, base + st[ST_PROG_REM],
+                                         (int32_t)s + 1, end + 1);
+            if (j <= end) {
+                fire_m = j - 1;
+                fire_prog = 1;
+            }
+        }
+        if (perf_load > 0) {
+            int32_t j = bw_bisect_left64(gcum, base + perf_load,
+                                         (int32_t)s + 1, end + 1);
+            if (j <= end && (fire_m < 0 || j - 1 < fire_m)) {
+                fire_m = j - 1;
+                fire_prog = 0;
+            }
+        }
+
+        u = bw_bisect_right64(gcum, base + on_left,
+                              (int32_t)s + 1, end + 1);
+        if (u <= end && (fire_m < 0 || u - 1 <= fire_m)) {
+            /* Power fails mid-span. */
+            int64_t mf = u - 1;
+            int32_t was_direct = fl[FL_DIRECT];
+            bw_account(mf, gcum, st, fl);
+            st[ST_WASTED] += on_left - (gcum[mf] - base);
+            if (!(was_direct && mf == s)) st[ST_FORCED_DONE] = -1;
+            fl[FL_DIRECT] = 0;
+            rc = bw_power_loss(mf, ontimes, n_ontimes, rcost,
+                               prog_default, prog_adaptive, max_pc,
+                               ig_fw, reach_buf, reach_cap, st, fl);
+            if (rc) return rc;
+            st[ST_PHASE] = PH_WALK;
+            continue;
+        }
+
+        if (fire_m >= 0) {
+            /* A watchdog fires after access fire_m. */
+            int64_t m1 = fire_m + 1;
+            int64_t span = gcum[m1] - base;
+            int64_t off = steps_off[slot];
+            int32_t nwbb = bw_bisect_left32(
+                steps_val + off, (int32_t)m1, 0, sec_nsteps[slot]) ;
+            int64_t c = base_ck
+                + (nwbb ? flush_base + nwbb * per_entry : 0);
+            if (on_left - span >= c && ig_fw && st[ST_FURTHEST] > m1) {
+                /* The cut needs watchdog_cut_safe — decided in Python,
+                 * before any mutation so the resume re-derives it. */
+                if (cut_ok != 1) {
+                    out[0] = s;
+                    out[1] = variant;
+                    out[2] = m1;
+                    out[3] = st[ST_FURTHEST];
+                    return BW_NEED_CUT;
+                }
+                cut_ok = -1;
+            }
+            bw_account(m1, gcum, st, fl);
+            st[ST_ONLEFT] = on_left = on_left - span;
+            if (on_left < c) {
+                st[ST_WASTED] += on_left;
+                fl[FL_DIRECT] = 0;
+                rc = bw_power_loss(m1, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] -= c;
+            st[ST_CKPT] += c;
+            st[ST_WBB] += nwbb;
+            counts[fire_prog ? cause_prog : cause_perf] += 1;
+            if (prog_default > 0) {
+                fl[FL_PROG_EN] = 0;
+                st[ST_PROG_NV] = 0;
+                fl[FL_PROG_NO_CKPT] = 0;
+            }
+            fl[FL_PROGRESS] = 1;
+            st[ST_I] = m1;
+            fl[FL_DIRECT] = 0;
+            continue;
+        }
+
+        /* The whole span executes; handle the boundary. */
+        bw_account(end, gcum, st, fl);
+        st[ST_ONLEFT] = on_left = on_left - (gcum[end] - base);
+
+        if (kind == BSEC_DETECTOR || kind == BSEC_TEXT
+            || kind == BSEC_OUTPUT) {
+            int64_t ce = acc[end];
+            int32_t nwbb;
+            int64_t c;
+            if (on_left < ce) {
+                st[ST_WASTED] += on_left;
+                st[ST_FORCED_DONE] = -1;
+                fl[FL_DIRECT] = 0;
+                rc = bw_power_loss(end, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            nwbb = sec_nsteps[slot];
+            c = base_ck + (nwbb ? flush_base + nwbb * per_entry : 0);
+            if (on_left < c) {
+                st[ST_WASTED] += on_left;
+                fl[FL_DIRECT] = 0;
+                rc = bw_power_loss(end, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] = on_left = on_left - c;
+            st[ST_CKPT] += c;
+            st[ST_WBB] += nwbb;
+            counts[sec_cause[slot]] += 1;
+            if (prog_default > 0) {
+                fl[FL_PROG_EN] = 0;
+                st[ST_PROG_NV] = 0;
+                fl[FL_PROG_NO_CKPT] = 0;
+            }
+            fl[FL_PROGRESS] = 1;
+            st[ST_I] = end;
+
+            if (kind == BSEC_DETECTOR) {
+                fl[FL_DIRECT] = 0;
+                continue;
+            }
+            if (kind == BSEC_TEXT) {
+                fl[FL_DIRECT] = 1;
+                continue;
+            }
+
+            /* BSEC_OUTPUT: the GO phase. */
+            fl[FL_DIRECT] = 0;
+            if (on_left < ce) {
+                st[ST_WASTED] += on_left;
+                st[ST_FORCED_DONE] = -1;
+                rc = bw_power_loss(end, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] = on_left = on_left - ce;
+            st[ST_OUTPUTS] += 1;
+            if (end < st[ST_FURTHEST]) {
+                st[ST_DUP] += 1;
+                st[ST_REEXEC] += ce;
+            } else {
+                st[ST_USEFUL] += ce;
+                st[ST_FURTHEST] = end + 1;
+                fl[FL_PROGRESS] = 1;
+            }
+            if (on_left < base_ck) {
+                st[ST_WASTED] += on_left;
+                rc = bw_power_loss(end + 1, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] -= base_ck;
+            st[ST_CKPT] += base_ck;
+            counts[cause_output] += 1;
+            if (prog_default > 0) {
+                fl[FL_PROG_EN] = 0;
+                st[ST_PROG_NV] = 0;
+                fl[FL_PROG_NO_CKPT] = 0;
+            }
+            fl[FL_PROGRESS] = 1;
+            st[ST_I] = end + 1;
+            continue;
+        }
+
+        if (kind == BSEC_FORCED) {
+            int32_t nwbb = sec_nsteps[slot];
+            int64_t c = base_ck
+                + (nwbb ? flush_base + nwbb * per_entry : 0);
+            if (on_left < c) {
+                st[ST_WASTED] += on_left;
+                st[ST_FORCED_DONE] = -1;
+                fl[FL_DIRECT] = 0;
+                rc = bw_power_loss(end, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] -= c;
+            st[ST_CKPT] += c;
+            st[ST_WBB] += nwbb;
+            counts[sec_cause[slot]] += 1;
+            if (prog_default > 0) {
+                fl[FL_PROG_EN] = 0;
+                st[ST_PROG_NV] = 0;
+                fl[FL_PROG_NO_CKPT] = 0;
+            }
+            fl[FL_PROGRESS] = 1;
+            st[ST_FORCED_DONE] = end;
+            st[ST_I] = end;
+            fl[FL_DIRECT] = 0;
+            continue;
+        }
+
+        /* BSEC_FINAL. */
+        {
+            int32_t nwbb = sec_nsteps[slot];
+            int64_t c = base_ck
+                + (nwbb ? flush_base + nwbb * per_entry : 0);
+            if (on_left < c) {
+                st[ST_WASTED] += on_left;
+                fl[FL_DIRECT] = 0;
+                rc = bw_power_loss(n, ontimes, n_ontimes, rcost,
+                                   prog_default, prog_adaptive, max_pc,
+                                   ig_fw, reach_buf, reach_cap, st, fl);
+                if (rc) return rc;
+                st[ST_PHASE] = PH_WALK;
+                continue;
+            }
+            st[ST_ONLEFT] -= c;
+            st[ST_CKPT] += c;
+            st[ST_WBB] += nwbb;
+            counts[sec_cause[slot]] += 1;
+            if (prog_default > 0) {
+                fl[FL_PROG_EN] = 0;
+                st[ST_PROG_NV] = 0;
+                fl[FL_PROG_NO_CKPT] = 0;
+            }
+            return BW_DONE;
+        }
+    }
+}

@@ -138,6 +138,23 @@ def _build() -> Optional[ctypes.CDLL]:
         p, p, p, p, p,                      # event outputs
         p,                                  # meta_out
     )
+    try:
+        bw = lib.batch_walk
+    except AttributeError as exc:  # pragma: no cover - stale .so only
+        _status = f"load failed: {exc}"
+        return None
+    c_i64 = ctypes.c_int64
+    bw.restype = c_i64
+    bw.argtypes = (
+        p, p, c_i32, p,                     # gcum, acc, n, forced_mask
+        p, p, p, p, p, p, p,                # section tables
+        p, c_i64,                           # ontimes, n_ontimes
+        c_i64, c_i64, c_i64, c_i64,         # base_ck, flush, entry, rcost
+        c_i64, c_i64, c_i32, c_i32,         # watchdog loads, flags
+        c_i64,                              # max_pc
+        c_i32, c_i32, c_i32, c_i32,         # cause ids, cut_ok
+        p, p, p, p, c_i32, p,               # st, fl, counts, reaches, out
+    )
     _status = f"loaded ({so_path})"
     return lib
 

@@ -48,6 +48,10 @@ PARALLEL_DRIVERS = frozenset(
      "ablation_undo")
 )
 
+#: Drivers with a Monte Carlo ``--seeds N`` variant (batched seed-repeat
+#: jobs reporting mean ± 95% CI).
+_SEEDED_DRIVERS = frozenset(("fig5", "fig8"))
+
 _PROFILE_PATH = os.path.join("results", "profile.txt")
 _BENCH_PATH = os.path.join("results", "BENCH_sweep.json")
 _LEDGER_PATH = os.path.join("results", "run_ledger.jsonl")
@@ -88,6 +92,10 @@ def main(argv=None) -> int:
                         help="write the run-provenance ledger (JSONL) to "
                              "PATH; full runs default to "
                              f"{_LEDGER_PATH}")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="Monte Carlo seed-repeat mode for fig5/fig8: "
+                             "replay N power schedules per point through "
+                             "the batched engine and report mean ± 95%% CI")
     parser.add_argument("--arch", metavar="PATH", default=None,
                         help="collect per-section architectural statistics "
                              "(buffer occupancy, hazard attribution) and "
@@ -123,7 +131,11 @@ def main(argv=None) -> int:
             )
             runs_before = PROFILER.total_sim_runs
             with PROFILER.phase(name), telemetry.LEDGER.driver_phase(name):
-                if name in PARALLEL_DRIVERS:
+                if args.seeds and name in _SEEDED_DRIVERS:
+                    data = module.run(
+                        settings, n_workers=n_workers, seeds=args.seeds
+                    )
+                elif name in PARALLEL_DRIVERS:
                     data = module.run(settings, n_workers=n_workers)
                 else:
                     data = module.run(settings)
@@ -167,7 +179,12 @@ def main(argv=None) -> int:
         ledger = telemetry.LEDGER
         engines = ledger.engine_counts()
         mix = ", ".join(f"{n} {e}" for e, n in sorted(engines.items()))
-        print(f"[ledger: {len(ledger.records)} runs — {mix or 'none'}]")
+        total_rows = ledger.total_rows()
+        rows_note = (
+            f" in {len(ledger.records)} records"
+            if total_rows != len(ledger.records) else ""
+        )
+        print(f"[ledger: {total_rows} runs{rows_note} — {mix or 'none'}]")
         ledger_path = args.ledger
         if ledger_path is None and not args.quick:
             ledger_path = _LEDGER_PATH
@@ -181,6 +198,7 @@ def main(argv=None) -> int:
                     "experiments": list(names),
                     "jobs": n_workers,
                     "seed": args.seed,
+                    "seeds": args.seeds,
                     "quick": args.quick,
                     "verify": args.verify,
                     "cache_enabled": artifact_cache.store() is not None,
@@ -238,6 +256,7 @@ def main(argv=None) -> int:
                     "puts": PROFILER.disk_cache_puts,
                 },
                 "engines": engines,
+                "engine_mix": "batch" if "batch" in engines else "scalar",
                 "fallback_reasons": {
                     reason: n
                     for reason, n in dispatch["reasons"].items() if n

@@ -17,13 +17,13 @@ the ``R`` family.
 """
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ClankConfig
 from repro.eval.parallel import SimJob, run_jobs
 from repro.eval.pareto import Point, pareto_frontier
-from repro.eval.runner import average
+from repro.eval.runner import average, ci95
 from repro.eval.settings import DEFAULT_SETTINGS, EvalSettings
 from repro.workloads.registry import mibench2_names
 
@@ -57,14 +57,22 @@ FAMILIES = ("R", "R+W", "R+W+B", "R+W+B+A", "R+W+B+A+C")
 @dataclass
 class Fig5Data:
     """Per-family Pareto frontiers of (buffer bits, avg checkpoint
-    overhead, config label)."""
+    overhead, config label).
+
+    In ``--seeds N`` mode (``seeds > 1``), ``ci`` maps ``(family, label)``
+    of every frontier point to ``(multi-seed mean, 95% half-width)`` of
+    the cross-benchmark average overhead.
+    """
 
     frontiers: Dict[str, List[Point]]
+    ci: Dict[Tuple[str, str], Tuple[float, float]] = field(default_factory=dict)
+    seeds: int = 1
 
 
 def run(
     settings: EvalSettings = DEFAULT_SETTINGS,
     n_workers: Optional[int] = None,
+    seeds: int = 1,
 ) -> Fig5Data:
     """Sweep all families over the benchmark suite (sweep-size traces).
 
@@ -73,6 +81,15 @@ def run(
     the label string, so distinct compositions can never collide — then
     runs one benchmark-suite job batch per unique pair through the
     parallel engine.
+
+    With ``seeds > 1`` a *frontier refinement* pass follows: the full
+    grid at 100 seeds would be ~1.3M simulator runs, so the standard
+    one-seed sweep locates the Pareto frontiers exactly as before, and
+    only the frontier configurations are re-run as batched seed-repeat
+    jobs (:class:`SimJob` ``n_seeds``) to attach mean ± 95% CI of the
+    cross-benchmark average.  Row 0 of every batch replays the original
+    per-benchmark salt, so the one-seed sweep value is always one of the
+    samples behind each interval.
     """
     names = mibench2_names()
     keys: List[Tuple[int, int, int, int, bool]] = []
@@ -110,14 +127,78 @@ def run(
             value = overhead[config.as_tuple() + (use_compiler,)]
             points.append((config.buffer_bits, value, config.label()))
         frontiers[family] = pareto_frontier(points)
-    return Fig5Data(frontiers=frontiers)
+    data = Fig5Data(frontiers=frontiers)
+    if seeds <= 1:
+        return data
+
+    # Frontier refinement: batched seed-repeat jobs for the frontier
+    # configurations only.  ``seed_stride=len(names)`` keeps every
+    # (benchmark, seed-row) salt distinct within a configuration while
+    # row 0 reuses the original name-indexed salt of the one-seed sweep.
+    label_to_key: Dict[Tuple[str, str], Tuple[int, int, int, int, bool]] = {}
+    refine: List[Tuple[int, int, int, int, bool]] = []
+    seen_refine = set()
+    for family in FAMILIES:
+        use_compiler = family.endswith("+C")
+        by_label = {
+            config.label(): config.as_tuple()
+            for config in family_configs(family.replace("+C", ""))
+        }
+        for _bits, _value, label in frontiers[family]:
+            key = by_label[label] + (use_compiler,)
+            label_to_key[(family, label)] = key
+            if key not in seen_refine:
+                seen_refine.add(key)
+                refine.append(key)
+    jobs = [
+        SimJob(
+            workload=name,
+            config=key[:4],
+            size=settings.sweep_size,
+            salt=salt,
+            use_compiler=key[4],
+            n_seeds=seeds,
+            seed_stride=len(names),
+        )
+        for key in refine
+        for salt, name in enumerate(names)
+    ]
+    results = iter(run_jobs(jobs, settings, n_workers))
+    stats: Dict[Tuple[int, int, int, int, bool], Tuple[float, float]] = {}
+    for key in refine:
+        columns = [
+            next(results).column("checkpoint_overhead") for _ in names
+        ]
+        rows = min(len(column) for column in columns)
+        # Per-seed cross-benchmark averages: the statistic the figure
+        # plots, sampled once per power-schedule seed.
+        averaged = [
+            average(column[row] for column in columns) for row in range(rows)
+        ]
+        stats[key] = (average(averaged), ci95(averaged))
+    data.seeds = seeds
+    for pair, key in label_to_key.items():
+        data.ci[pair] = stats[key]
+    return data
 
 
 def render(data: Fig5Data) -> str:
-    """Text rendering: one frontier per family."""
-    out = ["Figure 5: buffer bits vs average checkpoint overhead (Pareto frontiers)"]
+    """Text rendering: one frontier per family.  CI mode swaps each
+    frontier value for its multi-seed mean ± 95% half-width; the default
+    rendering is unchanged."""
+    title = "Figure 5: buffer bits vs average checkpoint overhead (Pareto frontiers)"
+    if data.seeds > 1:
+        title += f" — {data.seeds} seeds, mean ± 95% CI"
+    out = [title]
     for family in FAMILIES:
         out.append(f"-- {family}")
         for bits, overhead, label in data.frontiers[family]:
-            out.append(f"   {int(bits):5d} bits  {overhead:7.2%}  ({label})")
+            stats = data.ci.get((family, label))
+            if stats is not None:
+                mean, half = stats
+                out.append(
+                    f"   {int(bits):5d} bits  {mean:7.2%} ±{half:5.2%}  ({label})"
+                )
+            else:
+                out.append(f"   {int(bits):5d} bits  {overhead:7.2%}  ({label})")
     return "\n".join(out)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import repro.cache as artifact_cache
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.core.config import ClankConfig, PolicyOptimizations
 from repro.eval.settings import EvalSettings
 from repro.obs import telemetry
@@ -40,13 +40,21 @@ from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR
 from repro.obs.profile import PROFILER
 from repro.power.schedules import RuntPower
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim import batch as batch_dispatch
 from repro.sim import fast as fast_dispatch
 from repro.sim import sections
+from repro.sim.batch import BatchResult, simulate_batch
 from repro.sim.fast import simulate_fast
 from repro.sim.result import SimulationResult
 from repro.sim.undo_log import UndoLogSimulator
 from repro.workloads import cache as trace_cache
 from repro.workloads.cache import get_trace
+
+#: Initial schedule-matrix columns for batched seed-repeat jobs.  Small on
+#: purpose: most runs span a handful of power cycles at the default mean
+#: on-time, and the batch engine doubles columns on demand — over-drawing
+#: here costs real time (one Python expovariate call per cell per row).
+_BATCH_SEGMENTS = 8
 
 #: Fixed-cost checkpoints (no per-word flush cost), as Section 7.4's
 #: analytic treatment assumes.  Lives here (not in fig8) so job descriptors
@@ -110,6 +118,17 @@ class SimJob:
         max_power_cycles: Abort threshold override (None = generous default).
         allow_stall: Treat a no-forward-progress abort as a ``None`` result
             instead of an error (the progress ablation's "stalled" cells).
+        n_seeds: Power-schedule seed repeats.  1 (the default) is the
+            classic scalar job; > 1 makes this a *seed-repeat* job executed
+            as one batched lockstep replay (:mod:`repro.sim.batch`) whose
+            row ``i`` is exactly the scalar job at salt
+            ``salt + i*seed_stride`` — ``execute_job`` then returns a
+            :class:`~repro.sim.batch.BatchResult` instead of one
+            :class:`SimulationResult`.  Only ``engine="clank"`` with the
+            exponential schedule supports seed repeats.
+        seed_stride: Salt distance between consecutive seed-repeat rows
+            (drivers that interleave salts across workloads set this to
+            their interleave stride so row salts never collide).
     """
 
     workload: str
@@ -133,6 +152,8 @@ class SimJob:
     cost_model: str = "default"
     max_power_cycles: Optional[int] = None
     allow_stall: bool = False
+    n_seeds: int = 1
+    seed_stride: int = 1
 
     def clank_config(self) -> ClankConfig:
         """The job's hardware configuration object."""
@@ -147,7 +168,8 @@ class SimJob:
 
     def weight(self) -> float:
         """Dispatch weight (expected relative cost)."""
-        return _WORKLOAD_WEIGHTS.get(self.workload, _DEFAULT_WEIGHT)
+        base = _WORKLOAD_WEIGHTS.get(self.workload, _DEFAULT_WEIGHT)
+        return base * max(1, self.n_seeds)
 
 
 #: Cache of epoch compilation plans, content-keyed like ``_PI_CACHE``.
@@ -186,8 +208,15 @@ def execute_job(
     fallback reason, the chain-scan kernel, and the result-cache tier
     outcome.  Recording happens strictly after dispatch, so telemetry
     cannot change which engine runs.
+
+    Seed-repeat jobs (``n_seeds > 1``) return a
+    :class:`~repro.sim.batch.BatchResult` instead — see
+    :func:`_execute_batch`.
     """
     from repro.eval.runner import pi_words_for
+
+    if job.n_seeds > 1:
+        return _execute_batch(job, settings)
 
     trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
     config = job.clank_config()
@@ -340,6 +369,174 @@ def execute_job(
     return result, elapsed
 
 
+def _execute_batch(
+    job: SimJob, settings: EvalSettings
+) -> Tuple[BatchResult, float]:
+    """Run one seed-repeat job as a single batched lockstep replay.
+
+    Row ``i`` of the returned :class:`~repro.sim.batch.BatchResult` is
+    bit-identical to the scalar job at salt ``salt + i*seed_stride``
+    (rows the batch engine cannot carry rerun through ``simulate_fast``
+    transparently), so a driver can swap N scalar repeats for one
+    seed-repeat job without changing a single result.
+
+    Telemetry folds the whole batch into one ``engine="batch"`` record
+    carrying ``rows=<lockstep rows>``; rows served scalar get their own
+    records, so the ledger's row-weighted totals still reconcile
+    run-for-run.  Whole ``BatchResult``s participate in the persistent
+    result cache under their own key namespace.
+    """
+    from repro.eval.runner import pi_words_for
+
+    if job.engine != "clank" or job.schedule != "exp":
+        raise ConfigError(
+            "seed-repeat jobs (n_seeds > 1) require engine='clank' with "
+            "the exponential schedule"
+        )
+    if not batch_dispatch.numpy_available():
+        return _execute_rows_scalar(job, settings)
+    trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
+    config = job.clank_config()
+    ledger = telemetry.LEDGER
+
+    def ledger_record(engine, reason=None, result_cache="off", rows=1,
+                      salt=None, stalled=False, wall_s=0.0, t_start=None):
+        if not ledger.enabled:
+            return
+        ledger.record(telemetry.RunRecord(
+            workload=job.workload,
+            config=config.label(),
+            engine=engine,
+            fallback_reason=reason,
+            kernel=telemetry.active_kernel()
+            if engine in (telemetry.ENGINE_BATCH, telemetry.ENGINE_FAST)
+            else None,
+            result_cache=result_cache,
+            size=job.size,
+            salt=job.salt if salt is None else salt,
+            driver=ledger.driver,
+            stalled=stalled,
+            rows=rows,
+            wall_s=wall_s,
+            t_start=ledger.now() if t_start is None else t_start,
+            worker=os.getpid(),
+        ))
+
+    st = artifact_cache.store()
+    rkey = None
+    if st is not None and not settings.verify:
+        rkey = artifact_cache.content_key(
+            "batch-result", trace.compiled().content_key,
+            trace.memory_map.text_word_range,
+            trace.memory_map.word_range("mmio"),
+            job, _COST_MODELS[job.cost_model],
+            settings.seed, settings.avg_on_ms, settings.clock_hz,
+        )
+        cached = st.get("result", rkey)
+        if isinstance(cached, dict):
+            ledger_record("disk-cached-result", result_cache="hit",
+                          rows=job.n_seeds)
+            restored = BatchResult.from_dict(cached)
+            for row in restored.results:
+                if row is not None:
+                    ARCH_COLLECTOR.fold_causes(
+                        job.workload, config.label(),
+                        row.checkpoints_by_cause, "disk-cached-result",
+                    )
+                else:
+                    ARCH_COLLECTOR.fold_stalled(job.workload, config.label())
+            return restored, 0.0
+    result_cache = "miss" if rkey is not None else "off"
+
+    pi_words = pi_access_indices = forced_checkpoints = None
+    if job.epoch_cycles > 0:
+        plan = _epoch_plan(trace, job.epoch_cycles)
+        pi_access_indices = plan.ignorable
+        forced_checkpoints = plan.boundaries
+    elif job.use_compiler:
+        pi_words = pi_words_for(trace)
+    volatile_ranges = None
+    if job.volatile_segments:
+        volatile_ranges = tuple(
+            trace.memory_map.word_range(name)
+            for name in job.volatile_segments
+        )
+
+    schedules = settings.schedule(job.salt).batch(
+        job.n_seeds, _BATCH_SEGMENTS, seed_stride=job.seed_stride
+    )
+    start = time.perf_counter()
+    t_start = start - ledger.epoch
+    batch = simulate_batch(
+        trace,
+        config,
+        schedules,
+        allow_stall=job.allow_stall,
+        cost_model=_COST_MODELS[job.cost_model],
+        perf_watchdog=job.perf_watchdog,
+        progress_watchdog=job.progress_watchdog,
+        progress_watchdog_adaptive=job.progress_watchdog_adaptive,
+        pi_words=pi_words,
+        pi_access_indices=pi_access_indices,
+        forced_checkpoints=forced_checkpoints,
+        volatile_ranges=volatile_ranges,
+        verify=settings.verify,
+        max_power_cycles=job.max_power_cycles,
+    )
+    elapsed = time.perf_counter() - start
+    if rkey is not None:
+        st.put("result", rkey, batch.to_dict())
+
+    batch_rows = batch.batch_rows
+    if batch_rows:
+        ledger_record(telemetry.ENGINE_BATCH, result_cache=result_cache,
+                      rows=batch_rows, wall_s=elapsed, t_start=t_start)
+    for r, engine in enumerate(batch.engines):
+        if engine == "batch":
+            continue
+        ledger_record(
+            engine,
+            reason=batch.reasons[r],
+            result_cache=result_cache,
+            salt=job.salt + r * job.seed_stride,
+            stalled=engine == "stalled",
+            t_start=t_start,
+        )
+    return batch, elapsed
+
+
+def _execute_rows_scalar(
+    job: SimJob, settings: EvalSettings
+) -> Tuple[BatchResult, float]:
+    """Seed-repeat execution without NumPy: no schedule matrix can be
+    built, so each row runs as the plain scalar job at its salt — same
+    results, per-row cost — and the rows assemble into a
+    :class:`BatchResult` by hand.  Each scalar run writes its own ledger
+    record, so row accounting still reconciles."""
+    import dataclasses
+
+    batch = BatchResult(
+        name=job.workload, config_label=job.clank_config().label()
+    )
+    total = 0.0
+    for r in range(job.n_seeds):
+        row = dataclasses.replace(
+            job, n_seeds=1, salt=job.salt + r * job.seed_stride
+        )
+        result, seconds = execute_job(row, settings)
+        total += seconds
+        batch.results.append(result)
+        if result is None:
+            batch.engines.append("stalled")
+            batch.reasons.append(None)
+        else:
+            engine, reason = fast_dispatch.last_dispatch()
+            batch.engines.append(engine)
+            batch.reasons.append(reason)
+    batch_dispatch._count_fallback("no-numpy", job.n_seeds)
+    return batch, total
+
+
 # --------------------------------------------------------------------- #
 # Worker side.
 # --------------------------------------------------------------------- #
@@ -360,6 +557,7 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     sect_before = sections.cache_stats()
     disk_before = artifact_cache.stats()
     disp_before = fast_dispatch.dispatch_stats()
+    batch_before = batch_dispatch.batch_stats()
     tele_before = len(telemetry.LEDGER.records)
     # Architecture-stats folds mirror into a per-job capture list so the
     # parent can replay them in submission order (determinism at any
@@ -379,9 +577,35 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     sect_after = sections.cache_stats()
     disk_after = artifact_cache.stats()
     disp_after = fast_dispatch.dispatch_stats()
+    batch_after = batch_dispatch.batch_stats()
+    if isinstance(result, BatchResult):
+        payload_result = result.to_dict()
+        is_batch = True
+    else:
+        payload_result = (
+            None if result is None
+            else result.to_dict(include_derived=False)
+        )
+        is_batch = False
     return idx, {
         "workload": job.workload,
-        "result": None if result is None else result.to_dict(include_derived=False),
+        "result": payload_result,
+        "batch": is_batch,
+        "sim_runs": max(1, job.n_seeds),
+        "batch_stats": {
+            "batches": batch_after["batches"] - batch_before["batches"],
+            "rows_batched": (
+                batch_after["rows_batched"] - batch_before["rows_batched"]
+            ),
+            "rows_fallback": (
+                batch_after["rows_fallback"] - batch_before["rows_fallback"]
+            ),
+            "reasons": {
+                reason: n - batch_before["reasons"].get(reason, 0)
+                for reason, n in batch_after["reasons"].items()
+                if n != batch_before["reasons"].get(reason, 0)
+            },
+        },
         "sim_seconds": sim_seconds,
         "telemetry": [
             rec.to_dict()
@@ -453,8 +677,12 @@ def run_jobs(
     jobs: List[SimJob],
     settings: EvalSettings,
     n_workers: Optional[int] = None,
-) -> List[Optional[SimulationResult]]:
+) -> List[Union[SimulationResult, BatchResult, None]]:
     """Execute ``jobs`` and return their results in submission order.
+
+    A seed-repeat job (``n_seeds > 1``) yields one
+    :class:`~repro.sim.batch.BatchResult` in its slot; everything else
+    yields a :class:`SimulationResult` (or ``None`` for allowed stalls).
 
     With ``n_workers`` resolving to 1 every job runs in-process — the
     exact serial path the drivers always had.  Otherwise jobs are
@@ -475,11 +703,13 @@ def run_jobs(
     """
     n_workers = resolve_workers(n_workers)
     if n_workers <= 1 or len(jobs) <= 1:
-        results: List[Optional[SimulationResult]] = []
+        results = []
         for job in jobs:
             result, sim_seconds = execute_job(job, settings)
             if settings.profile:
-                PROFILER.record_sim(job.workload, sim_seconds)
+                PROFILER.record_sim(
+                    job.workload, sim_seconds, runs=max(1, job.n_seeds)
+                )
             results.append(result)
         return results
 
@@ -502,7 +732,10 @@ def run_jobs(
     for i in range(len(jobs)):
         payload = payloads[i]
         if settings.profile:
-            PROFILER.record_sim(payload["workload"], payload["sim_seconds"])
+            PROFILER.record_sim(
+                payload["workload"], payload["sim_seconds"],
+                runs=payload.get("sim_runs", 1),
+            )
         PROFILER.record_worker_cache(
             payload["cache_hits"], payload["cache_misses"]
         )
@@ -520,9 +753,15 @@ def run_jobs(
             evictions=payload.get("disk_evictions", 0),
         )
         fast_dispatch.merge_dispatch_stats(payload.get("dispatch", {}))
+        batch_dispatch.merge_batch_stats(payload.get("batch_stats", {}))
         for rec in payload.get("telemetry", ()):
             telemetry.LEDGER.record(telemetry.RunRecord.from_dict(rec))
         ARCH_COLLECTOR.merge_entries(payload.get("arch", ()))
         raw = payload["result"]
-        results.append(None if raw is None else SimulationResult.from_dict(raw))
+        if payload.get("batch"):
+            results.append(BatchResult.from_dict(raw))
+        else:
+            results.append(
+                None if raw is None else SimulationResult.from_dict(raw)
+            )
     return results

@@ -131,3 +131,20 @@ def average(values: Iterable[float]) -> float:
     """Arithmetic mean (the paper's cross-benchmark averages)."""
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def ci95(values: Iterable[float]) -> float:
+    """Normal-approximation 95% confidence half-width of the mean.
+
+    ``1.96 * s / sqrt(n)`` with the sample standard deviation; 0 for
+    fewer than two values.  Matches
+    :meth:`repro.sim.batch.BatchResult.mean_ci` so figure-level and
+    batch-level intervals agree.
+    """
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return 1.96 * (var ** 0.5) / (n ** 0.5)

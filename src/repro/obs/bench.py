@@ -8,9 +8,13 @@ newest entry regress against the best comparable prior entry?*
 "Comparable" matters — a warm-cache sweep at 0.003 ms/run is not a fair
 baseline for a cache-off sweep at 0.5 ms/run, and a ``--jobs 8`` sweep's
 per-run time is not comparable to a serial one.  Entries are bucketed by
-:func:`comparable_key`: (sorted experiment set, worker count, cache state),
-where cache state classifies the disk-cache counters as ``off`` (no store),
-``warm`` (zero misses), or ``cold`` (populating).
+:func:`comparable_key`: (sorted experiment set, worker count, cache state,
+engine mix), where cache state classifies the disk-cache counters as
+``off`` (no store), ``warm`` (zero misses), or ``cold`` (populating), and
+engine mix separates batched seed-repeat sweeps (``batch``) — whose
+per-run amortised cost is structurally lower — from per-run scalar
+sweeps (``scalar``).  Entries written before the field existed derive it
+from their engine counts.
 
 CLI (wired into CI as the ``bench-regression`` job)::
 
@@ -59,10 +63,29 @@ def cache_state(entry: dict) -> str:
     return "warm" if not dc.get("misses", 0) else "cold"
 
 
-def comparable_key(entry: dict) -> Tuple[tuple, Optional[int], str]:
+def engine_mix(entry: dict) -> str:
+    """Classify an entry's simulation-engine mix: ``batch`` or ``scalar``.
+
+    Batched seed-repeat sweeps replay many power schedules per
+    trace-and-section setup, so their ``ms_per_run`` is structurally
+    lower than any per-run scalar sweep's — never a fair baseline for
+    one.  Entries predating the explicit ``engine_mix`` field fall back
+    to their per-engine run counts.
+    """
+    mix = entry.get("engine_mix")
+    if isinstance(mix, str):
+        return mix
+    engines = entry.get("engines")
+    if isinstance(engines, dict) and engines.get("batch"):
+        return "batch"
+    return "scalar"
+
+
+def comparable_key(entry: dict) -> Tuple[tuple, Optional[int], str, str]:
     """The bucket within which two entries' metrics are comparable."""
     experiments = entry.get("experiments") or []
-    return (tuple(sorted(experiments)), entry.get("jobs"), cache_state(entry))
+    return (tuple(sorted(experiments)), entry.get("jobs"),
+            cache_state(entry), engine_mix(entry))
 
 
 @dataclass
@@ -134,10 +157,12 @@ def render(history: List[dict], verdict: BenchVerdict,
             marks.append("newest")
         if entry is verdict.baseline:
             marks.append("baseline")
+        mix = engine_mix(entry)
         lines.append(
             f"   {entry.get('timestamp', '?'):<26s} "
             f"{value if value is not None else '?':>9}  "
             f"jobs={jobs} cache={state:<5s}"
+            + (f" mix={mix}" if mix != "scalar" else "")
             + (f"  <- {', '.join(marks)}" if marks else "")
         )
     lines.append(f"{'PASS' if verdict.ok else 'FAIL'}: {verdict.reason}")

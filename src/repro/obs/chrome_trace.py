@@ -21,7 +21,9 @@ ledger (:mod:`repro.obs.telemetry`), in real wall-clock microseconds: one
 ``drivers`` lane spanning each experiment driver, and one lane per worker
 process carrying a span per simulator run (engine, fallback reason, and
 cache-tier outcome in the span args) — the view that shows fork-pool
-utilization, stragglers, and where fallbacks cluster.
+utilization, stragglers, and where fallbacks cluster.  A batched
+seed-repeat record (``rows > 1``) renders as a single span labelled with
+its row count.
 """
 
 import json
@@ -286,8 +288,16 @@ def sweep_to_chrome_trace(
             args["driver"] = rec.driver
         if rec.stalled:
             args["stalled"] = True
+        # A batched seed-repeat record covers many schedule rows in one
+        # simulator call: render one span labelled with the row count
+        # (there is no per-row wall-clock to subdivide by).
+        rows = getattr(rec, "rows", 1) or 1
+        label = rec.workload
+        if rows > 1:
+            args["rows"] = rows
+            label = f"{rec.workload} x{rows}"
         out.append(
-            _span(rec.workload, _num(rec.t_start) * 1e6,
+            _span(label, _num(rec.t_start) * 1e6,
                   max(1.0, _num(rec.wall_s) * 1e6), tid_of[rec.worker], args)
         )
     return {

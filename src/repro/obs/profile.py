@@ -71,10 +71,11 @@ class Profiler:
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
             self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
 
-    def record_sim(self, workload: str, seconds: float) -> None:
-        """Account one simulator run of ``workload``."""
+    def record_sim(self, workload: str, seconds: float, runs: int = 1) -> None:
+        """Account ``runs`` simulator runs of ``workload`` (a batched
+        seed-repeat job reports all its rows in one call)."""
         self.sim_seconds[workload] = self.sim_seconds.get(workload, 0.0) + seconds
-        self.sim_runs[workload] = self.sim_runs.get(workload, 0) + 1
+        self.sim_runs[workload] = self.sim_runs.get(workload, 0) + runs
 
     def record_worker_cache(self, hits: int, misses: int) -> None:
         """Merge one parallel worker job's trace-cache hit/miss deltas

@@ -42,6 +42,7 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 __all__ = [
+    "ENGINE_BATCH",
     "ENGINE_CACHED",
     "ENGINE_FAST",
     "ENGINE_REFERENCE",
@@ -62,6 +63,7 @@ ENGINE_REFERENCE = "reference"
 ENGINE_CACHED = "disk-cached-result"
 ENGINE_UNDO = "undo"
 ENGINE_STALLED = "stalled"
+ENGINE_BATCH = "batch"
 
 
 class FallbackReason(Enum):
@@ -108,6 +110,10 @@ class RunRecord:
         salt: Power-schedule salt.
         driver: Experiment driver active when the run was dispatched.
         stalled: The run ended in a no-forward-progress abort.
+        rows: Simulator runs this record stands for.  1 for scalar runs;
+            a batched seed-repeat job (engine ``batch``) folds all its
+            lockstep rows into one record, so aggregates weight by
+            ``rows`` and ledger totals still reconcile run-for-run.
         wall_s: Wall-clock seconds inside the engine (0 for cached).
         t_start: Run start, seconds since the ledger epoch.
         worker: PID of the process that executed the run.
@@ -125,6 +131,7 @@ class RunRecord:
     salt: int = 0
     driver: Optional[str] = None
     stalled: bool = False
+    rows: int = 1
     wall_s: float = 0.0
     t_start: float = 0.0
     worker: int = 0
@@ -221,13 +228,19 @@ class RunLedger:
     # -- aggregation ---------------------------------------------------
 
     def _count_by(self, key) -> Dict[str, int]:
+        """Row-weighted counts: a batch record stands for ``rows`` runs,
+        so aggregates reconcile against per-run totals either way."""
         out: Dict[str, int] = {}
         for rec in self.records:
             k = key(rec)
             if k is None:
                 continue
-            out[k] = out.get(k, 0) + 1
+            out[k] = out.get(k, 0) + rec.rows
         return out
+
+    def total_rows(self) -> int:
+        """Simulator runs represented (each record weighted by its rows)."""
+        return sum(rec.rows for rec in self.records)
 
     def engine_counts(self) -> Dict[str, int]:
         return self._count_by(lambda r: r.engine)
@@ -262,6 +275,7 @@ class RunLedger:
         tail = {
             "type": "sweep_end",
             "runs": len(self.records),
+            "rows": self.total_rows(),
             "engines": self.engine_counts(),
             "fallback_reasons": self.fallback_counts(),
             "kernels": self.kernel_counts(),

@@ -90,6 +90,90 @@ class ExponentialPower(PowerSchedule):
     def mean_on_time(self) -> float:
         return float(self._mean)
 
+    def batch(self, n: int, segments: int,
+              seed_stride: int = 1) -> "ScheduleBatch":
+        """A :class:`ScheduleBatch` of ``n`` schedules seeded from this one.
+
+        Row ``i`` is seeded ``self.seed + i*seed_stride``, so with the
+        evaluation's salted seeding (``seed*1000003 + salt``) row ``i``
+        reproduces the scalar schedule at salt ``salt + i*stride`` — row 0
+        is always this very schedule.
+        """
+        return ScheduleBatch(
+            self._mean,
+            [self._seed + i * seed_stride for i in range(n)],
+            segments,
+            min_cycles=self._min,
+        )
+
+
+class ScheduleBatch:
+    """A matrix of exponential power schedules (rows) for batched replay.
+
+    Row ``i`` reproduces, draw for draw, the scalar
+    :class:`ExponentialPower` seeded ``seeds[i]``: each row has its own
+    ``random.Random`` and fills its on-times in the exact order
+    ``next_on_time()`` would consume them, so a batch replay and N scalar
+    replays see identical schedules.  Columns grow on demand
+    (:meth:`ensure_columns`) when a row outlives the initial guess.
+
+    The matrix is a NumPy ``int64`` array (``numpy`` imports lazily so the
+    scalar schedule classes stay dependency-free); the batch replay engine
+    gathers one column entry per row per power cycle.
+    """
+
+    def __init__(self, mean_cycles: int, seeds, segments: int,
+                 min_cycles: int = 1):
+        if mean_cycles < 1:
+            raise ConfigError("mean_cycles must be >= 1")
+        if segments < 1:
+            raise ConfigError("segments must be >= 1")
+        import numpy as np
+
+        self._np = np
+        self._mean = mean_cycles
+        self._min = min_cycles
+        self.seeds = [int(s) for s in seeds]
+        if not self.seeds:
+            raise ConfigError("need at least one seed")
+        self.rows = len(self.seeds)
+        self._rngs = [random.Random(s) for s in self.seeds]
+        self.matrix = np.empty((self.rows, 0), dtype=np.int64)
+        self.ensure_columns(segments)
+
+    def ensure_columns(self, columns: int) -> None:
+        """Grow the matrix to at least ``columns`` on-times per row.
+
+        Every row advances its own RNG in draw order, so previously
+        generated columns are never re-drawn and row ``i`` stays equal to
+        the scalar generator's first ``columns`` samples.
+        """
+        have = self.matrix.shape[1]
+        if columns <= have:
+            return
+        np = self._np
+        mean = 1.0 / self._mean
+        floor = self._min
+        grown = np.empty((self.rows, columns), dtype=np.int64)
+        grown[:, :have] = self.matrix
+        for i, rng in enumerate(self._rngs):
+            expo = rng.expovariate
+            grown[i, have:] = [
+                max(floor, int(expo(mean))) for _ in range(columns - have)
+            ]
+        self.matrix = grown
+
+    @property
+    def mean_on_time(self) -> float:
+        return float(self._mean)
+
+    def row_schedule(self, i: int) -> "ExponentialPower":
+        """A fresh scalar schedule replaying row ``i`` from its seed —
+        the exact schedule a per-row fallback must consume."""
+        return ExponentialPower(
+            self._mean, seed=self.seeds[i], min_cycles=self._min
+        )
+
 
 class UniformPower(PowerSchedule):
     """On-times drawn uniformly from ``[lo_cycles, hi_cycles]``."""
