@@ -13,17 +13,20 @@ Public surface:
 
 * :func:`store` — the process's :class:`~repro.cache.store.CacheStore`
   (``None`` when disabled).  Resolved once per process from
-  ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_MB``;
-  :func:`reset_for_tests` re-resolves.
+  ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_MB`` /
+  ``REPRO_CACHE_REMOTE`` (read-through peer URL, see
+  :mod:`repro.cache.store`); :func:`reset_for_tests` re-resolves.
 * :func:`content_key` — sha256 over a canonical ``repr`` of the parts
   (plus the format version), the addressing scheme every caller uses.
 * :func:`register_persist` / :func:`persist_caches` — flush hooks.
   Modules holding dirty in-memory artifacts register a flusher;
   the eval CLI and every cleanly exiting fork-pool worker (via
   ``atexit``) call :func:`persist_caches`.
-* :func:`stats` / :func:`reset_stats` — hit/miss/put/eviction/error
-  counters, merged into ``results/profile.txt`` per worker so "warm
-  from memory" vs "warm from disk" vs "cold" are distinguishable.
+* :func:`stats` (alias :func:`cache_stats`) / :func:`reset_stats` —
+  hit/miss/put/eviction/error plus remote-tier counters, merged into
+  ``results/profile.txt`` per worker so "warm from memory" vs "warm
+  from disk" vs "cold" are distinguishable, and surfaced by the
+  :mod:`repro.serve` ``/stats`` endpoint.
 """
 
 import atexit
@@ -34,8 +37,8 @@ from typing import Callable, Dict, List, Optional
 from repro.cache.store import CACHE_VERSION, CacheStore
 
 __all__ = [
-    "CACHE_VERSION", "CacheStore", "content_key", "store", "stats",
-    "reset_stats", "register_persist", "persist_caches",
+    "CACHE_VERSION", "CacheStore", "cache_stats", "content_key", "store",
+    "stats", "reset_stats", "register_persist", "persist_caches",
     "reset_for_tests",
 ]
 
@@ -43,7 +46,8 @@ _STORE: Optional[CacheStore] = None
 _RESOLVED = False
 #: Counters survive store re-resolution (a disabled run keeps its zeros).
 _BASE_STATS = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0,
-               "errors": 0}
+               "errors": 0, "remote_hits": 0, "remote_misses": 0,
+               "remote_errors": 0}
 
 _PERSIST_HOOKS: List[Callable[[], None]] = []
 
@@ -62,12 +66,15 @@ def store() -> Optional[CacheStore]:
                 )
             except ValueError:
                 max_mb = 512.0
+            remote = os.environ.get("REPRO_CACHE_REMOTE", "").strip() or None
             try:
                 os.makedirs(root, exist_ok=True)
             except OSError:
                 _STORE = None
             else:
-                _STORE = CacheStore(root, int(max_mb * 1024 * 1024))
+                _STORE = CacheStore(
+                    root, int(max_mb * 1024 * 1024), remote=remote
+                )
     return _STORE
 
 
@@ -93,6 +100,11 @@ def stats() -> Dict[str, int]:
     return out
 
 
+def cache_stats() -> Dict[str, int]:
+    """Alias of :func:`stats` (the serving layer's canonical name)."""
+    return stats()
+
+
 def reset_stats() -> None:
     """Zero the counters (tests and per-sweep profiling)."""
     for k in _BASE_STATS:
@@ -100,6 +112,7 @@ def reset_stats() -> None:
     st = _STORE
     if st is not None:
         st.hits = st.misses = st.puts = st.evictions = st.errors = 0
+        st.remote_hits = st.remote_misses = st.remote_errors = 0
 
 
 def register_persist(hook: Callable[[], None]) -> None:

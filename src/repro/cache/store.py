@@ -21,20 +21,37 @@ Robustness contract (exercised by ``tests/test_disk_cache.py``):
   entirely (every helper no-ops); an unwritable directory serves reads
   but drops writes after the first failure.  Callers never need to
   guard their puts.
-* **Size-capped LRU eviction** — ``REPRO_CACHE_MAX_MB`` (default 512)
-  bounds the directory.  Eviction scans are amortized (one directory
-  walk per eviction-check interval) and evict oldest-``mtime`` first;
-  gets freshen ``mtime`` so recency survives across runs.
+* **Size-capped sharded eviction** — ``REPRO_CACHE_MAX_MB`` (default
+  512) bounds the directory.  Entries fan out under two-level
+  ``kind/key[:2]/`` shard directories (sha256 keys spread uniformly, so
+  the 256 shards per kind stay balanced), and the store keeps a
+  per-shard byte estimate: after one seeding walk per process, an
+  eviction re-stats **only the shards it evicts from** — O(shard), not
+  O(store) — visiting largest shards first and evicting oldest-``mtime``
+  entries within each.  Gets freshen ``mtime`` so recency survives
+  across runs.  (Global LRU is approximate across shards; uniform
+  hashing makes per-shard oldest-first a close proxy.)
+* **Remote read-through tier** — ``REPRO_CACHE_REMOTE`` names the base
+  URL of a :mod:`repro.serve` instance; a local miss is retried as
+  ``GET {remote}/artifact/{kind}/{key}`` and a hit is written through
+  to the local directory, so multiple server instances converge on one
+  warm store.  Any remote failure (connection refused, 404, corrupt
+  payload, timeout) silently degrades to a plain local miss — the
+  remote tier can never make a get slower than one bounded timeout or
+  make it fail.
 
 The pickle format is trusted: the cache directory is a local working
-directory the user controls, exactly like the ``_sha``-cached ``.so``
-of :mod:`repro.core.cext`.
+directory the user controls (and, with a remote tier configured, a
+server the user points at deliberately), exactly like the ``_sha``-cached
+``.so`` of :mod:`repro.core.cext`.
 """
 
 import os
 import pickle
 import tempfile
-from typing import Any, Dict, Optional
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Format-version salt folded into every key by :func:`content_key`;
 #: bump when any cached payload's layout changes.
@@ -47,25 +64,42 @@ _EVICT_CHECK_INTERVAL = 32
 #: re-trigger a full scan each time the cap is grazed.
 _EVICT_TARGET = 0.9
 
+#: Default remote-tier fetch timeout (seconds); ``REPRO_CACHE_REMOTE``
+#: names a loopback/LAN peer, so a slow remote must degrade quickly.
+DEFAULT_REMOTE_TIMEOUT = 5.0
+
 
 class CacheStore:
     """Pickle store over one directory; see the module docstring."""
 
-    def __init__(self, root: str, max_bytes: int):
+    def __init__(
+        self,
+        root: str,
+        max_bytes: int,
+        remote: Optional[str] = None,
+        remote_timeout: float = DEFAULT_REMOTE_TIMEOUT,
+    ):
         self.root = root
         self.max_bytes = max_bytes
+        self.remote = remote.rstrip("/") if remote else None
+        self.remote_timeout = remote_timeout
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.evictions = 0
         self.errors = 0
+        self.remote_hits = 0
+        self.remote_misses = 0
+        self.remote_errors = 0
         self._writable = True
         self._puts_since_check = 0
-        # Running directory-size estimate: seeded by the first eviction
-        # check's walk, then advanced by each put's payload size.  The
-        # (expensive) re-walk only happens when the estimate says the cap
-        # is actually threatened — a store comfortably under its cap
-        # never walks more than once per process.
+        # Per-shard byte estimates, keyed by shard directory path: seeded
+        # by one walk the first time an eviction check actually fires,
+        # then advanced by each put's payload size.  Eviction re-stats
+        # only the shards it drains, so steady-state eviction work is
+        # O(shards touched) — a store comfortably under its cap never
+        # walks more than once per process.
+        self._shard_bytes: Optional[Dict[str, int]] = None
         self._approx_bytes: Optional[int] = None
 
     # -- paths --------------------------------------------------------- #
@@ -74,17 +108,73 @@ class CacheStore:
         # Two-level fanout keeps any one directory listing small.
         return os.path.join(self.root, kind, key[:2], key + ".pkl")
 
+    def raw_path(self, kind: str, key: str) -> str:
+        """Filesystem path of an entry (the ``/artifact`` endpoint serves
+        these bytes verbatim; they are the pickled payload)."""
+        return self._path(kind, key)
+
+    def _shards(self) -> List[str]:
+        """All shard directories (``root/kind/prefix``) currently on disk."""
+        shards = []
+        try:
+            with os.scandir(self.root) as kinds:
+                kind_dirs = [e.path for e in kinds if e.is_dir()]
+        except OSError:
+            return shards
+        for kind_dir in kind_dirs:
+            try:
+                with os.scandir(kind_dir) as prefixes:
+                    shards.extend(e.path for e in prefixes if e.is_dir())
+            except OSError:
+                continue
+        return shards
+
+    @staticmethod
+    def _scan_shard(shard: str) -> Tuple[List[Tuple[float, int, str]], int]:
+        """One shard's ``(mtime, size, path)`` entries and total bytes."""
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        try:
+            with os.scandir(shard) as it:
+                for entry in it:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        st = entry.stat()
+                    except OSError:
+                        continue  # a racing eviction got there first
+                    entries.append((st.st_mtime, st.st_size, entry.path))
+                    total += st.st_size
+        except OSError:
+            pass
+        return entries, total
+
+    def entry_count(self, kind: str, prefix: str) -> int:
+        """Entries in one shard — an O(shard) listing, never O(store)."""
+        shard = os.path.join(self.root, kind, prefix)
+        try:
+            with os.scandir(shard) as it:
+                return sum(1 for e in it if e.name.endswith(".pkl"))
+        except OSError:
+            return 0
+
     # -- operations ---------------------------------------------------- #
 
     def get(self, kind: str, key: str) -> Optional[Any]:
-        """The stored object, or ``None`` (miss, corrupt, unreadable)."""
+        """The stored object, or ``None`` (miss, corrupt, unreadable).
+
+        A local miss consults the remote tier (when configured) before
+        reporting the miss; a remote hit is written through locally.
+        """
         path = self._path(kind, key)
         try:
             with open(path, "rb") as fh:
                 obj = pickle.load(fh)
         except FileNotFoundError:
-            self.misses += 1
-            return None
+            obj = self._remote_get(kind, key)
+            if obj is None:
+                self.misses += 1
+            return obj
         except Exception:
             # Truncated/corrupted/wrong-format entry: count it, delete
             # it so a later put repairs it, and report a plain miss.
@@ -100,6 +190,32 @@ class CacheStore:
             os.utime(path)  # freshen LRU recency
         except OSError:
             pass
+        return obj
+
+    def _remote_get(self, kind: str, key: str) -> Optional[Any]:
+        """Read-through fetch from the remote tier; ``None`` on any miss
+        or failure (the caller accounts the overall miss)."""
+        if not self.remote:
+            return None
+        url = f"{self.remote}/artifact/{kind}/{key}"
+        try:
+            with urllib.request.urlopen(
+                url, timeout=self.remote_timeout
+            ) as resp:
+                blob = resp.read()
+            obj = pickle.loads(blob)
+        except urllib.error.HTTPError:
+            # The peer answered and does not have it: a clean remote miss.
+            self.remote_misses += 1
+            return None
+        except Exception:
+            # Unreachable peer, timeout, corrupt payload: degrade.
+            self.remote_errors += 1
+            return None
+        self.remote_hits += 1
+        # Write through so the next get (this process or a sibling
+        # sharing the directory) is a local hit.
+        self.put(kind, key, obj)
         return obj
 
     def put(self, kind: str, key: str, obj: Any) -> bool:
@@ -132,6 +248,11 @@ class CacheStore:
         self.puts += 1
         if self._approx_bytes is not None:
             self._approx_bytes += len(payload)
+        if self._shard_bytes is not None:
+            shard = os.path.dirname(path)
+            self._shard_bytes[shard] = (
+                self._shard_bytes.get(shard, 0) + len(payload)
+            )
         self._puts_since_check += 1
         if self._puts_since_check >= _EVICT_CHECK_INTERVAL:
             self._puts_since_check = 0
@@ -140,37 +261,42 @@ class CacheStore:
         return True
 
     def _evict_to_cap(self) -> None:
-        """One amortized walk: evict oldest files until under the cap."""
-        entries = []
-        total = 0
-        try:
-            for dirpath, _dirnames, filenames in os.walk(self.root):
-                for fname in filenames:
-                    if not fname.endswith(".pkl"):
-                        continue
-                    fpath = os.path.join(dirpath, fname)
-                    try:
-                        st = os.stat(fpath)
-                    except OSError:
-                        continue  # a racing eviction got there first
-                    entries.append((st.st_mtime, st.st_size, fpath))
-                    total += st.st_size
-        except OSError:
-            return
+        """Sharded eviction: evict oldest entries, largest shards first.
+
+        The first call seeds the per-shard byte estimates (one walk,
+        shard by shard); later calls re-stat only the shards they drain.
+        """
+        if self._shard_bytes is None:
+            seeded: Dict[str, int] = {}
+            for shard in self._shards():
+                _entries, total = self._scan_shard(shard)
+                if total:
+                    seeded[shard] = total
+            self._shard_bytes = seeded
+        total = sum(self._shard_bytes.values())
         if total <= self.max_bytes:
             self._approx_bytes = total
             return
         target = int(self.max_bytes * _EVICT_TARGET)
-        entries.sort()  # oldest mtime first
-        for _mtime, size, fpath in entries:
+        for shard in sorted(
+            self._shard_bytes, key=lambda s: -self._shard_bytes[s]
+        ):
             if total <= target:
                 break
-            try:
-                os.unlink(fpath)
-            except OSError:
-                continue  # already gone (racing worker): not our eviction
-            total -= size
-            self.evictions += 1
+            entries, actual = self._scan_shard(shard)
+            total += actual - self._shard_bytes.get(shard, 0)
+            self._shard_bytes[shard] = actual
+            entries.sort()  # oldest mtime first within the shard
+            for _mtime, size, fpath in entries:
+                if total <= target:
+                    break
+                try:
+                    os.unlink(fpath)
+                except OSError:
+                    continue  # already gone (racing worker): not ours
+                total -= size
+                self._shard_bytes[shard] -= size
+                self.evictions += 1
         self._approx_bytes = total
 
     def stats(self) -> Dict[str, int]:
@@ -180,4 +306,7 @@ class CacheStore:
             "puts": self.puts,
             "evictions": self.evictions,
             "errors": self.errors,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_errors": self.remote_errors,
         }

@@ -298,6 +298,9 @@ int64_t chain_scan(
                     }
                     if (has_pi && pi[i]) {
                         /* PI write: passes. */
+                    } else if (wbb_g[wids[i]] == g) {
+                        /* WBB-owned write: in-place update, never a
+                         * boundary — mirrors on_write. */
                     } else if (ig_fw && (op & 8)) {
                         /* False write: passes. */
                     } else {

@@ -39,6 +39,16 @@ PROCEED_WBB = 1
 CHECKPOINT = 2
 CHECKPOINT_THEN_WRITE = 3
 
+#: Detector/replay policy revision, folded into every content-addressed
+#: artifact key whose value depends on checkpoint-policy *semantics*
+#: (section enumerations, watermark families, cached simulation
+#: results).  Bump it whenever a policy fix changes what any of those
+#: artifacts would contain for the same inputs, so warm caches from
+#: older builds can never serve stale pre-fix data.  Rev 2: WBB-owned
+#: writes update in place during latest-checkpoint untracked mode
+#: instead of consulting the false-write test or checkpointing.
+POLICY_REV = 2
+
 #: A detector decision: (action, checkpoint cause or None).
 Decision = Tuple[int, Optional[str]]
 
@@ -150,6 +160,21 @@ class IdempotencyDetector:
                 Write-back Buffer overlay over non-volatile memory) — used by
                 the ignore-false-writes optimization.
         """
+        wbb_map = self._wbb_map
+        if waddr in wbb_map:
+            # Address owned by the Write-back Buffer; update in place.
+            # Checked before the untracked escape: the WBB's address
+            # comparators match every store, and a buffered write reaches
+            # non-volatile memory only at the next checkpoint flush, so
+            # the in-place update is always safe.  Routing an owned write
+            # through the untracked false-write test instead would compare
+            # against the buffered (not-yet-durable) value and could pass
+            # a value that differs from NV straight through to NV with no
+            # covering checkpoint — breaking rollback.  (Text addresses
+            # never enter the WBB under ignore-text, so this cannot
+            # shadow the text-write checkpoint below.)
+            wbb_map[waddr] = new_value
+            return _PROCEED_WBB
         if self.untracked:
             if self._ignore_false_writes and new_value == cur_value:
                 return _PROCEED
@@ -159,11 +184,6 @@ class IdempotencyDetector:
             # the write then commits directly: after the checkpoint it is
             # the first access to the address, hence write-dominated.
             return (CHECKPOINT_THEN_WRITE, "text_write")
-        wbb_map = self._wbb_map
-        if waddr in wbb_map:
-            # Address owned by the Write-back Buffer; update in place.
-            wbb_map[waddr] = new_value
-            return _PROCEED_WBB
         wf_set = self._wf_set
         if waddr in wf_set:
             return _PROCEED
@@ -563,6 +583,11 @@ class IdempotencyDetector:
                             cause = "output"
                             break
                         if has_pi and (waddrs[i] in pi_words or i in pi_indices):
+                            pass
+                        elif wbb_g[wids[i]] == g:
+                            # WBB-owned write: in-place update (the WBB's
+                            # comparators match every store), never a
+                            # boundary — mirrors on_write.
                             pass
                         elif ig_fw and op & 8:
                             pass

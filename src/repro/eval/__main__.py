@@ -17,6 +17,13 @@ gate the trajectory with ``python -m repro.obs.bench --check``).
 ``--arch PATH`` additionally collects per-section architectural
 statistics (buffer occupancy, hazard attribution) and writes the summary
 JSON for ``python -m repro.obs.analyze``.
+
+``--server URL`` routes every job through a sweep server
+(``python -m repro.serve``) instead of simulating locally: results are
+byte-identical, the run ledger records ``engine=served`` rows carrying
+the server-side dedupe tier, and repeated sweeps cost one simulation per
+unique job server-wide.  Incompatible with ``--verify`` and ``--arch``,
+which must observe the simulation in-process.
 """
 
 import argparse
@@ -96,12 +103,38 @@ def main(argv=None) -> int:
                         help="Monte Carlo seed-repeat mode for fig5/fig8: "
                              "replay N power schedules per point through "
                              "the batched engine and report mean ± 95%% CI")
+    parser.add_argument("--server", metavar="URL", default=None,
+                        help="resolve jobs via a sweep server "
+                             "(python -m repro.serve) instead of "
+                             "simulating locally; results are "
+                             "byte-identical, and the ledger records "
+                             "engine=served with the dedupe tier")
     parser.add_argument("--arch", metavar="PATH", default=None,
                         help="collect per-section architectural statistics "
                              "(buffer occupancy, hazard attribution) and "
                              "write the summary JSON to PATH; render it "
                              "with python -m repro.obs.analyze")
     args = parser.parse_args(argv)
+
+    serve_client = None
+    if args.server:
+        if args.verify:
+            parser.error(
+                "--server cannot be combined with --verify: a served "
+                "result would claim a verification that did not run in "
+                "this process (run --verify locally)"
+            )
+        if args.arch:
+            parser.error(
+                "--server cannot be combined with --arch: architectural "
+                "statistics are collected inside the simulating process"
+            )
+        from repro.serve import ServeClient, install
+
+        serve_client = ServeClient(args.server)
+        if not serve_client.healthz():
+            parser.error(f"no sweep server answering at {args.server}")
+        install(serve_client)
 
     settings = EvalSettings(
         seed=args.seed, verify=args.verify, profile=not args.no_profile
@@ -175,6 +208,8 @@ def main(argv=None) -> int:
         PROFILER.record_dispatch(dispatch)
         profile = PROFILER.table(cache_stats=cache_stats())
         print(profile)
+        if serve_client is not None:
+            print(f"[{serve_client.summary_line()}]")
 
         ledger = telemetry.LEDGER
         engines = ledger.engine_counts()
@@ -201,6 +236,7 @@ def main(argv=None) -> int:
                     "seeds": args.seeds,
                     "quick": args.quick,
                     "verify": args.verify,
+                    "server": args.server,
                     "cache_enabled": artifact_cache.store() is not None,
                 },
                 footer={
@@ -243,6 +279,7 @@ def main(argv=None) -> int:
                 ),
                 "experiments": list(names),
                 "jobs": n_workers,
+                "server": bool(args.server),
                 "cpus": os.cpu_count(),
                 "wall_clock_s": round(wall_clock, 3),
                 "sim_runs": sim_runs,
@@ -255,6 +292,10 @@ def main(argv=None) -> int:
                     "misses": PROFILER.disk_cache_misses,
                     "puts": PROFILER.disk_cache_puts,
                 },
+                **(
+                    {"serve_tiers": dict(serve_client.tier_counts)}
+                    if serve_client is not None else {}
+                ),
                 "engines": engines,
                 "engine_mix": "batch" if "batch" in engines else "scalar",
                 "fallback_reasons": {
@@ -267,6 +308,10 @@ def main(argv=None) -> int:
     finally:
         telemetry.LEDGER.disable()
         ARCH_COLLECTOR.disable()
+        if serve_client is not None:
+            from repro.serve import uninstall
+
+            uninstall()
     return 0
 
 

@@ -184,8 +184,13 @@ def run(
 
 def render(data: Fig5Data) -> str:
     """Text rendering: one frontier per family.  CI mode swaps each
-    frontier value for its multi-seed mean ± 95% half-width; the default
-    rendering is unchanged."""
+    frontier value for its multi-seed mean ± 95% half-width — rendered
+    as ``deterministic`` when the sample variance is exactly zero (a
+    ±0.00% interval is not a tight estimate, it is the absence of any
+    spread), and as ``±<0.01%`` when a nonzero half-width would round
+    to the self-contradictory ``±0.00%``.  The numeric half-width in
+    ``data.ci`` is unrounded either way for downstream consumers.  The
+    default (seedless) rendering is unchanged."""
     title = "Figure 5: buffer bits vs average checkpoint overhead (Pareto frontiers)"
     if data.seeds > 1:
         title += f" — {data.seeds} seeds, mean ± 95% CI"
@@ -196,8 +201,15 @@ def render(data: Fig5Data) -> str:
             stats = data.ci.get((family, label))
             if stats is not None:
                 mean, half = stats
+                if half == 0.0:
+                    spread = "deterministic"
+                elif half < 0.00005:
+                    # Would print as the self-contradictory "±0.00%".
+                    spread = "±<0.01%"
+                else:
+                    spread = f"±{half:5.2%}"
                 out.append(
-                    f"   {int(bits):5d} bits  {mean:7.2%} ±{half:5.2%}  ({label})"
+                    f"   {int(bits):5d} bits  {mean:7.2%} {spread}  ({label})"
                 )
             else:
                 out.append(f"   {int(bits):5d} bits  {overhead:7.2%}  ({label})")

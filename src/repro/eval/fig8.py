@@ -162,6 +162,8 @@ def run(
 def render(data: Fig8Data) -> str:
     """Text rendering of the three curves (CI columns in ``--seeds`` mode
     only, so the default rendering is byte-identical to earlier releases).
+    A zero-variance CI column renders ``determ.`` rather than a
+    meaningless ±0.00% interval (the numeric field stays 0.0).
     """
     if data.seeds:
         out = [
@@ -172,10 +174,19 @@ def render(data: Fig8Data) -> str:
             f"{'WDT value':>10s} {'ckpt':>8s} {'±ci':>7s} "
             f"{'reexec':>8s} {'±ci':>7s} {'combined':>9s}"
         )
+
+        def ci_cell(half: float) -> str:
+            if half == 0.0:
+                return f"{'determ.':>7s}"
+            if half < 0.00005:  # would print as a misleading 0.00%
+                return f"{'<0.01%':>7s}"
+            return f"{half:7.2%}"
+
         for p in data.points:
             out.append(
-                f"{p.watchdog:10d} {p.checkpoint:8.2%} {p.checkpoint_ci:7.2%} "
-                f"{p.reexec:8.2%} {p.reexec_ci:7.2%} x{p.combined:8.4f}"
+                f"{p.watchdog:10d} {p.checkpoint:8.2%} "
+                f"{ci_cell(p.checkpoint_ci)} "
+                f"{p.reexec:8.2%} {ci_cell(p.reexec_ci)} x{p.combined:8.4f}"
             )
         best = data.best()
         out.append(

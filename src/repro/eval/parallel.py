@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import repro.cache as artifact_cache
 from repro.common.errors import ConfigError, SimulationError
+from repro.core import detector
 from repro.core.config import ClankConfig, PolicyOptimizations
 from repro.eval.settings import EvalSettings
 from repro.obs import telemetry
@@ -172,6 +173,39 @@ class SimJob:
         return base * max(1, self.n_seeds)
 
 
+#: Installed by :func:`repro.serve.client.install`: when set, ``run_jobs``
+#: routes whole job batches through a sweep server instead of executing
+#: locally (results stay bit-identical; provenance records
+#: ``engine="served"``).  Never consulted under ``settings.verify`` —
+#: served results must not claim a verification that did not execute.
+SERVED_EXECUTOR = None
+
+
+def result_key(job: SimJob, settings: EvalSettings) -> Tuple[str, str]:
+    """The whole-result cache address of one job: ``(kind, sha256 key)``.
+
+    This is the *dedupe discipline* shared by the local result cache and
+    the sweep server (:mod:`repro.serve`): the key covers every input
+    that determines the simulation outcome — trace content (via the
+    compiled-trace content key), memory-map ranges, every behaviour-
+    affecting job field, the cost model, and the schedule-determining
+    settings fields (seed, mean on-time, clock).  Identical requests from
+    any number of clients are identical keys, so N users' sweeps cost one
+    simulation.  Fields that *cannot* affect the result (``profile``,
+    worker counts, ledger state) are deliberately excluded; ``verify`` is
+    excluded too because verified runs never consult this cache at all.
+    """
+    trace = get_trace(job.workload, size=job.size, seed=job.trace_seed)
+    kind = "batch-result" if job.n_seeds > 1 else "result"
+    return "result", artifact_cache.content_key(
+        kind, detector.POLICY_REV, trace.compiled().content_key,
+        trace.memory_map.text_word_range,
+        trace.memory_map.word_range("mmio"),
+        job, _COST_MODELS[job.cost_model],
+        settings.seed, settings.avg_on_ms, settings.clock_hz,
+    )
+
+
 #: Cache of epoch compilation plans, content-keyed like ``_PI_CACHE``.
 _EPOCH_CACHE: Dict[tuple, object] = {}
 
@@ -245,13 +279,7 @@ def execute_job(
     st = artifact_cache.store()
     rkey = None
     if st is not None and not settings.verify:
-        rkey = artifact_cache.content_key(
-            "result", trace.compiled().content_key,
-            trace.memory_map.text_word_range,
-            trace.memory_map.word_range("mmio"),
-            job, _COST_MODELS[job.cost_model],
-            settings.seed, settings.avg_on_ms, settings.clock_hz,
-        )
+        _, rkey = result_key(job, settings)
         cached = st.get("result", rkey)
         if isinstance(cached, dict):
             ledger_record("disk-cached-result", result_cache="hit")
@@ -425,13 +453,7 @@ def _execute_batch(
     st = artifact_cache.store()
     rkey = None
     if st is not None and not settings.verify:
-        rkey = artifact_cache.content_key(
-            "batch-result", trace.compiled().content_key,
-            trace.memory_map.text_word_range,
-            trace.memory_map.word_range("mmio"),
-            job, _COST_MODELS[job.cost_model],
-            settings.seed, settings.avg_on_ms, settings.clock_hz,
-        )
+        _, rkey = result_key(job, settings)
         cached = st.get("result", rkey)
         if isinstance(cached, dict):
             ledger_record("disk-cached-result", result_cache="hit",
@@ -701,6 +723,8 @@ def run_jobs(
     deterministic and identical (modulo wall-time fields) at any worker
     count.
     """
+    if SERVED_EXECUTOR is not None and not settings.verify:
+        return SERVED_EXECUTOR.run_jobs(jobs, settings)
     n_workers = resolve_workers(n_workers)
     if n_workers <= 1 or len(jobs) <= 1:
         results = []

@@ -9,12 +9,15 @@ newest entry regress against the best comparable prior entry?*
 baseline for a cache-off sweep at 0.5 ms/run, and a ``--jobs 8`` sweep's
 per-run time is not comparable to a serial one.  Entries are bucketed by
 :func:`comparable_key`: (sorted experiment set, worker count, cache state,
-engine mix), where cache state classifies the disk-cache counters as
-``off`` (no store), ``warm`` (zero misses), or ``cold`` (populating), and
-engine mix separates batched seed-repeat sweeps (``batch``) — whose
-per-run amortised cost is structurally lower — from per-run scalar
-sweeps (``scalar``).  Entries written before the field existed derive it
-from their engine counts.
+engine mix, serve mode), where cache state classifies the disk-cache
+counters as ``off`` (no store), ``warm`` (zero misses), or ``cold``
+(populating), engine mix separates batched seed-repeat sweeps
+(``batch``) — whose per-run amortised cost is structurally lower — from
+per-run scalar sweeps (``scalar``), and serve mode separates sweeps
+resolved by a sweep server (``serve``, measuring round trips and dedupe
+tiers) from local simulation (``local``).  Entries written before these
+fields existed derive the mix from their engine counts and default to
+``local``.
 
 CLI (wired into CI as the ``bench-regression`` job)::
 
@@ -56,7 +59,13 @@ def cache_state(entry: dict) -> str:
 
     Warm and cold sweeps measure different things (result-lookup time vs
     simulation time), so they never serve as each other's baseline.
+    Served entries classify by the *server-side* tier counts instead of
+    the client's (idle) disk counters: a pass that computed nothing is
+    warm, one that simulated is cold.
     """
+    tiers = entry.get("serve_tiers")
+    if isinstance(tiers, dict):
+        return "warm" if not tiers.get("computed", 0) else "cold"
     dc = entry.get("disk_cache")
     if not isinstance(dc, dict) or not dc.get("enabled"):
         return "off"
@@ -81,11 +90,22 @@ def engine_mix(entry: dict) -> str:
     return "scalar"
 
 
-def comparable_key(entry: dict) -> Tuple[tuple, Optional[int], str, str]:
+def serve_mode(entry: dict) -> str:
+    """Classify where an entry's jobs ran: ``serve`` or ``local``.
+
+    A served sweep's wall-clock measures the server round trip and its
+    dedupe tiers, not this machine's simulators — never a fair baseline
+    for a local sweep (or vice versa).  Entries predating the ``server``
+    field are local.
+    """
+    return "serve" if entry.get("server") else "local"
+
+
+def comparable_key(entry: dict) -> Tuple[tuple, Optional[int], str, str, str]:
     """The bucket within which two entries' metrics are comparable."""
     experiments = entry.get("experiments") or []
     return (tuple(sorted(experiments)), entry.get("jobs"),
-            cache_state(entry), engine_mix(entry))
+            cache_state(entry), engine_mix(entry), serve_mode(entry))
 
 
 @dataclass
@@ -158,11 +178,13 @@ def render(history: List[dict], verdict: BenchVerdict,
         if entry is verdict.baseline:
             marks.append("baseline")
         mix = engine_mix(entry)
+        mode = serve_mode(entry)
         lines.append(
             f"   {entry.get('timestamp', '?'):<26s} "
             f"{value if value is not None else '?':>9}  "
             f"jobs={jobs} cache={state:<5s}"
             + (f" mix={mix}" if mix != "scalar" else "")
+            + (f" mode={mode}" if mode != "local" else "")
             + (f"  <- {', '.join(marks)}" if marks else "")
         )
     lines.append(f"{'PASS' if verdict.ok else 'FAIL'}: {verdict.reason}")

@@ -215,6 +215,21 @@ class Profiler:
                 + (f"; {self.section_cache_evictions} evictions"
                    if self.section_cache_evictions else "")
             )
+            if (self.section_cache_misses
+                    and self.section_cache_evictions
+                    > 0.5 * self.section_cache_misses):
+                # Evictions rivalling builds mean the LRU is cycling the
+                # sweep's working set instead of holding it.
+                from repro.sim import sections
+
+                lines.append(
+                    "   WARNING: section-map LRU thrash — "
+                    f"{self.section_cache_evictions} evictions for "
+                    f"{self.section_cache_misses} builds; the sweep's "
+                    "(trace, config) working set exceeds the cache "
+                    f"capacity ({sections.cache_stats()['capacity']} "
+                    "maps).  Raise REPRO_SECTIONMAP_LRU."
+                )
         if self.section_enum_seconds:
             lines.append(
                 f"-- section enumeration: {self.section_enum_seconds:9.3f}s "

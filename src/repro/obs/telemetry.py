@@ -46,6 +46,7 @@ __all__ = [
     "ENGINE_CACHED",
     "ENGINE_FAST",
     "ENGINE_REFERENCE",
+    "ENGINE_SERVED",
     "ENGINE_STALLED",
     "ENGINE_UNDO",
     "FallbackReason",
@@ -64,6 +65,9 @@ ENGINE_CACHED = "disk-cached-result"
 ENGINE_UNDO = "undo"
 ENGINE_STALLED = "stalled"
 ENGINE_BATCH = "batch"
+#: The job was resolved by a sweep server (``--server``); the record's
+#: ``result_cache`` carries the server-side dedupe tier.
+ENGINE_SERVED = "served"
 
 
 class FallbackReason(Enum):
@@ -105,7 +109,10 @@ class RunRecord:
             ``python``); ``None`` for runs that never enumerate sections.
         result_cache: Whole-result disk-cache tier outcome — ``hit``,
             ``miss``, or ``off`` (tier not consulted: no store, or the
-            call site has no result key, e.g. ``--verify``).
+            call site has no result key, e.g. ``--verify``).  For
+            ``engine="served"`` records it instead names the server-side
+            dedupe tier that answered: ``memory``, ``coalesced``,
+            ``disk``, ``remote``, or ``computed``.
         size: Workload size preset.
         salt: Power-schedule salt.
         driver: Experiment driver active when the run was dispatched.

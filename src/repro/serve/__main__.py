@@ -1,0 +1,60 @@
+"""CLI entry: ``python -m repro.serve`` runs a sweep server.
+
+Binds, prints ``serving on http://host:port`` (flushed, so wrappers can
+wait for readiness by reading one line), then serves until interrupted.
+Set ``REPRO_CACHE_DIR`` to give the server a persistent artifact store
+— without it only the in-memory and coalescing tiers dedupe — and
+``REPRO_CACHE_REMOTE`` to read through to another server's
+``/artifact`` endpoint.
+"""
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.server import SweepServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve SimJob batches with cache dedupe and "
+        "single-flight coalescing.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8077,
+                        help="bind port; 0 picks one (default 8077)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default REPRO_JOBS or 1; "
+                        "0 = all CPUs)")
+    parser.add_argument("--memory", type=int, default=None,
+                        help="in-memory payload LRU entries "
+                        "(default REPRO_SERVE_MEMORY or 4096; 0 disables)")
+    args = parser.parse_args(argv)
+
+    server = SweepServer(
+        host=args.host, port=args.port, jobs=args.jobs,
+        memory_entries=args.memory,
+    )
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    try:
+        loop.run_until_complete(server.start())
+        print(f"serving on {server.url}", flush=True)
+        print(
+            f"  workers={server.n_workers}  "
+            f"POST /jobs | GET /artifact/{{kind}}/{{key}} | GET /stats",
+            flush=True,
+        )
+        loop.run_until_complete(server.serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        loop.run_until_complete(server.aclose())
+        loop.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

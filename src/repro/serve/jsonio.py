@@ -1,0 +1,74 @@
+"""JSON codecs for the serving layer's wire format.
+
+Everything that crosses the HTTP boundary is plain JSON built from the
+same value types the fork pool already pickles: :class:`SimJob`
+descriptors (~50 bytes of primitives), :class:`EvalSettings`, and the
+``to_dict`` forms of :class:`~repro.sim.result.SimulationResult` /
+:class:`~repro.sim.batch.BatchResult`.  The codecs here are strict
+round-trips — ``job_from_dict(job_to_dict(j)) == j`` for every field,
+including tuples (JSON lists are converted back) and the nested
+:class:`PolicyOptimizations` — so a served job is *the same value* the
+client would have executed locally, and its content-addressed result
+key (:func:`repro.eval.parallel.result_key`) is identical on both
+sides.  Unknown fields are rejected rather than dropped: a key silently
+missing on one side would silently change what gets simulated.
+"""
+
+from dataclasses import asdict, fields
+from typing import Any, Dict
+
+from repro.core.config import PolicyOptimizations
+from repro.eval.parallel import SimJob
+from repro.eval.settings import EvalSettings
+
+__all__ = [
+    "job_from_dict", "job_to_dict", "settings_from_dict",
+    "settings_to_dict",
+]
+
+_JOB_FIELDS = {f.name for f in fields(SimJob)}
+_SETTINGS_FIELDS = {f.name for f in fields(EvalSettings)}
+_OPTS_FIELDS = {f.name for f in fields(PolicyOptimizations)}
+
+
+def job_to_dict(job: SimJob) -> Dict[str, Any]:
+    """One job as JSON-safe primitives (tuples become lists)."""
+    d = asdict(job)
+    d["config"] = list(job.config)
+    d["volatile_segments"] = list(job.volatile_segments)
+    d["opts"] = None if job.opts is None else asdict(job.opts)
+    return d
+
+
+def job_from_dict(d: Dict[str, Any]) -> SimJob:
+    """The exact :class:`SimJob` value ``job_to_dict`` encoded."""
+    unknown = set(d) - _JOB_FIELDS
+    if unknown:
+        raise ValueError(f"unknown SimJob fields: {sorted(unknown)}")
+    kwargs = dict(d)
+    kwargs["config"] = tuple(int(v) for v in kwargs["config"])
+    kwargs["volatile_segments"] = tuple(
+        kwargs.get("volatile_segments") or ()
+    )
+    opts = kwargs.get("opts")
+    if opts is not None:
+        bad = set(opts) - _OPTS_FIELDS
+        if bad:
+            raise ValueError(
+                f"unknown PolicyOptimizations fields: {sorted(bad)}"
+            )
+        kwargs["opts"] = PolicyOptimizations(**opts)
+    return SimJob(**kwargs)
+
+
+def settings_to_dict(settings: EvalSettings) -> Dict[str, Any]:
+    """Evaluation settings as JSON-safe primitives."""
+    return asdict(settings)
+
+
+def settings_from_dict(d: Dict[str, Any]) -> EvalSettings:
+    """The exact :class:`EvalSettings` value ``settings_to_dict`` encoded."""
+    unknown = set(d) - _SETTINGS_FIELDS
+    if unknown:
+        raise ValueError(f"unknown EvalSettings fields: {sorted(unknown)}")
+    return EvalSettings(**d)

@@ -1,0 +1,540 @@
+"""Asyncio sweep server: SimJob batches in, deduped results out.
+
+One :class:`SweepServer` owns three layers:
+
+* **An HTTP front** (hand-rolled on ``asyncio`` streams — no third-party
+  framework): ``POST /jobs`` accepts a JSON batch
+  ``{"settings": {...}, "jobs": [...]}`` and streams one Server-Sent
+  Event per job as it lands (each ``data:`` line is a JSON object with
+  the job's submission index, dedupe tier, result payload, and the
+  server-side :class:`RunRecord` ledger lines), ``GET /artifact/{kind}/
+  {key}`` serves raw artifact-store bytes to read-through peers
+  (``REPRO_CACHE_REMOTE``), and ``GET /stats`` reports the dedupe
+  funnel plus :func:`repro.cache.cache_stats`.
+* **A dedupe front** addressed by :func:`repro.eval.parallel.result_key`
+  — the same content hash the local result cache uses, so "identical
+  request" is decided by simulation inputs, never by client identity.
+  Three tiers answer without simulating: an in-memory LRU of recent
+  payloads (``memory``), in-flight **single-flight coalescing**
+  (``coalesced``: a request whose key is already simulating awaits the
+  same future — two clients posting the same key share one execution),
+  and the persistent artifact store consulted inside ``execute_job``
+  (``disk``, or ``remote`` when the store's read-through tier fetched
+  it from a peer).  Only a full miss reaches the simulator
+  (``computed``).
+* **A thread-pool bridge to the fork worker pool**: each miss occupies
+  one bridge thread, which either executes in-process (``--jobs 1``) or
+  blocks on ``Pool.apply`` into the same fork pool
+  ``repro.eval.parallel`` uses locally — so worker-side behaviour
+  (trace caches, artifact flushes, ledger records) is exactly the local
+  sweep engine's, and the event loop never blocks on a simulation.
+
+Served batches refuse ``verify=True`` settings with a 400: a served
+result would claim a verification that did not execute in the client's
+process (DESIGN decision 13).
+"""
+
+import asyncio
+import json
+import os
+import re
+import threading
+import urllib.request
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+import repro.cache as artifact_cache
+from repro.obs import telemetry
+from repro.serve import jsonio
+
+__all__ = ["ServerHandle", "SweepServer", "start_in_background"]
+
+#: In-memory payload LRU entries (``REPRO_SERVE_MEMORY`` overrides).
+DEFAULT_MEMORY_ENTRIES = 4096
+
+_ARTIFACT_RE = re.compile(r"^/artifact/([A-Za-z0-9_-]+)/([0-9a-f]{64})$")
+
+
+def _memory_cap() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_SERVE_MEMORY", "") or
+                          DEFAULT_MEMORY_ENTRIES))
+    except ValueError:
+        return DEFAULT_MEMORY_ENTRIES
+
+
+def _job_key(job_d: dict, settings_d: dict) -> str:
+    """The dedupe key of one wire-format job (bridge-thread work: it may
+    build and compile the trace on first sight of a workload)."""
+    from repro.eval.parallel import result_key
+
+    return result_key(
+        jsonio.job_from_dict(job_d), jsonio.settings_from_dict(settings_d)
+    )[1]
+
+
+def _pool_run(job_d: dict, settings_d: dict) -> dict:
+    """Execute one wire-format job; runs in a fork-pool worker (or a
+    bridge thread under ``--jobs 1``).
+
+    Wraps :func:`repro.eval.parallel.execute_job` — the exact function
+    the local sweep engine runs, so served results are byte-identical —
+    and captures the provenance records it appends, the disk-tier
+    counters it moves, and the payload ``to_dict`` forms the fork pool
+    already uses.
+    """
+    from repro.eval.parallel import execute_job
+    from repro.sim.batch import BatchResult
+
+    job = jsonio.job_from_dict(job_d)
+    settings = jsonio.settings_from_dict(settings_d)
+    ledger = telemetry.LEDGER
+    was_enabled = ledger.enabled
+    before = len(ledger.records)
+    disk_before = artifact_cache.stats()
+    ledger.enable()
+    try:
+        result, seconds = execute_job(job, settings)
+    finally:
+        ledger.enabled = was_enabled
+    records = [rec.to_dict() for rec in ledger.records[before:]]
+    # The records travel in the payload, not in process state: this
+    # keeps a long-lived server bounded, and keeps an *embedded* server
+    # (tests, background-thread harness) from double-counting — the
+    # client's ledger gets one engine="served" row per job instead.
+    del ledger.records[before:]
+    # Pool children exit via os._exit; flush freshly enumerated
+    # artifacts to the shared store now, exactly like _worker_run.
+    artifact_cache.persist_caches()
+    disk_after = artifact_cache.stats()
+
+    if isinstance(result, BatchResult):
+        payload_result = result.to_dict()
+        is_batch = True
+        stalled = False
+    else:
+        payload_result = (
+            None if result is None else result.to_dict(include_derived=False)
+        )
+        is_batch = False
+        stalled = result is None
+    engines = [rec.get("engine") for rec in records]
+    if engines and all(e == telemetry.ENGINE_CACHED for e in engines):
+        remote_delta = (
+            disk_after.get("remote_hits", 0)
+            - disk_before.get("remote_hits", 0)
+        )
+        tier = "remote" if remote_delta else "disk"
+    else:
+        tier = "computed"
+    return {
+        "batch": is_batch,
+        "result": payload_result,
+        "stalled": stalled,
+        "records": records,
+        "sim_seconds": seconds,
+        "rows": max(1, job.n_seeds),
+        "tier": tier,
+    }
+
+
+class SweepServer:
+    """The asyncio job server (see module docstring).
+
+    Args:
+        host: Bind address (loopback by default).
+        port: Bind port; 0 picks an ephemeral port (read ``url`` after
+            :meth:`start`).
+        jobs: Worker processes behind the bridge, resolved like the eval
+            CLI's ``--jobs`` (``None`` → ``REPRO_JOBS`` or 1; 0 → all
+            CPUs).  1 executes in bridge threads without a fork pool.
+        memory_entries: In-memory payload LRU cap (``None`` →
+            ``REPRO_SERVE_MEMORY`` or 4096; 0 disables the tier).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = None,
+        memory_entries: Optional[int] = None,
+    ):
+        from repro.eval.parallel import resolve_workers
+
+        self.host = host
+        self.port = port
+        self.n_workers = resolve_workers(jobs)
+        self._memory_cap = (
+            _memory_cap() if memory_entries is None else max(0, memory_entries)
+        )
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._bridge = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="serve-bridge"
+        )
+        self._pool = None
+        if self.n_workers > 1:
+            # Created before the event loop runs anything (the
+            # constructor is called from plain sync code), so the fork
+            # happens on a quiet process; workers inherit warm parent
+            # caches exactly like the local sweep engine's pool.
+            import multiprocessing
+
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(processes=self.n_workers)
+        self.counters = {
+            "batches": 0,
+            "jobs": 0,
+            "errors": 0,
+            "artifact_requests": 0,
+            "artifact_hits": 0,
+        }
+        self.tiers = {
+            "memory": 0, "coalesced": 0, "disk": 0, "remote": 0,
+            "computed": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    async def start(self) -> "SweepServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.close_pools()
+
+    def close_pools(self) -> None:
+        """Tear down the bridge and fork pool (idempotent, sync)."""
+        self._bridge.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- dedupe + execution -------------------------------------------- #
+
+    def _memory_hit(self, key: str) -> Optional[dict]:
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+        return payload
+
+    def _memory_put(self, key: str, payload: dict) -> None:
+        if self._memory_cap <= 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_cap:
+            self._memory.popitem(last=False)
+
+    def _execute(self, job_d: dict, settings_d: dict) -> dict:
+        """Bridge-thread entry: run the job in the fork pool, or inline
+        when the server is single-worker."""
+        if self._pool is not None:
+            return self._pool.apply(_pool_run, (job_d, settings_d))
+        return _pool_run(job_d, settings_d)
+
+    async def _resolve(
+        self, key: str, job_d: dict, settings_d: dict
+    ) -> Tuple[str, dict]:
+        """One job through the dedupe funnel; returns ``(tier, payload)``.
+
+        Single-flight: the first request for a key installs a future in
+        ``_inflight`` and executes; every concurrent duplicate awaits
+        that future and is accounted ``coalesced``.  Completed payloads
+        land in the memory LRU, so later duplicates are ``memory`` hits.
+        """
+        payload = self._memory_hit(key)
+        if payload is not None:
+            self.tiers["memory"] += 1
+            return "memory", payload
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.tiers["coalesced"] += 1
+            return "coalesced", await asyncio.shield(fut)
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        try:
+            payload = await loop.run_in_executor(
+                self._bridge, self._execute, job_d, settings_d
+            )
+        except BaseException as exc:
+            fut.set_exception(exc)
+            fut.exception()  # consumed: no-waiter futures must not warn
+            raise
+        else:
+            fut.set_result(payload)
+            tier = payload["tier"]
+            self.tiers[tier] += 1
+            self._memory_put(key, payload)
+            return tier, payload
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _job_event(self, idx: int, job_d: dict, settings_d: dict) -> dict:
+        """Resolve one job into its SSE event dict (never raises)."""
+        loop = asyncio.get_running_loop()
+        try:
+            key = await loop.run_in_executor(
+                self._bridge, _job_key, job_d, settings_d
+            )
+            tier, payload = await self._resolve(key, job_d, settings_d)
+        except Exception as exc:
+            self.counters["errors"] += 1
+            return {
+                "type": "result",
+                "idx": idx,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        event = {"type": "result", "idx": idx, "key": key, "tier": tier}
+        event.update(payload)
+        # Coalesced/memory replies reuse the original payload, whose
+        # "tier" names where the *first* execution was served from.
+        event["tier"] = tier
+        if tier != "computed":
+            event["sim_seconds"] = 0.0
+        return event
+
+    # -- stats --------------------------------------------------------- #
+
+    def stats_snapshot(self) -> dict:
+        return {
+            "server": {
+                **self.counters,
+                "tiers": dict(self.tiers),
+                "inflight": len(self._inflight),
+                "memory_entries": len(self._memory),
+                "memory_cap": self._memory_cap,
+                "workers": self.n_workers,
+            },
+            "cache": artifact_cache.cache_stats(),
+        }
+
+    # -- HTTP ---------------------------------------------------------- #
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return
+            request_line, _, header_blob = head.partition(b"\r\n")
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0].upper(), parts[1]
+            headers = {}
+            for line in header_blob.decode("latin-1").split("\r\n"):
+                name, sep, value = line.partition(":")
+                if sep:
+                    headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                body = await reader.readexactly(length)
+
+            if method == "GET" and path == "/healthz":
+                self._plain(writer, 200, b'{"ok": true}')
+            elif method == "GET" and path == "/stats":
+                blob = json.dumps(
+                    self.stats_snapshot(), indent=2, sort_keys=True
+                ).encode("utf-8")
+                self._plain(writer, 200, blob)
+            elif method == "GET" and _ARTIFACT_RE.match(path):
+                self._handle_artifact(writer, path)
+            elif method == "POST" and path == "/jobs":
+                await self._handle_jobs(writer, body)
+            else:
+                self._plain(writer, 404, b'{"error": "not found"}')
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _plain(
+        writer, status: int, body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Error"
+        )
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+
+    def _handle_artifact(self, writer, path: str) -> None:
+        """Serve one artifact's raw pickled bytes to a read-through peer."""
+        self.counters["artifact_requests"] += 1
+        match = _ARTIFACT_RE.match(path)
+        kind, key = match.group(1), match.group(2)
+        st = artifact_cache.store()
+        blob = None
+        if st is not None:
+            try:
+                with open(st.raw_path(kind, key), "rb") as fh:
+                    blob = fh.read()
+            except OSError:
+                blob = None
+        if blob is None:
+            self._plain(writer, 404, b'{"error": "artifact not found"}')
+            return
+        self.counters["artifact_hits"] += 1
+        self._plain(writer, 200, blob, content_type="application/octet-stream")
+
+    async def _handle_jobs(self, writer, body: bytes) -> None:
+        """``POST /jobs``: resolve a batch, streaming SSE as jobs land."""
+        try:
+            req = json.loads(body.decode("utf-8"))
+            settings_d = dict(req["settings"])
+            job_dicts = list(req["jobs"])
+            jsonio.settings_from_dict(settings_d)  # validate field names
+        except Exception as exc:
+            self._plain(
+                writer, 400,
+                json.dumps({"error": f"bad batch: {exc}"}).encode("utf-8"),
+            )
+            return
+        if settings_d.get("verify"):
+            self._plain(
+                writer, 400,
+                b'{"error": "served results cannot claim --verify; '
+                b'run verification locally"}',
+            )
+            return
+        self.counters["batches"] += 1
+        self.counters["jobs"] += len(job_dicts)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        tasks = [
+            asyncio.ensure_future(self._job_event(i, jd, settings_d))
+            for i, jd in enumerate(job_dicts)
+        ]
+        broken = False
+        for next_done in asyncio.as_completed(tasks):
+            # Always await every task — coalesced waiters and the
+            # inflight table depend on each one running to completion —
+            # even after the client hangs up.
+            event = await next_done
+            if broken:
+                continue
+            try:
+                writer.write(
+                    b"data: "
+                    + json.dumps(event, separators=(",", ":")).encode("utf-8")
+                    + b"\n\n"
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                broken = True
+        if not broken:
+            writer.write(
+                b"data: "
+                + json.dumps({"type": "done", "jobs": len(job_dicts)})
+                .encode("utf-8")
+                + b"\n\n"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Background-thread harness (tests and embedding).
+# --------------------------------------------------------------------- #
+
+
+class ServerHandle:
+    """A running server on a background thread; ``stop()`` tears it down."""
+
+    def __init__(self, server: SweepServer, loop, thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stats(self) -> dict:
+        with urllib.request.urlopen(self.url + "/stats", timeout=10) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+
+def start_in_background(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: Optional[int] = 1,
+    memory_entries: Optional[int] = None,
+) -> ServerHandle:
+    """Start a :class:`SweepServer` on its own event-loop thread and
+    return once it is accepting connections (used by the test suite and
+    by embedders; the CLI runs the loop in the foreground)."""
+    ready = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = SweepServer(
+            host=host, port=port, jobs=jobs, memory_entries=memory_entries
+        )
+        box["loop"], box["server"] = loop, server
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surface bind failures to the caller
+            box["error"] = exc
+            ready.set()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.aclose())
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("sweep server failed to start within 30s")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(box["server"], box["loop"], thread)

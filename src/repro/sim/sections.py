@@ -51,6 +51,7 @@ i.e. after a rollback past a direct-committed write.  Two cases exist:
   to the reference simulator.  See :mod:`repro.sim.fast`.
 """
 
+import os
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from time import perf_counter
@@ -59,7 +60,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 import repro.cache as artifact_cache
 from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
 from repro.core.config import ClankConfig
-from repro.core.detector import IdempotencyDetector
+from repro.core.detector import POLICY_REV, IdempotencyDetector
 from repro.sim import watermarks
 from repro.trace.access import READ
 from repro.trace.trace import Trace
@@ -177,7 +178,7 @@ class SectionMap:
         st = artifact_cache.store()
         if st is not None:
             self._disk_key = artifact_cache.content_key(
-                "sections", ct.content_key,
+                "sections", POLICY_REV, ct.content_key,
                 trace.memory_map.text_word_range,
                 trace.memory_map.word_range("mmio"),
                 config.as_tuple(), config.prefix_low_bits,
@@ -535,7 +536,23 @@ class SectionMap:
 #: but job orders are config-major (fig5 revisits a trace only after a
 #: full pass over the other 22), so the capacity must cover a sweep's
 #: whole (trace, config) working set or the cache thrashes to 0%.
-_MAX_CACHED_MAPS = 1024
+#: ``REPRO_SECTIONMAP_LRU`` overrides the default for machines where the
+#: working set exceeds it (the profile table warns when evictions say it
+#: does) or where memory is tighter than the default assumes.
+_DEFAULT_MAX_CACHED_MAPS = 1024
+
+
+def _resolve_max_cached_maps() -> int:
+    raw = os.environ.get("REPRO_SECTIONMAP_LRU", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _DEFAULT_MAX_CACHED_MAPS
+
+
+_MAX_CACHED_MAPS = _resolve_max_cached_maps()
 
 _CACHE: "OrderedDict[tuple, SectionMap]" = OrderedDict()
 _HITS = 0
@@ -649,6 +666,7 @@ def cache_stats() -> Dict[str, float]:
         "hits": _HITS,
         "misses": _MISSES,
         "cached": len(_CACHE),
+        "capacity": _MAX_CACHED_MAPS,
         "evictions": _EVICTIONS,
         "disk_loads": _DISK_LOADS + wm["disk_loads"],
         "enum_seconds": _ENUM_SECONDS + wm["scan_seconds"],

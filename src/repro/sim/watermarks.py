@@ -71,7 +71,7 @@ from typing import Dict, Optional
 import repro.cache as artifact_cache
 from repro.core import cext
 from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
-from repro.core.detector import ChainScratch, watermark_scan
+from repro.core.detector import POLICY_REV, ChainScratch, watermark_scan
 
 #: Above any trace position; candidate positions compare against it.
 _FAR = 1 << 60
@@ -348,7 +348,20 @@ class WatermarkFamily:
             # ``pos`` (the read itself passes untracked) and the boundary
             # is the first stopping write or forced checkpoint after it.
             steps = tuple(wbb[:bisect_left(wbb, pos)])
-            j = self._lw_next_arr()[pos + 1]
+            lw = self._lw_next_arr()
+            j = lw[pos + 1]
+            if steps and j < n and j < nf:
+                # Writes to WBB-owned addresses pass the untracked tail
+                # (in-place updates, mirroring on_write), so skip stopping
+                # writes to the section's captured addresses.  Output
+                # writes still stop — the output-commit protocol fires
+                # before the detector ever sees the store.
+                ops = self.ct.scan_arrays(self.text_lo, self.text_hi)[0]
+                waddrs = self.ct.waddrs
+                owned = {waddrs[s] for s in steps}
+                while j < n and j < nf and not (ops[j] & 4) \
+                        and waddrs[j] in owned:
+                    j = lw[j + 1]
             if nf <= j:
                 return (nf, "compiler", steps)
             if j < n:
@@ -557,7 +570,8 @@ def get_family(trace, config, pi_words=None,
     disk_key = None
     if artifact_cache.store() is not None:
         disk_key = artifact_cache.content_key(
-            "wm", ct.content_key, text_range, config.prefix_low_bits,
+            "wm", POLICY_REV, ct.content_key, text_range,
+            config.prefix_low_bits,
             opts.ignore_text, opts.ignore_false_writes,
             opts.remove_duplicates, wf_zero,
             tuple(sorted(pi_words)), tuple(sorted(pi_indices)),

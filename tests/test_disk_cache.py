@@ -82,6 +82,7 @@ class TestStoreBasics:
         assert st.get("k", "ab" * 32) == {"x": (1, 2)}
         assert st.stats() == {
             "hits": 1, "misses": 1, "puts": 1, "evictions": 0, "errors": 0,
+            "remote_hits": 0, "remote_misses": 0, "remote_errors": 0,
         }
 
     def test_content_key_is_deterministic_and_versioned(self):

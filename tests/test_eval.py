@@ -51,6 +51,24 @@ class TestFig5:
         text = fig5.render(data)
         assert "R+W+B+A+C" in text
 
+    def test_ci_render_degenerate_intervals(self):
+        """Zero variance renders ``deterministic``, sub-display-precision
+        renders ``±<0.01%`` — never the self-contradictory ``±0.00%``."""
+        frontiers = {f: [] for f in fig5.FAMILIES}
+        frontiers["R"] = [
+            (30, 0.5, "1,0,0,0"), (60, 0.4, "2,0,0,0"), (90, 0.3, "4,0,0,0")
+        ]
+        data = fig5.Fig5Data(frontiers=frontiers, seeds=10, ci={
+            ("R", "1,0,0,0"): (0.5, 0.0),
+            ("R", "2,0,0,0"): (0.4, 2e-05),
+            ("R", "4,0,0,0"): (0.3, 0.012),
+        })
+        text = fig5.render(data)
+        assert "deterministic" in text
+        assert "±<0.01%" in text
+        assert "±1.20%" in text
+        assert "±0.00%" not in text
+
 
 class TestFig6:
     @pytest.mark.slow
@@ -110,6 +128,25 @@ class TestFig8:
         # Re-execution overhead grows with the watchdog value.
         assert points[-1].reexec > points[0].reexec
         assert str(data.analytic_optimum) in fig8.render(data)
+
+    def test_ci_render_degenerate_intervals(self):
+        """Zero-variance CI cells render ``determ.``, sub-precision cells
+        ``<0.01%`` — no misleading 0.00% column."""
+        data = fig8.Fig8Data(
+            points=[
+                fig8.Fig8Point(200, 0.10, 0.01, checkpoint_ci=0.0,
+                               reexec_ci=2e-05),
+                fig8.Fig8Point(400, 0.05, 0.02, checkpoint_ci=0.012,
+                               reexec_ci=0.0),
+            ],
+            analytic_optimum=1000,
+            seeds=5,
+        )
+        text = fig8.render(data)
+        assert "determ." in text
+        assert "<0.01%" in text
+        assert "  1.20%" in text
+        assert " 0.00% " not in text
 
 
 class TestTable3:

@@ -90,6 +90,24 @@ class TestEquivalence:
                 )
                 assert a == b, opts
 
+    def test_untracked_wbb_owned_writes(self):
+        """Small-RF configs with a WBB under latest-checkpoint: sections
+        enter the untracked tail with live WBB entries, and writes to the
+        captured addresses must pass in place (never a latest_write
+        boundary) in the reference simulator, the chain scan, and the
+        watermark family alike."""
+        trace = get_trace("rc4", "small")
+        for spec in ((1, 0, 1, 0), (2, 1, 1, 0), (2, 2, 2, 0)):
+            config = ClankConfig.from_tuple(spec)
+            for seed in (1, 4):
+                a, b = _pair(
+                    trace, config, (600, seed),
+                    perf_watchdog="auto", progress_watchdog="auto",
+                )
+                assert a == b, (spec, seed)
+                assert a["checkpoints_by_cause"].get("latest_write", 0) == \
+                    b["checkpoints_by_cause"].get("latest_write", 0)
+
     def test_no_watchdogs_and_perf_only(self):
         trace = get_trace("fft", "small")
         config = ClankConfig.from_tuple((8, 4, 2, 0))

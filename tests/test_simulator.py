@@ -186,6 +186,27 @@ class TestDynamicVerification:
         res = run(rmw_trace(30), verify=False, schedule=ContinuousPower())
         assert not res.verified
 
+    def test_untracked_wbb_owned_write_stays_buffered(self):
+        """Regression (hypothesis-found): in latest-checkpoint untracked
+        mode, a write to a WBB-owned address must update the buffer in
+        place — never pass the false-write test against the buffered
+        (not-yet-durable) value and commit straight to NV.  Before the
+        fix, NV held the buffered value after a rollback to a checkpoint
+        that never flushed it, and replay diverged from the oracle."""
+        # R@1, R@3 fill the RF; W@1 is a WAR violation captured by the
+        # WBB; R@0, R@2 overflow the RF into untracked mode; the second
+        # W@1 then matches the WBB entry's value exactly.
+        program = [(READ, 1), (READ, 3), (WRITE, 1, 1),
+                   (READ, 0), (READ, 2), (WRITE, 1, 1)]
+        trace = make_trace(program)
+        cfg = ClankConfig.from_tuple((2, 2, 1, 0))
+        # A 72-cycle on-time dies during the final checkpoint, forcing a
+        # full rollback with the WBB still unflushed.
+        res = simulate(trace, cfg, ReplayPower([72, 2000]),
+                       progress_watchdog=150, verify=True)
+        assert res.verified
+        assert res.useful_cycles == trace.total_cycles
+
 
 class TestProgramIdempotentMarking:
     def test_pi_words_bypass_tracking(self):
