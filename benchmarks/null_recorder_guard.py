@@ -53,6 +53,16 @@ ledger — and the ledger's row accounting must reconcile exactly with the
 job list.  A regression that silently dropped every row to the scalar
 fallback would still produce correct numbers, just at per-run cost.
 
+An eighth check guards config-family enumeration amortization: a cold
+Figure 5-shaped ``run_jobs`` sweep registers its config plans up front,
+so nearly every :class:`~repro.sim.sections.SectionMap` it builds must
+come out of batched family chain scans (``family_maps`` in
+:func:`repro.sim.sections.cache_stats`) rather than one scalar scan per
+config — at least 80% of the cold builds, at more than one map per
+trace pass.  A regression that quietly dropped every config back to
+scalar scans would still be bit-identical, just N times the enumeration
+cost.
+
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
 
@@ -321,6 +331,34 @@ def main(argv=None) -> int:
         print("FAIL: batched engine no longer carries seed-repeat sweeps")
         return 1
     print("OK: seed-repeat rows served by the batched engine")
+
+    # Family-amortization guard: a cold fig5-shaped run_jobs sweep must
+    # enumerate (nearly) all of its SectionMaps through batched family
+    # chain scans — the sweep plan is registered up front, so only
+    # plan-ineligible stragglers may fall back to scalar scans.
+    family_jobs = [
+        SimJob(workload=name, config=spec, size=args.size, salt=salt)
+        for salt, name in enumerate(WORKLOADS)
+        for spec in CONFIGS
+    ]
+    clear_cache()
+    reset_cache_stats()
+    run_jobs(family_jobs, settings, None)
+    stats = cache_stats()
+    print(f"cold sweep maps: {stats['misses']} built, "
+          f"{stats['family_maps']} via {stats['family_passes']} family "
+          f"passes")
+    if stats["misses"] == 0:
+        print("FAIL: cold sweep built no SectionMaps (stale cache?)")
+        return 1
+    if stats["family_maps"] < 0.8 * stats["misses"]:
+        print("FAIL: family scans no longer amortize the sweep's "
+              "section enumeration")
+        return 1
+    if stats["family_maps"] <= stats["family_passes"]:
+        print("FAIL: family passes stopped batching (one map per pass)")
+        return 1
+    print("OK: section maps enumerated by batched family scans")
     return 0
 
 

@@ -1054,3 +1054,347 @@ int64_t batch_walk(
         }
     }
 }
+
+
+/* ------------------------------------------------------------------ *
+ * Config-family chain scan: one kernel call, K configurations.
+ *
+ * A sweep family's members differ only in buffer capacities and policy
+ * flags, never in the trace, the PI marking, or the forced-checkpoint
+ * set — so their chain scans read the same ops/wids/pids/pi arrays.
+ * This kernel runs the members *sequentially*, each as a verbatim copy
+ * of chain_scan's loop with its state held in registers, so every
+ * member's section table is bit-identical to an independent scalar
+ * scan by construction.  The win over K separate chain_scan calls is
+ * structural, not microarchitectural: one foreign-function invocation,
+ * one engine setup, and member-major flat emission that the caller
+ * installs with contiguous slice copies instead of a per-section
+ * Python ingest loop.  (An earlier lockstep variant advanced all K
+ * state machines per access; it saved the shared ops/wids loads but
+ * paid more per member-access in strided state traffic than the
+ * scalar loop pays in total, so sequential is strictly faster.)
+ *
+ * Membership scratch is member-major (member c owns the contiguous
+ * block rf_g[c*n_words .. (c+1)*n_words)), matching the scalar
+ * kernel's access locality; the shared generation counter persists
+ * across calls (like chain_scan's), so the scratch is never re-zeroed.
+ * Sections are emitted member-major into pre-segmented output arrays
+ * (member c owns slots [c*ev_percap, (c+1)*ev_percap) and steps
+ * [c*st_percap, ...)); per-section WBB growth steps are written
+ * directly into the member's steps segment as they are discovered —
+ * sequential emission needs no staging.
+ *
+ * Returns 0, -1 when any member's event or steps segment would
+ * overflow (the caller doubles the segment sizes and retries; the
+ * generation write-back keeps the partially-stamped scratch valid),
+ * or -2 for a non-positive nk.
+ * ------------------------------------------------------------------ */
+
+int64_t family_chain_scan(
+    const uint8_t *ops,       /* [n] per-access op bits */
+    const int32_t *wids,      /* [n] dense word ids */
+    const int32_t *pids,      /* [n] dense prefix ids or NULL */
+    const uint8_t *pi,        /* [n] PI membership mask or NULL */
+    const int32_t *fs,        /* [nfs] ascending forced indices */
+    int32_t nfs,
+    int32_t n,
+    int32_t n_words,          /* scratch block stride per member */
+    int32_t n_prefixes,       /* APB scratch block stride per member */
+    int32_t start0,           /* chain entry (canonical: 0) */
+    int32_t nk,               /* members in the family */
+    const int32_t *caps,      /* [4*nk] rf, wf, wbb, apb per member */
+    const int32_t *cflags,    /* [nk] per-member F_* bits */
+    int32_t *rf_g,            /* [nk*n_words] stamp scratch, member-major */
+    int32_t *wf_g,            /* [nk*n_words] */
+    int32_t *wbb_g,           /* [nk*n_words] */
+    int32_t *apb_g,           /* [nk*n_prefixes] */
+    int32_t *gen_io,          /* [1] generation counter, persists */
+    int64_t *ev_key,          /* [nk*ev_percap] outputs, member-major */
+    int32_t *ev_end,
+    uint8_t *ev_cause,
+    int32_t *ev_nsteps,
+    int32_t *steps_out,       /* [nk*st_percap] member-major wbb steps */
+    int64_t ev_percap,
+    int64_t st_percap,
+    int32_t *out_nev,         /* [nk] out: events per member */
+    int32_t *out_nst)         /* [nk] out: steps per member */
+{
+    int32_t g = *gen_io;
+
+    if (nk <= 0)
+        return -2;
+    for (int32_t c = 0; c < nk; c++) {
+        const int32_t rf_cap = caps[4 * c];
+        const int32_t wf_cap = caps[4 * c + 1];
+        const int32_t wbb_cap = caps[4 * c + 2];
+        const int32_t apb_cap = caps[4 * c + 3];
+        const int32_t flags = cflags[c];
+        const int apb_on = flags & F_APB_ON;
+        const int ignore_text = flags & F_IGNORE_TEXT;
+        const int ig_fw = flags & F_IGNORE_FALSE_WRITES;
+        const int rm_dup = flags & F_REMOVE_DUPLICATES;
+        const int no_wf_ovf = flags & F_NO_WF_OVERFLOW;
+        const int latest = flags & F_LATEST_CHECKPOINT;
+        const int has_pi = flags & F_HAS_PI;
+        int32_t *rf_c = rf_g + (int64_t)c * n_words;
+        int32_t *wf_c = wf_g + (int64_t)c * n_words;
+        int32_t *wbb_c = wbb_g + (int64_t)c * n_words;
+        int32_t *apb_c = apb_g + (int64_t)c * n_prefixes;
+        int64_t *key_c = ev_key + (int64_t)c * ev_percap;
+        int32_t *end_c = ev_end + (int64_t)c * ev_percap;
+        uint8_t *cz_c = ev_cause + (int64_t)c * ev_percap;
+        int32_t *ns_c = ev_nsteps + (int64_t)c * ev_percap;
+        int32_t *st_c = steps_out + (int64_t)c * st_percap;
+        int32_t nev = 0, nst = 0;
+        int32_t start = start0;
+        int32_t direct = 0, forced_done = -1;
+        int32_t fidx = 0;
+
+        for (;;) {
+            /* -- section entry: resolve the variant -- */
+            while (fidx < nfs && fs[fidx] < start)
+                fidx++;
+            int at_forced = (fidx < nfs && fs[fidx] == start);
+            int32_t variant, scan_from;
+            if (direct) {
+                variant = 2;
+                scan_from = start + 1;
+            } else if (at_forced && forced_done != start) {
+                /* Zero-length section: the compiler checkpoint fires
+                 * before the access at ``start`` is classified. */
+                if (nev >= ev_percap)
+                    goto overflow;
+                key_c[nev] = (int64_t)start << 2;
+                end_c[nev] = start;
+                cz_c[nev] = CAUSE_COMPILER;
+                ns_c[nev] = 0;
+                nev++;
+                forced_done = start;
+                continue;
+            } else {
+                variant = at_forced ? 1 : 0;
+                scan_from = start;
+            }
+            int32_t nf_idx = at_forced ? fidx + 1 : fidx;
+            int32_t next_forced = (nf_idx < nfs) ? fs[nf_idx] : n + 1;
+
+            /* -- straight-line scan to the next boundary -- */
+            g += 1; /* stamp bump == clear all four buffers */
+            int32_t rf_len = 0, wf_len = 0, wbb_len = 0, apb_len = 0;
+            int untracked = 0;
+            int32_t end = n;
+            uint8_t cause = CAUSE_FINAL;
+            int32_t sec_nst0 = nst;
+            int32_t i = scan_from;
+            while (i < n) {
+                if (i == next_forced) {
+                    end = i;
+                    cause = CAUSE_COMPILER;
+                    break;
+                }
+                uint8_t op = ops[i];
+                if (op & 1) {
+                    /* Write. */
+                    if (op & 4) {
+                        end = i;
+                        cause = CAUSE_OUTPUT;
+                        break;
+                    }
+                    if (has_pi && pi[i]) {
+                        i++;
+                        continue;
+                    }
+                    if (ignore_text && (op & 2)) {
+                        end = i;
+                        cause = CAUSE_TEXT_WRITE;
+                        break;
+                    }
+                    int32_t v = wids[i];
+                    if (wbb_c[v] == g) {
+                        i++; /* in-place update; no growth */
+                        continue;
+                    }
+                    if (wf_c[v] == g) {
+                        i++;
+                        continue;
+                    }
+                    if (rf_c[v] == g) {
+                        /* Idempotency violation. */
+                        if (ig_fw && (op & 8)) {
+                            i++;
+                            continue;
+                        }
+                        if (wbb_cap == 0) {
+                            end = i;
+                            cause = CAUSE_VIOLATION;
+                            break;
+                        }
+                        if (wbb_len >= wbb_cap) {
+                            end = i;
+                            cause = CAUSE_WBB_FULL;
+                            break;
+                        }
+                        wbb_c[v] = g;
+                        wbb_len++;
+                        if (nst >= st_percap)
+                            goto overflow;
+                        st_c[nst++] = i;
+                        if (rm_dup) {
+                            rf_c[v] = 0;
+                            rf_len--;
+                        }
+                        i++;
+                        continue;
+                    }
+                    /* Fresh address: write-dominated. */
+                    if (wf_cap == 0) {
+                        i++;
+                        continue;
+                    }
+                    if (wf_len >= wf_cap) {
+                        if (no_wf_ovf) {
+                            i++;
+                            continue;
+                        }
+                        end = i;
+                        cause = CAUSE_WF_FULL;
+                        break;
+                    }
+                    if (apb_on) {
+                        int32_t p = pids[i];
+                        if (apb_c[p] != g) {
+                            if (apb_len >= apb_cap) {
+                                if (no_wf_ovf) {
+                                    i++;
+                                    continue;
+                                }
+                                end = i;
+                                cause = CAUSE_APB_FULL;
+                                break;
+                            }
+                            apb_c[p] = g;
+                            apb_len++;
+                        }
+                    }
+                    wf_c[v] = g;
+                    wf_len++;
+                    i++;
+                    continue;
+                }
+                /* Read. */
+                if (has_pi && pi[i]) {
+                    i++;
+                    continue;
+                }
+                if (ignore_text && (op & 2)) {
+                    i++;
+                    continue;
+                }
+                int32_t v = wids[i];
+                if (rf_c[v] == g || wbb_c[v] == g || wf_c[v] == g) {
+                    i++;
+                    continue;
+                }
+                if (rf_len >= rf_cap) {
+                    if (!latest) {
+                        end = i;
+                        cause = CAUSE_RF_FULL;
+                        break;
+                    }
+                    untracked = 1;
+                    i++;
+                    break; /* drop into the untracked tail loop */
+                }
+                if (apb_on) {
+                    int32_t p = pids[i];
+                    if (apb_c[p] != g) {
+                        if (apb_len >= apb_cap) {
+                            if (!latest) {
+                                end = i;
+                                cause = CAUSE_APB_FULL;
+                                break;
+                            }
+                            untracked = 1;
+                            i++;
+                            break;
+                        }
+                        apb_c[p] = g;
+                        apb_len++;
+                    }
+                }
+                rf_c[v] = g;
+                rf_len++;
+                i++;
+            }
+            if (untracked) {
+                /* Untracked tail (latest-checkpoint mode after a
+                 * read-side fill): reads always pass, so only writes
+                 * need classifying. */
+                while (i < n) {
+                    if (i == next_forced) {
+                        end = i;
+                        cause = CAUSE_COMPILER;
+                        break;
+                    }
+                    uint8_t op = ops[i];
+                    if (op & 1) {
+                        if (op & 4) {
+                            end = i;
+                            cause = CAUSE_OUTPUT;
+                            break;
+                        }
+                        if (has_pi && pi[i]) {
+                            /* PI write: passes. */
+                        } else if (wbb_c[wids[i]] == g) {
+                            /* WBB-owned write: in-place update, never
+                             * a boundary — mirrors on_write. */
+                        } else if (ig_fw && (op & 8)) {
+                            /* False write: passes. */
+                        } else {
+                            end = i;
+                            cause = CAUSE_LATEST_WRITE;
+                            break;
+                        }
+                    }
+                    i++;
+                }
+            }
+            if (nev >= ev_percap)
+                goto overflow;
+            key_c[nev] = ((int64_t)start << 2) | variant;
+            end_c[nev] = end;
+            cz_c[nev] = cause;
+            ns_c[nev] = nst - sec_nst0;
+            nev++;
+
+            /* -- follow the boundary into the next section -- */
+            if (cause == CAUSE_FINAL)
+                break;
+            if (cause == CAUSE_COMPILER) {
+                forced_done = end;
+                direct = 0;
+                start = end;
+            } else if (cause == CAUSE_TEXT_WRITE) {
+                direct = 1;
+                start = end;
+            } else if (cause == CAUSE_OUTPUT) {
+                direct = 0;
+                start = end + 1;
+            } else {
+                direct = 0;
+                start = end;
+            }
+        }
+        out_nev[c] = nev;
+        out_nst[c] = nst;
+    }
+    *gen_io = g;
+    return 0;
+
+overflow:
+    /* Persist the generation watermark even on overflow: the retry's
+     * per-section pre-increment then starts above every stamp already
+     * in scratch. */
+    *gen_io = g;
+    return -1;
+}

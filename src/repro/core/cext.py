@@ -139,11 +139,28 @@ def _build() -> Optional[ctypes.CDLL]:
         p,                                  # meta_out
     )
     try:
-        bw = lib.batch_walk
+        fam = lib.family_chain_scan
     except AttributeError as exc:  # pragma: no cover - stale .so only
         _status = f"load failed: {exc}"
         return None
     c_i64 = ctypes.c_int64
+    fam.restype = c_i64
+    fam.argtypes = (
+        p, p, p, p, p,                      # ops, wids, pids, pi, fs
+        c_i32, c_i32, c_i32, c_i32,         # nfs, n, n_words, n_prefixes
+        c_i32, c_i32,                       # start0, nk
+        p, p,                               # caps, cflags
+        p, p, p, p, p,                      # membership scratch + gen
+        p, p, p, p,                         # ev_key/end/cause/nsteps
+        p,                                  # steps_out
+        c_i64, c_i64,                       # ev_percap, st_percap
+        p, p,                               # out_nev, out_nst
+    )
+    try:
+        bw = lib.batch_walk
+    except AttributeError as exc:  # pragma: no cover - stale .so only
+        _status = f"load failed: {exc}"
+        return None
     bw.restype = c_i64
     bw.argtypes = (
         p, p, c_i32, p,                     # gcum, acc, n, forced_mask
@@ -351,3 +368,149 @@ class WatermarkEngine:
             apb_o[:meta[3]], apb_k[:meta[3]],
             meta[4], meta[5], meta[6], meta[7],
         )
+
+
+#: Member limit per batched family kernel call (chunking bound; the
+#: sequential kernel itself has no hard cap).
+FAMILY_MAX = 64
+
+
+#: Initial per-member event/step segment size for family scans; grows by
+#: doubling on kernel overflow (module-level so the learned size carries
+#: across the transient per-chunk engines of one process).
+_FAM_PERCAP = [1024]
+
+#: Reused family-scan output arrays keyed by role; the kernel reports how
+#: much of each it wrote, so they are handed out unzeroed and only grown.
+_FAM_OUT: dict = {}
+
+
+def _fam_out(key: str, nmin: int):
+    """A reusable output array of at least ``nmin`` items.
+
+    ``key`` names the role; its first character is the ``array``
+    typecode (``"i2"``/``"i3"`` are distinct int32 buffers).
+    """
+    buf = _FAM_OUT.get(key)
+    if buf is None or len(buf) < nmin:
+        buf = array(key[0], bytes(nmin * array(key[0]).itemsize))
+        _FAM_OUT[key] = buf
+    return buf
+
+
+class FamilyScanEngine:
+    """Prebound ctypes arguments for one config family's batched scan.
+
+    A family shares ``(trace, PI marking, forced checkpoints, text
+    bounds, APB prefix shift)`` and differs only per member in the four
+    buffer capacities and the policy flag bits.  One :meth:`scan` call
+    runs every member's chain scan inside a single kernel invocation
+    and fills member-major output segments — each bit-identical to a
+    :class:`ChainScanEngine` scan of that member, by construction.
+
+    Membership scratch is the per-trace memoized family block array
+    (:meth:`~repro.trace.trace.ConcreteTrace.c_family_scratch`): the
+    persistent generation counter makes stale stamps invisible, so no
+    per-call zeroing happens.  Output segments grow by doubling when the
+    kernel reports overflow; the learned size sticks process-wide, and
+    the segment arrays themselves are reused across engines (the kernel
+    writes the prefix it reports, so stale suffixes are never read).
+    """
+
+    __slots__ = ("_fn", "_pre", "_nk", "_keep")
+
+    def __init__(self, lib, ct, text_lo, text_hi, shift, forced_sorted,
+                 pi_words, pi_indices, members):
+        nk = len(members)
+        if not 0 < nk <= FAMILY_MAX:
+            raise ValueError(f"family size {nk} outside 1..{FAMILY_MAX}")
+        ops_b, wids_b, n_words = ct.scan_buffers(text_lo, text_hi)
+        if any(m[4] & F_APB_ON for m in members):
+            pids_b, n_prefixes = ct.prefix_buffers(shift)
+            pids_addr = _addr(pids_b)
+            scratch_shift = shift
+        else:
+            pids_b, n_prefixes = None, 1
+            pids_addr = 0
+            scratch_shift = -1
+        has_pi = bool(pi_words or pi_indices)
+        if has_pi:
+            pi_b = ct.pi_mask_buffer(pi_words, pi_indices)
+            pi_addr = _addr(pi_b)
+        else:
+            pi_b = None
+            pi_addr = 0
+        caps_b = array("i", bytes(4 * 4 * nk))
+        flags_b = array("i", bytes(4 * nk))
+        for c, (rf, wf, wbb, apb, fl) in enumerate(members):
+            caps_b[4 * c] = rf
+            caps_b[4 * c + 1] = wf
+            caps_b[4 * c + 2] = wbb
+            caps_b[4 * c + 3] = apb
+            flags_b[c] = (fl | F_HAS_PI) if has_pi else fl
+        gen_b, rf_b, wf_b, wbb_b, apb_b = ct.c_family_scratch(
+            max(n_words, 1), scratch_shift, n_prefixes, nk
+        )
+        fs_b = array("i", forced_sorted) if forced_sorted else array("i", [0])
+        self._fn = lib.family_chain_scan
+        self._nk = nk
+        self._pre = (
+            _addr(ops_b) if ct.n else 0,
+            _addr(wids_b) if ct.n else 0,
+            pids_addr,
+            pi_addr,
+            _addr(fs_b),
+            len(forced_sorted),
+            ct.n,
+            max(n_words, 1),
+            n_prefixes,
+            _addr(caps_b),
+            _addr(flags_b),
+            _addr(rf_b), _addr(wf_b), _addr(wbb_b), _addr(apb_b),
+            _addr(gen_b),
+        )
+        # Buffer lifetimes: the arrays must outlive this engine.
+        self._keep = (ops_b, wids_b, pids_b, pi_b, fs_b, caps_b,
+                      flags_b, gen_b, rf_b, wf_b, wbb_b, apb_b)
+
+    def scan(self, start0: int = 0):
+        """One batched pass from ``start0`` covering every member.
+
+        Returns ``(nev, nst, ev_key, ev_end, ev_cause, ev_nsteps,
+        steps_out, ev_percap, st_percap)``: member ``c``'s ``nev[c]``
+        section records occupy ``[c * ev_percap, c * ev_percap +
+        nev[c])`` of the event arrays, and its ``nst[c]`` flattened WBB
+        steps occupy ``[c * st_percap, c * st_percap + nst[c])`` of
+        ``steps_out``.  The event/step arrays are shared process-wide
+        scratch — consume (slice) them before the next ``scan`` call.
+        """
+        a = self._pre
+        nk = self._nk
+        while True:
+            percap = _FAM_PERCAP[0]
+            ev_key = _fam_out("q", percap * nk)
+            ev_end = _fam_out("i", percap * nk)
+            ev_cause = _fam_out("B", percap * nk)
+            ev_nsteps = _fam_out("i2", percap * nk)
+            steps_out = _fam_out("i3", percap * nk)
+            out_nev = array("i", bytes(4 * nk))
+            out_nst = array("i", bytes(4 * nk))
+            rc = self._fn(
+                a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7], a[8],
+                start0, nk,
+                a[9], a[10],
+                a[11], a[12], a[13], a[14], a[15],
+                _addr(ev_key), _addr(ev_end), _addr(ev_cause),
+                _addr(ev_nsteps),
+                _addr(steps_out),
+                percap, percap,
+                _addr(out_nev), _addr(out_nst),
+            )
+            if rc == 0:
+                return (out_nev, out_nst, ev_key, ev_end, ev_cause,
+                        ev_nsteps, steps_out, percap, percap)
+            if rc == -2:  # pragma: no cover - guarded in __init__
+                raise ValueError("empty family rejected by kernel")
+            # Overflow: double the per-member segments and rescan (the
+            # kernel's generation write-back keeps the scratch valid).
+            _FAM_PERCAP[0] = percap * 2

@@ -298,6 +298,33 @@ class IdempotencyDetector:
             lib, ct, params, forced_sorted, pi_words, pi_indices
         )
 
+    def family_params(self) -> Tuple[int, int, int, int, int]:
+        """This detector's member tuple for a family chain scan.
+
+        ``(rf_cap, wf_cap, wbb_cap, apb_cap, flags)`` — the per-member
+        slice of the lockstep kernel's inputs, assembled exactly as
+        :meth:`chain_scan_engine` assembles its scalar parameters
+        (``F_HAS_PI`` is added by the engine, not here).  Members of one
+        family must share the trace, PI marking, forced checkpoints,
+        text bounds, and APB prefix shift; only these five values may
+        differ.
+        """
+        flags = 0
+        if self._apb_enabled:
+            flags |= cext.F_APB_ON
+        if self._ignore_text:
+            flags |= cext.F_IGNORE_TEXT
+        if self._ignore_false_writes:
+            flags |= cext.F_IGNORE_FALSE_WRITES
+        if self._remove_duplicates:
+            flags |= cext.F_REMOVE_DUPLICATES
+        if self._no_wf_overflow:
+            flags |= cext.F_NO_WF_OVERFLOW
+        if self._latest_checkpoint:
+            flags |= cext.F_LATEST_CHECKPOINT
+        return (self._rf_capacity, self._wf_capacity, self.wbb.capacity,
+                self.apb.capacity, flags)
+
     def straightline_chain(
         self,
         ct,
@@ -1070,3 +1097,228 @@ def watermark_scan(
         array("i", apb_ev), array("B", apb_kind),
         scanned_to, struct_pos, struct_cause, complete,
     )
+
+
+_CAUSE_VIOLATION = 4
+_CAUSE_WBB_FULL = 5
+_CAUSE_WF_FULL = 6
+_CAUSE_APB_FULL = 7
+_CAUSE_RF_FULL = 8
+_CAUSE_LATEST_WRITE = 9
+
+_FAM_ENTRY, _FAM_SCAN, _FAM_TAIL, _FAM_DONE = 0, 1, 2, 3
+
+
+def family_chain_scan_py(ops, wids, pids, pi, fs, n, members, start0=0):
+    """Pure-Python family chain scan (the C kernel's reference).
+
+    Walks ``ops``/``wids`` once while advancing every member's section
+    state machine in lockstep — decision-equivalent to the
+    member-sequential ``family_chain_scan`` in ``_chainscan.c`` (each
+    member takes exactly the scalar chain-scan decision sequence, so
+    interleaving order cannot matter), with membership sets in place of
+    generation-stamp scratch.  ``members`` is a sequence of
+    ``(rf_cap, wf_cap, wbb_cap, apb_cap, flags)`` tuples (the engine
+    layer adds ``cext.F_HAS_PI`` when ``pi`` is a usable mask, mirroring
+    the C driver).  Returns ``[(member, start, variant, end, cause_id,
+    steps_tuple), ...]`` in the kernel's discovery order.
+    """
+    nk = len(members)
+    nfs = len(fs)
+    f_apb = cext.F_APB_ON
+    f_ig_text = cext.F_IGNORE_TEXT
+    f_ig_fw = cext.F_IGNORE_FALSE_WRITES
+    f_rm_dup = cext.F_REMOVE_DUPLICATES
+    f_no_ovf = cext.F_NO_WF_OVERFLOW
+    f_latest = cext.F_LATEST_CHECKPOINT
+    f_has_pi = cext.F_HAS_PI
+    events = []
+    mode = [_FAM_ENTRY] * nk
+    startv = [start0] * nk
+    pos = [start0] * nk
+    fd = [-1] * nk
+    fidx = [0] * nk
+    nf = [n + 1] * nk
+    direct = [0] * nk
+    variant = [0] * nk
+    steps = [[] for _ in range(nk)]
+    rf = [set() for _ in range(nk)]
+    wf = [set() for _ in range(nk)]
+    wbb = [set() for _ in range(nk)]
+    apb = [set() for _ in range(nk)]
+    ndone = 0
+
+    def boundary(c, e, cz):
+        nonlocal ndone
+        events.append((c, startv[c], variant[c], e, cz, tuple(steps[c])))
+        if cz == _CAUSE_FINAL:
+            mode[c] = _FAM_DONE
+            ndone += 1
+        elif cz == _CAUSE_COMPILER:
+            fd[c] = e
+            direct[c] = 0
+            startv[c] = e
+            mode[c] = _FAM_ENTRY
+            pos[c] = e
+        elif cz == _CAUSE_TEXT_WRITE:
+            direct[c] = 1
+            startv[c] = e
+            mode[c] = _FAM_ENTRY
+            pos[c] = e
+        elif cz == _CAUSE_OUTPUT:
+            direct[c] = 0
+            startv[c] = e + 1
+            mode[c] = _FAM_ENTRY
+            pos[c] = e + 1
+        else:
+            direct[c] = 0
+            startv[c] = e
+            mode[c] = _FAM_ENTRY
+            pos[c] = e
+
+    i = start0
+    while i <= n and ndone < nk:
+        if i < n:
+            op = ops[i]
+            wv = wids[i]
+            pv = pids[i] if pids is not None else 0
+            pi_i = pi[i] if pi is not None else 0
+        else:
+            op = wv = pv = pi_i = 0
+        for c in range(nk):
+            while mode[c] != _FAM_DONE and pos[c] == i:
+                rf_cap, wf_cap, wbb_cap, apb_cap, flags = members[c]
+                if mode[c] == _FAM_ENTRY:
+                    # -- section entry: resolve the variant --
+                    s = startv[c]
+                    while fidx[c] < nfs and fs[fidx[c]] < s:
+                        fidx[c] += 1
+                    at_forced = fidx[c] < nfs and fs[fidx[c]] == s
+                    if direct[c]:
+                        variant[c] = 2
+                        scan_from = s + 1
+                    elif at_forced and fd[c] != s:
+                        # Zero-length compiler section.
+                        events.append((c, s, 0, s, _CAUSE_COMPILER, ()))
+                        fd[c] = s
+                        continue
+                    else:
+                        variant[c] = 1 if at_forced else 0
+                        scan_from = s
+                    nf_idx = fidx[c] + 1 if at_forced else fidx[c]
+                    nf[c] = fs[nf_idx] if nf_idx < nfs else n + 1
+                    rf[c].clear()
+                    wf[c].clear()
+                    wbb[c].clear()
+                    apb[c].clear()
+                    steps[c] = []
+                    mode[c] = _FAM_SCAN
+                    pos[c] = scan_from
+                    continue
+                if i >= n:
+                    # End of trace: the final checkpoint.
+                    boundary(c, n, _CAUSE_FINAL)
+                    continue
+                if i == nf[c]:
+                    boundary(c, i, _CAUSE_COMPILER)
+                    continue
+                if mode[c] == _FAM_TAIL:
+                    # Untracked tail: reads always pass, writes only.
+                    if op & 1:
+                        if op & 4:
+                            boundary(c, i, _CAUSE_OUTPUT)
+                            continue
+                        if (flags & f_has_pi) and pi_i:
+                            pass  # PI write: passes
+                        elif wv in wbb[c]:
+                            pass  # WBB-owned write: in-place update
+                        elif (flags & f_ig_fw) and (op & 8):
+                            pass  # false write: passes
+                        else:
+                            boundary(c, i, _CAUSE_LATEST_WRITE)
+                            continue
+                    pos[c] = i + 1
+                    continue
+                # _FAM_SCAN: the tracked straight-line classification.
+                if op & 1:
+                    # Write.
+                    if op & 4:
+                        boundary(c, i, _CAUSE_OUTPUT)
+                        continue
+                    if (flags & f_has_pi) and pi_i:
+                        pos[c] = i + 1
+                        continue
+                    if (flags & f_ig_text) and (op & 2):
+                        boundary(c, i, _CAUSE_TEXT_WRITE)
+                        continue
+                    if wv in wbb[c] or wv in wf[c]:
+                        pos[c] = i + 1
+                        continue
+                    if wv in rf[c]:
+                        # Idempotency violation.
+                        if (flags & f_ig_fw) and (op & 8):
+                            pos[c] = i + 1
+                            continue
+                        if wbb_cap == 0:
+                            boundary(c, i, _CAUSE_VIOLATION)
+                            continue
+                        if len(wbb[c]) >= wbb_cap:
+                            boundary(c, i, _CAUSE_WBB_FULL)
+                            continue
+                        wbb[c].add(wv)
+                        steps[c].append(i)
+                        if flags & f_rm_dup:
+                            rf[c].discard(wv)
+                        pos[c] = i + 1
+                        continue
+                    # Fresh address: write-dominated.
+                    if wf_cap == 0:
+                        pos[c] = i + 1
+                        continue
+                    if len(wf[c]) >= wf_cap:
+                        if flags & f_no_ovf:
+                            pos[c] = i + 1
+                            continue
+                        boundary(c, i, _CAUSE_WF_FULL)
+                        continue
+                    if (flags & f_apb) and pv not in apb[c]:
+                        if len(apb[c]) >= apb_cap:
+                            if flags & f_no_ovf:
+                                pos[c] = i + 1
+                                continue
+                            boundary(c, i, _CAUSE_APB_FULL)
+                            continue
+                        apb[c].add(pv)
+                    wf[c].add(wv)
+                    pos[c] = i + 1
+                    continue
+                # Read.
+                if (flags & f_has_pi) and pi_i:
+                    pos[c] = i + 1
+                    continue
+                if (flags & f_ig_text) and (op & 2):
+                    pos[c] = i + 1
+                    continue
+                if wv in rf[c] or wv in wbb[c] or wv in wf[c]:
+                    pos[c] = i + 1
+                    continue
+                if len(rf[c]) >= rf_cap:
+                    if not (flags & f_latest):
+                        boundary(c, i, _CAUSE_RF_FULL)
+                        continue
+                    mode[c] = _FAM_TAIL
+                    pos[c] = i + 1
+                    continue
+                if (flags & f_apb) and pv not in apb[c]:
+                    if len(apb[c]) >= apb_cap:
+                        if not (flags & f_latest):
+                            boundary(c, i, _CAUSE_APB_FULL)
+                            continue
+                        mode[c] = _FAM_TAIL
+                        pos[c] = i + 1
+                        continue
+                    apb[c].add(pv)
+                rf[c].add(wv)
+                pos[c] = i + 1
+        i += 1
+    return events

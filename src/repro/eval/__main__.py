@@ -196,6 +196,10 @@ def main(argv=None) -> int:
             enum_seconds=sect["enum_seconds"],
             evictions=sect["evictions"],
             disk_loads=sect["disk_loads"],
+            rebuilds=sect["rebuilds"],
+            family_passes=sect["family_passes"],
+            family_maps=sect["family_maps"],
+            family_by_trace=sections.family_trace_stats(),
         )
         disk = artifact_cache.stats()
         PROFILER.record_disk_cache(

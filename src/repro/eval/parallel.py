@@ -220,6 +220,93 @@ def _epoch_plan(trace, epoch_cycles: int):
     return _EPOCH_CACHE[key]
 
 
+#: Family sweep plans: every run_jobs call registers, per shared
+#: enumeration context (one trace + one PI/forced marking), the ordered
+#: distinct configs its jobs will sweep.  ``execute_job`` consults the
+#: plan right before simulating, so a cold SectionMap triggers one
+#: batched family pass over the next ``_FAMILY_CHUNK`` plan members
+#: instead of a scalar chain scan per config.  The registry persists
+#: across run_jobs calls (fork-pool workers inherit it at pool creation)
+#: and only ever grows — its total size also drives the SectionMap LRU
+#: auto-sizing, so a sweep's whole working set stays resident.
+_FAMILY_PLANS: Dict[tuple, Tuple[list, dict]] = {}
+
+#: Configs per batched family pass.  Matches the C kernel's budget
+#: (≤ FAMILY_MAX = 64) while keeping the prefetch wave small enough
+#: that pool groups stay well under a straggler's worth of work.
+_FAMILY_CHUNK = 32
+
+#: Slack added to the auto-sized SectionMap LRU capacity (maps built
+#: outside any plan: tests, ad-hoc run_clank calls, watermark probes).
+_FAMILY_LRU_SLACK = 256
+
+
+def _family_plan_key(job: SimJob) -> tuple:
+    """The enumeration context a job's SectionMap family shares.
+
+    Everything that changes the *trace walk* (trace identity, PI
+    marking, forced checkpoints) is in here; everything that only
+    changes buffer occupancy (the config tuple, APB geometry, policy
+    opts) deliberately is not — those vary within one family.
+    """
+    return (job.workload, job.size, job.trace_seed, job.use_compiler,
+            job.epoch_cycles)
+
+
+def _family_eligible(job: SimJob) -> bool:
+    """Jobs whose simulation path consumes SectionMaps at all."""
+    return job.engine == "clank" and not job.volatile_segments
+
+
+def _register_family_plans(jobs: List[SimJob],
+                           settings: EvalSettings) -> None:
+    """Register ``jobs``'s config families and auto-size the LRU.
+
+    Verified runs never touch the section-memoized path, so they
+    register nothing.  The LRU is raised to the registry's total
+    distinct (context, config) count plus slack — the ISSUE's "family
+    size × in-flight traces" sweep working set — unless the
+    ``REPRO_SECTIONMAP_LRU`` override pins it.
+    """
+    if settings.verify:
+        return
+    for job in jobs:
+        if not _family_eligible(job):
+            continue
+        plan = _FAMILY_PLANS.get(_family_plan_key(job))
+        if plan is None:
+            plan = ([], {})
+            _FAMILY_PLANS[_family_plan_key(job)] = plan
+        configs, pos = plan
+        config = job.clank_config()
+        if config not in pos:
+            pos[config] = len(configs)
+            configs.append(config)
+    total = sum(len(configs) for configs, _ in _FAMILY_PLANS.values())
+    if total:
+        sections.ensure_lru_capacity(total + _FAMILY_LRU_SLACK)
+
+
+def _family_prefetch(job: SimJob, trace, config, pi_words,
+                     pi_access_indices, forced_checkpoints) -> None:
+    """Run the job's family prefetch if a plan covers it (see
+    :func:`repro.sim.sections.prefetch_family`)."""
+    plan = _FAMILY_PLANS.get(_family_plan_key(job))
+    if plan is None:
+        return
+    configs, pos = plan
+    p = pos.get(config)
+    if p is None:
+        return
+    sections.prefetch_family(
+        trace, config, configs, p,
+        pi_words=pi_words,
+        pi_access_indices=pi_access_indices,
+        forced_checkpoints=forced_checkpoints,
+        chunk=_FAMILY_CHUNK,
+    )
+
+
 def execute_job(
     job: SimJob, settings: EvalSettings
 ) -> Tuple[Optional[SimulationResult], float]:
@@ -335,6 +422,9 @@ def execute_job(
                 trace.memory_map.word_range(name)
                 for name in job.volatile_segments
             )
+        elif not settings.verify:
+            _family_prefetch(job, trace, config, pi_words,
+                             pi_access_indices, forced_checkpoints)
         # Clank jobs go through the section-memoized fast path when
         # eligible (verify off, no volatile ranges); ineligible ones fall
         # back to the reference simulator inside simulate_fast.
@@ -483,6 +573,9 @@ def _execute_batch(
             trace.memory_map.word_range(name)
             for name in job.volatile_segments
         )
+    elif not settings.verify:
+        _family_prefetch(job, trace, config, pi_words,
+                         pi_access_indices, forced_checkpoints)
 
     schedules = settings.schedule(job.salt).batch(
         job.n_seeds, _BATCH_SEGMENTS, seed_stride=job.seed_stride
@@ -577,6 +670,7 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     idx, job = item
     stats_before = trace_cache.cache_stats()
     sect_before = sections.cache_stats()
+    fam_before = sections.family_trace_stats()
     disk_before = artifact_cache.stats()
     disp_before = fast_dispatch.dispatch_stats()
     batch_before = batch_dispatch.batch_stats()
@@ -655,11 +749,38 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
         "section_enum_seconds": (
             sect_after["enum_seconds"] - sect_before["enum_seconds"]
         ),
+        "section_rebuilds": (
+            sect_after["rebuilds"] - sect_before["rebuilds"]
+        ),
+        "family_passes": (
+            sect_after["family_passes"] - sect_before["family_passes"]
+        ),
+        "family_maps": (
+            sect_after["family_maps"] - sect_before["family_maps"]
+        ),
+        "family_by_trace": {
+            name: n - fam_before.get(name, 0)
+            for name, n in sections.family_trace_stats().items()
+            if n != fam_before.get(name, 0)
+        },
         "disk_hits": disk_after["hits"] - disk_before["hits"],
         "disk_misses": disk_after["misses"] - disk_before["misses"],
         "disk_puts": disk_after["puts"] - disk_before["puts"],
         "disk_evictions": disk_after["evictions"] - disk_before["evictions"],
     }
+
+
+def _worker_run_group(
+    items: List[Tuple[int, SimJob]]
+) -> List[Tuple[int, dict]]:
+    """Execute one family group's jobs back-to-back in this worker.
+
+    The group shares a family-plan chunk, so the first cold job's
+    prefetch enumerates the whole chunk in one batched pass and the
+    rest replay from the worker's SectionMap cache; payloads stay
+    per-job so the parent's submission-order merge is unchanged.
+    """
+    return [_worker_run(item) for item in items]
 
 
 # --------------------------------------------------------------------- #
@@ -726,6 +847,7 @@ def run_jobs(
     if SERVED_EXECUTOR is not None and not settings.verify:
         return SERVED_EXECUTOR.run_jobs(jobs, settings)
     n_workers = resolve_workers(n_workers)
+    _register_family_plans(jobs, settings)
     if n_workers <= 1 or len(jobs) <= 1:
         results = []
         for job in jobs:
@@ -737,17 +859,36 @@ def run_jobs(
             results.append(result)
         return results
 
-    # Heaviest-first dispatch; ties keep submission order.
-    order = sorted(
-        range(len(jobs)), key=lambda i: (-jobs[i].weight(), i)
+    # Family-aware grouping: jobs sharing a family-plan chunk form one
+    # group task so a single worker enumerates the chunk once and its
+    # groupmates replay warm; every other job is its own singleton
+    # group.  Groups leave the queue heaviest-total-weight first (the
+    # original cost-aware ordering, lifted from jobs to groups), ties
+    # keeping submission order.
+    groups: Dict[tuple, List[int]] = {}
+    for i, job in enumerate(jobs):
+        gkey: tuple = ("solo", i)
+        if not settings.verify and _family_eligible(job):
+            plan = _FAMILY_PLANS.get(_family_plan_key(job))
+            if plan is not None:
+                pos = plan[1].get(job.clank_config())
+                if pos is not None:
+                    gkey = (_family_plan_key(job), pos // _FAMILY_CHUNK)
+        groups.setdefault(gkey, []).append(i)
+    ordered = sorted(
+        groups.values(),
+        key=lambda idxs: (-sum(jobs[i].weight() for i in idxs), idxs[0]),
     )
     payloads: Dict[int, dict] = {}
     pool = _make_pool(n_workers, settings)
     try:
-        for idx, payload in pool.imap_unordered(
-            _worker_run, [(i, jobs[i]) for i in order], chunksize=1
+        for group_payloads in pool.imap_unordered(
+            _worker_run_group,
+            [[(i, jobs[i]) for i in idxs] for idxs in ordered],
+            chunksize=1,
         ):
-            payloads[idx] = payload
+            for idx, payload in group_payloads:
+                payloads[idx] = payload
     finally:
         pool.close()
         pool.join()
@@ -769,6 +910,10 @@ def run_jobs(
             enum_seconds=payload.get("section_enum_seconds", 0.0),
             evictions=payload.get("section_evictions", 0),
             disk_loads=payload.get("section_disk_loads", 0),
+            rebuilds=payload.get("section_rebuilds", 0),
+            family_passes=payload.get("family_passes", 0),
+            family_maps=payload.get("family_maps", 0),
+            family_by_trace=payload.get("family_by_trace"),
         )
         PROFILER.record_disk_cache(
             payload.get("disk_hits", 0),

@@ -33,6 +33,10 @@ class Profiler:
         self.section_cache_evictions = 0
         self.section_disk_loads = 0
         self.section_enum_seconds = 0.0
+        self.section_rebuilds = 0
+        self.family_passes = 0
+        self.family_maps = 0
+        self.family_by_trace: Dict[str, int] = {}
         self.disk_cache_hits = 0
         self.disk_cache_misses = 0
         self.disk_cache_puts = 0
@@ -53,6 +57,10 @@ class Profiler:
         self.section_cache_evictions = 0
         self.section_disk_loads = 0
         self.section_enum_seconds = 0.0
+        self.section_rebuilds = 0
+        self.family_passes = 0
+        self.family_maps = 0
+        self.family_by_trace.clear()
         self.disk_cache_hits = 0
         self.disk_cache_misses = 0
         self.disk_cache_puts = 0
@@ -91,18 +99,30 @@ class Profiler:
         enum_seconds: float = 0.0,
         evictions: int = 0,
         disk_loads: int = 0,
+        rebuilds: int = 0,
+        family_passes: int = 0,
+        family_maps: int = 0,
+        family_by_trace: Optional[Dict[str, int]] = None,
     ) -> None:
         """Merge SectionMap cache deltas (the fast replay path of
         :mod:`repro.sim.sections`) — from parallel worker payloads, or from
         the in-process counters after a serial sweep.  ``disk_loads`` counts
         map/watermark families rebuilt from the persistent artifact cache
         rather than enumerated, so the table can split "warm from memory" /
-        "warm from disk" / "cold"."""
+        "warm from disk" / "cold".  ``rebuilds`` counts misses whose key
+        was evicted earlier (real LRU thrash, as opposed to first-touch
+        cold builds); the ``family_*`` arguments surface config-family
+        chain-scan amortization per trace."""
         self.section_cache_hits += hits
         self.section_cache_misses += misses
         self.section_enum_seconds += enum_seconds
         self.section_cache_evictions += evictions
         self.section_disk_loads += disk_loads
+        self.section_rebuilds += rebuilds
+        self.family_passes += family_passes
+        self.family_maps += family_maps
+        for name, n in (family_by_trace or {}).items():
+            self.family_by_trace[name] = self.family_by_trace.get(name, 0) + n
 
     def record_disk_cache(
         self, hits: int, misses: int, puts: int = 0, evictions: int = 0
@@ -214,22 +234,44 @@ class Profiler:
                 f"{warm_disk} warm from disk, {cold} cold"
                 + (f"; {self.section_cache_evictions} evictions"
                    if self.section_cache_evictions else "")
+                + (f", {self.section_rebuilds} rebuilds"
+                   if self.section_rebuilds else "")
             )
             if (self.section_cache_misses
-                    and self.section_cache_evictions
-                    > 0.5 * self.section_cache_misses):
-                # Evictions rivalling builds mean the LRU is cycling the
-                # sweep's working set instead of holding it.
+                    and self.section_rebuilds
+                    > 0.1 * self.section_cache_misses):
+                # Rebuilds are misses whose key was evicted earlier: the
+                # LRU is cycling the sweep's working set instead of
+                # holding it (first-touch cold builds don't count).
                 from repro.sim import sections
 
                 lines.append(
                     "   WARNING: section-map LRU thrash — "
-                    f"{self.section_cache_evictions} evictions for "
-                    f"{self.section_cache_misses} builds; the sweep's "
-                    "(trace, config) working set exceeds the cache "
-                    f"capacity ({sections.cache_stats()['capacity']} "
-                    "maps).  Raise REPRO_SECTIONMAP_LRU."
+                    f"{self.section_rebuilds} of "
+                    f"{self.section_cache_misses} builds re-enumerated "
+                    "evicted maps; the sweep's (trace, config) working "
+                    "set exceeds the cache capacity "
+                    f"({sections.cache_stats()['capacity']} maps).  "
+                    "Raise REPRO_SECTIONMAP_LRU."
                 )
+        if self.family_maps:
+            scalar = max(self.section_cache_misses - self.family_maps, 0)
+            lines.append(
+                f"-- family scans: {self.family_maps} maps in "
+                f"{self.family_passes} trace passes "
+                f"({self.family_maps / max(self.family_passes, 1):.1f} "
+                f"maps/pass); {scalar} built scalar"
+            )
+            ranked = sorted(
+                self.family_by_trace.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            if ranked:
+                shown = ", ".join(f"{name} {n}" for name, n in ranked[:6])
+                more = (
+                    f" (+{len(ranked) - 6} more traces)"
+                    if len(ranked) > 6 else ""
+                )
+                lines.append(f"   by trace: {shown}{more}")
         if self.section_enum_seconds:
             lines.append(
                 f"-- section enumeration: {self.section_enum_seconds:9.3f}s "

@@ -58,8 +58,14 @@ from repro.sim.sections import (
     VARIANT_DIRECT,
     VARIANT_FORCED_DONE,
     VARIANT_NORMAL,
+    _CAUSE_KIND_BY_ID,
+    _CAUSE_NAME_BY_ID,
     get_section_map,
 )
+
+#: Stand-in ``flat_index().get`` for maps without flat storage: every
+#: probe misses, so the walker takes the dict/scalar path unchanged.
+_NO_FLAT_GET = {}.get
 from repro.sim.simulator import IntermittentSimulator
 
 
@@ -135,8 +141,24 @@ class FastReplaySimulator(IntermittentSimulator):
         schedule = self.schedule
         schedule.reset()
         next_on = schedule.next_on_time
-        section_of = smap.section
         secs_get = smap._sections.get
+        # Family-built maps carry their sections as flat parallel arrays
+        # (sorted keys / ends / cause ids / step offsets / step values).
+        # The walker reads those directly — no per-section tuple is ever
+        # built for the ~everything that replays on the canonical chain;
+        # only off-chain resume keys (watchdog cuts, direct re-entries)
+        # fall through to the per-key ``chain_section`` resolver.
+        flat = smap._flat
+        if flat is not None:
+            _, ends_f, causes_f, soff_f, sval_f = flat
+            fidx_get = smap.flat_index().get
+            section_of = smap.chain_section
+        else:
+            ends_f = causes_f = soff_f = sval_f = None
+            fidx_get = _NO_FLAT_GET
+            section_of = smap.section
+        names = _CAUSE_NAME_BY_ID
+        kinds = _CAUSE_KIND_BY_ID
         cut_safe = smap.watchdog_cut_safe
         forced = smap.forced
         max_pc = self.max_power_cycles
@@ -252,10 +274,23 @@ class FastReplaySimulator(IntermittentSimulator):
                 variant = VARIANT_FORCED_DONE
             else:
                 variant = VARIANT_NORMAL
-            sec = secs_get((s << 2) | variant)
-            if sec is None:
-                sec = section_of(s, variant)
-            end, cause, kind, steps = sec
+            k = (s << 2) | variant
+            j = fidx_get(k)
+            if j is not None:
+                end = ends_f[j]
+                cz = causes_f[j]
+                cause = names[cz]
+                kind = kinds[cz]
+                sa = soff_f[j]
+                sb = soff_f[j + 1]
+                stepsrc = sval_f
+            else:
+                sec = secs_get(k)
+                if sec is None:
+                    sec = section_of(s, variant)
+                end, cause, kind, stepsrc = sec
+                sa = 0
+                sb = len(stepsrc)
             base = gcum[s]
 
             # Watchdog firing inside the span [s, end): the earliest access
@@ -315,7 +350,7 @@ class FastReplaySimulator(IntermittentSimulator):
                     furthest = m1
                     progress = True
                 on_left -= gcum[m1] - base
-                nwbb = bisect_left(steps, m1)
+                nwbb = bisect_left(stepsrc, m1, sa, sb) - sa
                 c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
                 if on_left < c:
                     wasted += on_left
@@ -360,7 +395,7 @@ class FastReplaySimulator(IntermittentSimulator):
                     )
                     arch.record_section(
                         (s << 2) | variant,
-                        (rf_peak, len(wf_s), len(steps), len(apb_s)),
+                        (rf_peak, len(wf_s), sb - sa, len(apb_s)),
                     )
                     arch_last_t = e
                 if prog_configured:
@@ -397,7 +432,7 @@ class FastReplaySimulator(IntermittentSimulator):
                     on_left = power_loss(end)
                     direct = False
                     continue
-                nwbb = len(steps)
+                nwbb = sb - sa
                 c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
                 if on_left < c:
                     wasted += on_left
@@ -492,7 +527,7 @@ class FastReplaySimulator(IntermittentSimulator):
                 continue
 
             if kind == SEC_FORCED:
-                nwbb = len(steps)
+                nwbb = sb - sa
                 c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
                 if on_left < c:
                     wasted += on_left
@@ -536,7 +571,7 @@ class FastReplaySimulator(IntermittentSimulator):
                 continue
 
             # SEC_FINAL.
-            nwbb = len(steps)
+            nwbb = sb - sa
             c = base_ck + (flush_base + nwbb * per_entry if nwbb else 0)
             if on_left < c:
                 wasted += on_left

@@ -52,15 +52,27 @@ i.e. after a rollback past a direct-committed write.  Two cases exist:
 """
 
 import os
+from array import array
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
+from itertools import repeat
 from time import perf_counter
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - soft dependency
+    _np = None  # family-scan distribution falls back to a plain loop
 
 import repro.cache as artifact_cache
+from repro.core import cext as _cext
 from repro.core.cext import CAUSE_NAMES as _CAUSE_NAMES
 from repro.core.config import ClankConfig
-from repro.core.detector import POLICY_REV, IdempotencyDetector
+from repro.core.detector import (
+    POLICY_REV,
+    IdempotencyDetector,
+    family_chain_scan_py,
+)
 from repro.sim import watermarks
 from repro.trace.access import READ
 from repro.trace.trace import Trace
@@ -85,6 +97,11 @@ _KIND_BY_CAUSE = {
 _NAME_KIND_BY_ID = [
     (name, _KIND_BY_CAUSE.get(name, SEC_DETECTOR)) for name in _CAUSE_NAMES
 ]
+
+#: The same table split by column, for ``map(list.__getitem__, causes)``
+#: pipelines that materialize whole flat stores without a Python loop.
+_CAUSE_NAME_BY_ID = [name for name, _ in _NAME_KIND_BY_ID]
+_CAUSE_KIND_BY_ID = [kind for _, kind in _NAME_KIND_BY_ID]
 
 #: Section-entry variants.
 VARIANT_NORMAL = 0
@@ -113,6 +130,7 @@ class SectionMap:
         "_forced_set", "_detector", "_sections", "pi_hazard",
         "_scratch", "_dw_cache", "_dw_groups", "_arch_cache", "_engine",
         "_family", "_caps", "_latest", "_nwf", "_disk_key", "_loaded_n",
+        "_flat", "_flat_idx", "_mat_n", "_mat_all", "_flat_persisted",
     )
 
     def __init__(
@@ -171,6 +189,20 @@ class SectionMap:
         )
         self._latest = opts.latest_checkpoint
         self._nwf = opts.no_wf_overflow
+        #: Flat canonical-chain storage installed by a family scan (or a
+        #: disk load of one): ``(keys, ends, cause_ids, steps_off,
+        #: steps)`` parallel arrays sorted by key.  The first ``section()``
+        #: call that misses the dict memo materializes the whole table
+        #: into it in one tight pass (sweep replays touch nearly every
+        #: section exactly once, so per-key laziness would just move the
+        #: same tuple-building into the replay loop with bisect overhead
+        #: on top); ``_mat_n`` counts flat-covered dict entries so the
+        #: dirty test sees only genuinely new enumerations.
+        self._flat = None
+        self._flat_idx = None
+        self._mat_n = 0
+        self._mat_all = False
+        self._flat_persisted = False
         # Persistent artifact store: seed the memo from a previous run's
         # (or a sibling worker's) enumeration of this exact key.
         self._disk_key = None
@@ -190,10 +222,19 @@ class SectionMap:
                 tuple(self._forced_sorted),
             )
             loaded = st.get("sections", self._disk_key)
+            global _DISK_LOADS
             if isinstance(loaded, dict):
-                global _DISK_LOADS
                 _DISK_LOADS += 1
                 self._sections.update(loaded)
+                self._loaded_n = len(self._sections)
+            elif (
+                isinstance(loaded, tuple) and len(loaded) == 7
+                and loaded[0] == "flat1"
+            ):
+                _DISK_LOADS += 1
+                self._flat = loaded[1:6]
+                self._flat_persisted = True
+                self._sections.update(loaded[6])
                 self._loaded_n = len(self._sections)
 
     def section(self, start: int, variant: int) -> Section:
@@ -202,6 +243,13 @@ class SectionMap:
         key = (start << 2) | variant
         sec = self._sections.get(key)
         if sec is None:
+            if self._flat is not None and not self._mat_all:
+                t0 = perf_counter()
+                self._materialize_all()
+                _ENUM_SECONDS += perf_counter() - t0
+                sec = self._sections.get(key)
+                if sec is not None:
+                    return sec
             fam = self._family
             if fam is not None and fam.active:
                 sec = self._derive_section(start, variant)
@@ -217,6 +265,54 @@ class SectionMap:
             if self._disk_key is not None:
                 _DIRTY.add(self)
         return sec
+
+    def chain_section(self, start: int, variant: int) -> Section:
+        """:meth:`section` for flat-backed replays: serve one key.
+
+        The fast replay walker reads the flat canonical-chain arrays
+        directly (see :mod:`repro.sim.fast`) and only lands here for
+        keys the flat store does not cover — off-chain resume variants
+        a watchdog cut or direct re-entry created.  Those are rare, so
+        this resolves *per key* (``_flat_get``) instead of triggering
+        :meth:`_materialize_all`, which would rebuild every section
+        tuple the walker is deliberately not asking for.
+        """
+        global _ENUM_SECONDS
+        key = (start << 2) | variant
+        sec = self._sections.get(key)
+        if sec is None:
+            if self._flat is not None:
+                sec = self._flat_get(key)
+                if sec is not None:
+                    return sec
+            fam = self._family
+            if fam is not None and fam.active:
+                sec = self._derive_section(start, variant)
+            if sec is not None:
+                self._sections[key] = sec
+            else:
+                t0 = perf_counter()
+                self._ingest_chain(start, variant)
+                _ENUM_SECONDS += perf_counter() - t0
+                sec = self._sections[key]
+            if self._disk_key is not None:
+                _DIRTY.add(self)
+        return sec
+
+    def flat_index(self) -> dict:
+        """Cached ``key -> row`` index over the flat section arrays.
+
+        One dict build per (map, replay-sweep) — every schedule replayed
+        against this map reuses it, turning the walker's per-section
+        fetch into a dict probe plus four array reads, with no tuple
+        construction at all.
+        """
+        idx = self._flat_idx
+        if idx is None:
+            keys = self._flat[0]
+            idx = dict(zip(keys, range(len(keys))))
+            self._flat_idx = idx
+        return idx
 
     def _derive_section(self, start: int, variant: int) -> Optional[Section]:
         """Derive one section from the watermark family (no chain scan).
@@ -246,15 +342,88 @@ class SectionMap:
         end, cause, steps = res
         return (end, cause, _KIND_BY_CAUSE.get(cause, SEC_DETECTOR), steps)
 
+    def _flat_has(self, key: int) -> bool:
+        """Whether the flat canonical-chain storage covers ``key``."""
+        flat = self._flat
+        if flat is None:
+            return False
+        keys = flat[0]
+        j = bisect_left(keys, key)
+        return j < len(keys) and keys[j] == key
+
+    def _flat_get(self, key: int) -> Optional[Section]:
+        """Serve ``key`` from flat storage, materializing into the dict
+        memo (not counted as growth by the persist dirty test)."""
+        keys, ends, causes, soff, sval = self._flat
+        j = bisect_left(keys, key)
+        if j >= len(keys) or keys[j] != key:
+            return None
+        cause, kind = _NAME_KIND_BY_ID[causes[j]]
+        a, b = soff[j], soff[j + 1]
+        sec = (ends[j], cause, kind, tuple(sval[a:b]) if b > a else ())
+        self._sections[key] = sec
+        self._mat_n += 1
+        return sec
+
+    def _materialize_all(self) -> None:
+        """Materialize every flat section into the dict memo, one pass.
+
+        The timed equivalent of the scalar path's ingest loop, minus the
+        per-map chain scan the family pass already amortized; after it
+        the replay's ``section()`` calls are plain dict hits.
+        """
+        keys, ends, causes, soff, sval = self._flat
+        # Column-at-a-time through C iterators: the zip/map/update
+        # pipeline builds each (end, name, kind, steps) record without a
+        # Python-level loop body; only the step tuples (rare — most
+        # sections grow no WBB entries) take a comprehension, and a map
+        # with no steps at all skips even that.
+        if len(sval):
+            empty = ()
+            steps_col = [
+                tuple(sval[a:b]) if b > a else empty
+                for a, b in zip(soff, soff[1:])
+            ]
+        else:
+            steps_col = repeat((), len(keys))
+        self._sections.update(
+            zip(keys,
+                zip(ends,
+                    map(_CAUSE_NAME_BY_ID.__getitem__, causes),
+                    map(_CAUSE_KIND_BY_ID.__getitem__, causes),
+                    steps_col))
+        )
+        self._mat_n = len(keys)
+        self._mat_all = True
+
+    def _needs_persist(self) -> bool:
+        """Whether a persist would write anything new to the store."""
+        if self._disk_key is None:
+            return False
+        if self._flat is not None and not self._flat_persisted:
+            return True
+        return len(self._sections) - self._mat_n > self._loaded_n
+
     def persist(self) -> None:
         """Write newly-enumerated sections to the artifact store (no-op
         when clean, never loaded against a store, or the store is gone)."""
-        if self._disk_key is None:
-            return
-        if len(self._sections) <= self._loaded_n:
+        if not self._needs_persist():
             return
         st = artifact_cache.store()
         if st is None:
+            return
+        if self._flat is not None:
+            # Flat canonical chain + the dict entries it does not cover
+            # (non-canonical chains from watchdog-cut starts).
+            extras = {
+                k: v for k, v in self._sections.items()
+                if not self._flat_has(k)
+            }
+            payload = ("flat1",) + tuple(self._flat) + (extras,)
+            if st.put("sections", self._disk_key, payload):
+                self._loaded_n = len(extras)
+                self._mat_n = len(self._sections) - len(extras)
+                self._flat_persisted = True
             return
         if st.put("sections", self._disk_key, self._sections):
             self._loaded_n = len(self._sections)
@@ -305,7 +474,7 @@ class SectionMap:
                 so[1:nsec + 1].tolist(),
             ):
                 key = (s_ << 2) | v_
-                if key in secs:
+                if key in secs or self._flat_has(key):
                     break
                 cause, kind = name_kind[cid]
                 secs[key] = (
@@ -327,7 +496,7 @@ class SectionMap:
             )
         ):
             key = (s << 2) | v
-            if key in secs:
+            if key in secs or self._flat_has(key):
                 break
             secs[key] = (end, cause, kind_of.get(cause, SEC_DETECTOR), steps)
 
@@ -561,6 +730,20 @@ _EVICTIONS = 0
 _DISK_LOADS = 0
 _ENUM_SECONDS = 0.0
 
+#: Family-scan amortization counters: passes of the batched kernel,
+#: maps those passes enumerated, and per-trace map counts (the profile
+#: table shows amortization per trace).
+_FAMILY_PASSES = 0
+_FAMILY_MAPS = 0
+_FAMILY_BY_TRACE: Dict[str, int] = {}
+
+#: Keys evicted from the LRU; a later miss on one of them is a
+#: *rebuild* — the only eviction that actually cost a re-enumeration.
+#: Raw eviction counts stay high even under a perfectly-ordered sweep
+#: (the working set simply ends), so the thrash warning keys on these.
+_EVICTED_KEYS: set = set()
+_REBUILDS = 0
+
 #: Maps evicted from the LRU while dirty wait here for the next
 #: :func:`repro.cache.persist_caches` flush — spilling to disk mid-run
 #: would put file I/O on the enumeration hot path.  Bounded: overflow
@@ -605,7 +788,7 @@ def get_section_map(
     forced_checkpoints: Optional[FrozenSet[int]] = None,
 ) -> SectionMap:
     """The shared SectionMap for this key (LRU-cached per process)."""
-    global _HITS, _MISSES, _EVICTIONS
+    global _HITS, _MISSES, _EVICTIONS, _REBUILDS
     key = _map_key(
         trace, config, pi_words, pi_access_indices, forced_checkpoints
     )
@@ -615,21 +798,277 @@ def get_section_map(
         _CACHE.move_to_end(key)
         return smap
     _MISSES += 1
+    if key in _EVICTED_KEYS:
+        _REBUILDS += 1
     smap = SectionMap(
         trace, config, pi_words, pi_access_indices, forced_checkpoints
     )
     _CACHE[key] = smap
     while len(_CACHE) > _MAX_CACHED_MAPS:
         _EVICTIONS += 1
-        evicted = _CACHE.popitem(last=False)[1]
+        ekey, evicted = _CACHE.popitem(last=False)
+        _EVICTED_KEYS.add(ekey)
         _DIRTY.discard(evicted)
-        if (
-            evicted._disk_key is not None
-            and len(evicted._sections) > evicted._loaded_n
-            and len(_SPILL) < _MAX_SPILLED
-        ):
-            _SPILL.append(evicted)
+        if evicted._needs_persist():
+            if len(_SPILL) < _MAX_SPILLED:
+                _SPILL.append(evicted)
+            else:
+                # Spill queue full: persist inline rather than silently
+                # dropping the enumeration (a re-miss would rebuild it).
+                evicted.persist()
     return smap
+
+
+def ensure_lru_capacity(n: int) -> None:
+    """Raise the LRU capacity to at least ``n`` maps (sweep-plan sizing).
+
+    The eval driver calls this with its sweep's (family chunk x
+    in-flight traces) working-set estimate before dispatching jobs.
+    Never shrinks, and defers to an explicit ``REPRO_SECTIONMAP_LRU``
+    override.
+    """
+    global _MAX_CACHED_MAPS
+    if os.environ.get("REPRO_SECTIONMAP_LRU", "").strip():
+        return
+    if n > _MAX_CACHED_MAPS:
+        _MAX_CACHED_MAPS = n
+
+
+# --------------------------------------------------------------------- #
+# Config-family enumeration: one trace pass, a whole family of maps.
+# --------------------------------------------------------------------- #
+
+
+def _needs_family_scan(smap: SectionMap) -> bool:
+    """Whether this map still wants its canonical chain enumerated.
+
+    The canonical chain (entry ``(0, VARIANT_NORMAL)``) always begins at
+    key 0 — whether or not index 0 is a forced checkpoint, the first
+    emitted section is ``(0 << 2) | variant`` with variant 0 or the
+    zero-length compiler form — so ``0 in _sections`` (or flat coverage)
+    means the chain every schedule replays is already present.  Members
+    with an *active* watermark family derive per-section instead and are
+    never family-scanned.
+    """
+    if 0 in smap._sections or smap._flat is not None:
+        return False
+    fam = smap._family
+    if fam is not None and fam.active:
+        return False
+    return True
+
+
+def build_family(
+    trace: Trace,
+    configs: Sequence[ClankConfig],
+    pi_words: Optional[FrozenSet[int]] = None,
+    pi_access_indices: Optional[FrozenSet[int]] = None,
+    forced_checkpoints: Optional[FrozenSet[int]] = None,
+) -> List[SectionMap]:
+    """Enumerate a whole config family's canonical chains in one pass.
+
+    Every config shares ``(trace, PI marking, forced checkpoints)`` and
+    differs only in buffer capacities and policy optimizations, so one
+    batched kernel call (:mod:`repro.core` family chain scan)
+    enumerates all of their section tables — bit-identical to the
+    per-config scalar scans, by construction.  Members already
+    enumerated (memory- or disk-warm) or served by an active watermark
+    family are skipped; a single remaining member degrades to the
+    scalar chain scan.  Returns the maps in ``configs`` order (the LRU
+    and disk cache are populated either way).  ``REPRO_FAMILY=0``
+    disables the batched pass (maps then enumerate lazily per config).
+    """
+    maps = [
+        get_section_map(
+            trace, cfg, pi_words, pi_access_indices, forced_checkpoints
+        )
+        for cfg in configs
+    ]
+    if os.environ.get("REPRO_FAMILY", "1") == "0":
+        return maps
+    pending: List[SectionMap] = []
+    seen = set()
+    for m in maps:
+        if id(m) not in seen and _needs_family_scan(m):
+            seen.add(id(m))
+            pending.append(m)
+    if not pending:
+        return maps
+    # The kernel shares one pids array across members, so group by the
+    # APB prefix shift (family plans already hold it constant; ad-hoc
+    # caller mixes still get correct, separate passes).
+    by_shift: Dict[int, List[SectionMap]] = {}
+    for m in pending:
+        shift = m._detector.apb.prefix_low_bits
+        by_shift.setdefault(shift, []).append(m)
+    for shift, members in by_shift.items():
+        for i in range(0, len(members), _cext.FAMILY_MAX):
+            _family_scan_chunk(trace, shift, members[i:i + _cext.FAMILY_MAX])
+    return maps
+
+
+def _family_scan_chunk(
+    trace: Trace, shift: int, maps: List[SectionMap]
+) -> None:
+    """One batched kernel call over ``trace`` for the given maps
+    (<= FAMILY_MAX).
+
+    A single member degrades to the scalar chain scan — the family
+    machinery would only add overhead around an identical walk.
+    """
+    global _ENUM_SECONDS, _FAMILY_PASSES, _FAMILY_MAPS
+    if len(maps) == 1:
+        maps[0].section(0, VARIANT_NORMAL)
+        return
+    t0 = perf_counter()
+    m0 = maps[0]
+    ct = m0.ct
+    det0 = m0._detector
+    params = [m._detector.family_params() for m in maps]
+    lib = _cext.chain_scan_lib()
+    if lib is not None:
+        eng = _cext.FamilyScanEngine(
+            lib, ct, det0._text_lo, det0._text_hi, shift,
+            m0._forced_sorted, m0.pi_words, m0.pi_indices, params,
+        )
+        _distribute_events_c(maps, *eng.scan(0))
+    else:
+        _distribute_events_py(maps, _family_scan_py(ct, det0, shift, m0,
+                                                    params))
+    for m in maps:
+        if m._disk_key is not None:
+            _DIRTY.add(m)
+    _FAMILY_PASSES += 1
+    _FAMILY_MAPS += len(maps)
+    name = trace.name
+    _FAMILY_BY_TRACE[name] = _FAMILY_BY_TRACE.get(name, 0) + len(maps)
+    _ENUM_SECONDS += perf_counter() - t0
+
+
+def _family_scan_py(ct, det0, shift, m0, params):
+    """Run the pure-Python family kernel; returns its event list."""
+    ops_b, wids_b, _ = ct.scan_buffers(det0._text_lo, det0._text_hi)
+    if any(p[4] & _cext.F_APB_ON for p in params):
+        pids_b, _ = ct.prefix_buffers(shift)
+    else:
+        pids_b = None
+    if m0.pi_words or m0.pi_indices:
+        pi_b = ct.pi_mask_buffer(m0.pi_words, m0.pi_indices)
+        members = [
+            (r, w, b, a, f | _cext.F_HAS_PI) for r, w, b, a, f in params
+        ]
+    else:
+        pi_b = None
+        members = list(params)
+    return family_chain_scan_py(
+        ops_b, wids_b, pids_b, pi_b, m0._forced_sorted, ct.n, members
+    )
+
+
+def _install_flat(m: SectionMap, keys, ends, causes, soff, sval) -> None:
+    m._flat = (keys, ends, causes, soff, sval)
+    m._flat_idx = None
+    m._flat_persisted = False
+
+
+def _distribute_events_c(maps, nev, nst, ev_key, ev_end, ev_cause,
+                         ev_nsteps, steps_out, ev_percap,
+                         st_percap) -> None:
+    """Copy the C kernel's member-major output segments into per-map
+    flat storage.
+
+    The kernel pre-segments its output (member ``c`` owns slots
+    ``[c * ev_percap, ...)``) so each flat array is a single slice
+    memcpy; only the steps-offset prefix sum is computed here.
+    """
+    for c, m in enumerate(maps):
+        k = nev[c]
+        base = c * ev_percap
+        sbase = c * st_percap
+        if _np is not None and k:
+            ns = _np.frombuffer(ev_nsteps, dtype=_np.int32,
+                                count=k, offset=4 * base)
+            soff_np = _np.zeros(k + 1, dtype=_np.int64)
+            _np.cumsum(ns, out=soff_np[1:])
+            soff = array("q", soff_np.tobytes())
+        else:
+            soff = array("q", [0])
+            t = 0
+            for ns_v in ev_nsteps[base:base + k]:
+                t += ns_v
+                soff.append(t)
+        _install_flat(
+            m,
+            ev_key[base:base + k],
+            ev_end[base:base + k],
+            ev_cause[base:base + k],
+            soff,
+            steps_out[sbase:sbase + nst[c]],
+        )
+
+
+def _distribute_events_py(maps, events) -> None:
+    """Split a Python-kernel event list into per-map flat storage."""
+    per: List[list] = [[] for _ in maps]
+    for ev in events:
+        per[ev[0]].append(ev)
+    for m, evs in zip(maps, per):
+        keys = array("q")
+        ends = array("i")
+        causes = array("B")
+        soff = array("q", [0])
+        sval = array("i")
+        for _, s, v, e, cid, steps in evs:
+            keys.append((s << 2) | v)
+            ends.append(e)
+            causes.append(cid)
+            sval.extend(steps)
+            soff.append(len(sval))
+        _install_flat(m, keys, ends, causes, soff, sval)
+
+
+def prefetch_family(
+    trace: Trace,
+    config: ClankConfig,
+    plan_configs: Sequence[ClankConfig],
+    plan_pos: int,
+    pi_words: Optional[FrozenSet[int]] = None,
+    pi_access_indices: Optional[FrozenSet[int]] = None,
+    forced_checkpoints: Optional[FrozenSet[int]] = None,
+    chunk: int = 32,
+) -> None:
+    """Family-build the next ``chunk`` un-enumerated plan members.
+
+    Called by the eval executors right before a job's own
+    ``get_section_map``: when the job's map still needs enumeration,
+    take up to ``chunk`` configs forward from its position in the sweep
+    plan that also need it and enumerate them in one family pass
+    (earlier members were prefetched by earlier jobs — sweep job orders
+    are config-major).  The common warmed case is one dict probe.
+    """
+    key = _map_key(
+        trace, config, pi_words, pi_access_indices, forced_checkpoints
+    )
+    smap = _CACHE.get(key)
+    if smap is not None and not _needs_family_scan(smap):
+        return
+    if os.environ.get("REPRO_FAMILY", "1") == "0":
+        return
+    take = []
+    for cfg in plan_configs[plan_pos:]:
+        k2 = _map_key(
+            trace, cfg, pi_words, pi_access_indices, forced_checkpoints
+        )
+        m2 = _CACHE.get(k2)
+        if m2 is not None and not _needs_family_scan(m2):
+            continue
+        take.append(cfg)
+        if len(take) >= chunk:
+            break
+    if take:
+        build_family(
+            trace, take, pi_words, pi_access_indices, forced_checkpoints
+        )
 
 
 def _flush_to_store() -> None:
@@ -668,19 +1107,32 @@ def cache_stats() -> Dict[str, float]:
         "cached": len(_CACHE),
         "capacity": _MAX_CACHED_MAPS,
         "evictions": _EVICTIONS,
+        "rebuilds": _REBUILDS,
         "disk_loads": _DISK_LOADS + wm["disk_loads"],
         "enum_seconds": _ENUM_SECONDS + wm["scan_seconds"],
+        "family_passes": _FAMILY_PASSES,
+        "family_maps": _FAMILY_MAPS,
     }
+
+
+def family_trace_stats() -> Dict[str, int]:
+    """Per-trace family-scan map counts (profile/telemetry)."""
+    return dict(_FAMILY_BY_TRACE)
 
 
 def reset_cache_stats() -> None:
     """Zero the counters (tests and per-sweep profiling)."""
     global _HITS, _MISSES, _EVICTIONS, _DISK_LOADS, _ENUM_SECONDS
+    global _FAMILY_PASSES, _FAMILY_MAPS, _REBUILDS
     _HITS = 0
     _MISSES = 0
     _EVICTIONS = 0
     _DISK_LOADS = 0
     _ENUM_SECONDS = 0.0
+    _FAMILY_PASSES = 0
+    _FAMILY_MAPS = 0
+    _REBUILDS = 0
+    _FAMILY_BY_TRACE.clear()
     watermarks.reset_stats()
 
 
@@ -689,4 +1141,5 @@ def clear_cache() -> None:
     _CACHE.clear()
     _SPILL.clear()
     _DIRTY.clear()
+    _EVICTED_KEYS.clear()
     watermarks.clear_families()

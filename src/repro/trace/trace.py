@@ -336,6 +336,33 @@ class CompiledTrace:
             self._c_scratch[shift] = cached
         return cached
 
+    def c_family_scratch(
+        self, n_words: int, shift: int, n_prefixes: int, nk: int
+    ) -> tuple:
+        """Blocked membership scratch for the C family chain scan.
+
+        ``(gen, rf, wf, wbb, apb)`` int32 arrays with ``nk`` members in
+        contiguous member-major blocks (member ``c`` owns
+        ``buf[c * n_words : (c + 1) * n_words]``), matching the scalar
+        kernel's access locality; the family kernel's persistent
+        generation counter lives in ``gen[0]`` and is written back
+        after every pass, so the blocks are shared by every family
+        engine on this trace with the same ``(shift, nk)`` and never
+        re-zeroed.
+        """
+        key = ("family", shift, nk)
+        cached = self._c_scratch.get(key)
+        if cached is None:
+            cached = (
+                array("i", [0]),
+                array("i", bytes(4 * n_words * nk)),
+                array("i", bytes(4 * n_words * nk)),
+                array("i", bytes(4 * n_words * nk)),
+                array("i", bytes(4 * max(n_prefixes, 1) * nk)),
+            )
+            self._c_scratch[key] = cached
+        return cached
+
     def c_chain_outputs(self) -> tuple:
         """Staging buffers the C kernel writes section records into.
 
