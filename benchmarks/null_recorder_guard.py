@@ -63,6 +63,12 @@ trace pass.  A regression that quietly dropped every config back to
 scalar scans would still be bit-identical, just N times the enumeration
 cost.
 
+A ninth check guards distributed tracing (:mod:`repro.obs.tracing`): the
+shared :data:`~repro.obs.tracing.TRACER` must be disabled by default, a
+tracing-off sweep must stay within the tracing threshold (default 2%)
+of the ledger-off baseline (instrumented call sites pay one attribute
+check and share one no-op span), and the off sweep must buffer no spans.
+
 Run:  PYTHONPATH=src python benchmarks/null_recorder_guard.py
 """
 
@@ -80,6 +86,7 @@ from repro.eval.settings import EvalSettings
 from repro.obs.analyze import COLLECTOR
 from repro.obs.recorder import NullRecorder
 from repro.obs.telemetry import ENGINE_BATCH, LEDGER
+from repro.obs.tracing import TRACER
 from repro.sim.fast import fast_stats, reset_fast_stats
 from repro.sim.sections import (
     cache_stats, clear_cache, reset_cache_stats,
@@ -127,6 +134,8 @@ def main(argv=None) -> int:
                         help="max allowed ledger-on/ledger-off ratio")
     parser.add_argument("--arch-threshold", type=float, default=1.02,
                         help="max allowed introspection-off/baseline ratio")
+    parser.add_argument("--tracing-threshold", type=float, default=1.02,
+                        help="max allowed tracing-off/baseline ratio")
     parser.add_argument("--repeats", type=int, default=5,
                         help="sweep repetitions (best-of timing)")
     parser.add_argument("--size", default="small", help="workload size preset")
@@ -359,6 +368,40 @@ def main(argv=None) -> int:
         print("FAIL: family passes stopped batching (one map per pass)")
         return 1
     print("OK: section maps enumerated by batched family scans")
+
+    # Tracing guard: spans are per job, behind one enabled check; the
+    # default-off sweep must pay nothing and buffer nothing.  The warm
+    # section caches from the family guard keep this sweep tiny, so
+    # best-of-many absorbs scheduler noise in the 2% budget.
+    if TRACER.enabled:
+        print("FAIL: tracer is enabled by default")
+        return 1
+
+    def jobs_seconds(repeats: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_jobs(family_jobs, settings, 1)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    trace_repeats = max(args.repeats, 10)
+    jobs_seconds(1)  # warm-up
+    trace_base = jobs_seconds(trace_repeats)
+    TRACER.reset()
+    trace_off = jobs_seconds(trace_repeats)
+    ratio = trace_off / trace_base
+    print(f"run_jobs baseline:    {trace_base:.3f}s")
+    print(f"run_jobs tracing off: {trace_off:.3f}s")
+    print(f"ratio: {ratio:.4f} (threshold {args.tracing_threshold:.2f})")
+    if TRACER.spans or TRACER.dropped:
+        print(f"FAIL: tracing-off sweep buffered {len(TRACER.spans)} spans "
+              f"({TRACER.dropped} dropped)")
+        return 1
+    if ratio > args.tracing_threshold:
+        print("FAIL: tracing-off sweep exceeds the overhead budget")
+        return 1
+    print("OK: tracing off buffers nothing within the overhead budget")
     return 0
 
 

@@ -111,8 +111,7 @@ def reset_stats() -> None:
         _BASE_STATS[k] = 0
     st = _STORE
     if st is not None:
-        st.hits = st.misses = st.puts = st.evictions = st.errors = 0
-        st.remote_hits = st.remote_misses = st.remote_errors = 0
+        st.reset_counters()
 
 
 def register_persist(hook: Callable[[], None]) -> None:

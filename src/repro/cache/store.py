@@ -5,8 +5,10 @@ content hash the *caller* derives from everything that determines the
 artifact (trace content, configuration, PI marking, format version).
 Content addressing makes every operation idempotent: two processes that
 compute the same artifact write byte-equivalent files under the same
-name, so there is nothing to coordinate — the store needs no locks, no
-manifest, and no invalidation protocol.
+name, so there is nothing to coordinate — the store needs no cross-
+process locks, no manifest, and no invalidation protocol.  (The only
+in-process lock guards the *stats counters*, which the sweep server
+bumps from several threads at once.)
 
 Robustness contract (exercised by ``tests/test_disk_cache.py``):
 
@@ -49,9 +51,13 @@ server the user points at deliberately), exactly like the ``_sha``-cached
 import os
 import pickle
 import tempfile
+import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.slog import SLOG
 
 #: Format-version salt folded into every key by :func:`content_key`;
 #: bump when any cached payload's layout changes.
@@ -91,6 +97,12 @@ class CacheStore:
         self.remote_hits = 0
         self.remote_misses = 0
         self.remote_errors = 0
+        # Counter bumps happen concurrently under a sweep server — its
+        # async handlers, bridge threads, and pool children all share
+        # one store — and ``+=`` on an int attribute is not atomic under
+        # the GIL (read/add/store interleave).  One lock, held only for
+        # the bump, keeps the totals exact.
+        self._stats_lock = threading.Lock()
         self._writable = True
         self._puts_since_check = 0
         # Per-shard byte estimates, keyed by shard directory path: seeded
@@ -160,6 +172,11 @@ class CacheStore:
 
     # -- operations ---------------------------------------------------- #
 
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Thread-safe counter increment (see ``_stats_lock``)."""
+        with self._stats_lock:
+            setattr(self, name, getattr(self, name) + n)
+
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The stored object, or ``None`` (miss, corrupt, unreadable).
 
@@ -173,19 +190,19 @@ class CacheStore:
         except FileNotFoundError:
             obj = self._remote_get(kind, key)
             if obj is None:
-                self.misses += 1
+                self._bump("misses")
             return obj
         except Exception:
             # Truncated/corrupted/wrong-format entry: count it, delete
             # it so a later put repairs it, and report a plain miss.
-            self.errors += 1
-            self.misses += 1
+            self._bump("errors")
+            self._bump("misses")
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._bump("hits")
         try:
             os.utime(path)  # freshen LRU recency
         except OSError:
@@ -198,6 +215,7 @@ class CacheStore:
         if not self.remote:
             return None
         url = f"{self.remote}/artifact/{kind}/{key}"
+        t0 = time.perf_counter()
         try:
             with urllib.request.urlopen(
                 url, timeout=self.remote_timeout
@@ -206,17 +224,31 @@ class CacheStore:
             obj = pickle.loads(blob)
         except urllib.error.HTTPError:
             # The peer answered and does not have it: a clean remote miss.
-            self.remote_misses += 1
+            self._bump("remote_misses")
+            self._log_remote("miss", kind, key, t0)
             return None
-        except Exception:
+        except Exception as exc:
             # Unreachable peer, timeout, corrupt payload: degrade.
-            self.remote_errors += 1
+            self._bump("remote_errors")
+            self._log_remote("error", kind, key, t0,
+                             error=type(exc).__name__)
             return None
-        self.remote_hits += 1
+        self._bump("remote_hits")
+        self._log_remote("hit", kind, key, t0, bytes=len(blob))
         # Write through so the next get (this process or a sibling
         # sharing the directory) is a local hit.
         self.put(kind, key, obj)
         return obj
+
+    def _log_remote(self, outcome: str, kind: str, key: str,
+                    t0: float, **fields) -> None:
+        if SLOG.enabled:
+            SLOG.request(
+                "cache.remote_get",
+                (time.perf_counter() - t0) * 1000.0,
+                outcome=outcome, kind=kind, key=key[:12],
+                remote=self.remote, **fields,
+            )
 
     def put(self, kind: str, key: str, obj: Any) -> bool:
         """Store ``obj``; False (silently) when the store is unwritable."""
@@ -242,10 +274,10 @@ class CacheStore:
         except Exception:
             # Read-only directory, disk full, unpicklable payload:
             # degrade to read-only behaviour, keep serving gets.
-            self.errors += 1
+            self._bump("errors")
             self._writable = False
             return False
-        self.puts += 1
+        self._bump("puts")
         if self._approx_bytes is not None:
             self._approx_bytes += len(payload)
         if self._shard_bytes is not None:
@@ -296,17 +328,25 @@ class CacheStore:
                     continue  # already gone (racing worker): not ours
                 total -= size
                 self._shard_bytes[shard] -= size
-                self.evictions += 1
+                self._bump("evictions")
         self._approx_bytes = total
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "evictions": self.evictions,
-            "errors": self.errors,
-            "remote_hits": self.remote_hits,
-            "remote_misses": self.remote_misses,
-            "remote_errors": self.remote_errors,
-        }
+        with self._stats_lock:  # one consistent snapshot across counters
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "errors": self.errors,
+                "remote_hits": self.remote_hits,
+                "remote_misses": self.remote_misses,
+                "remote_errors": self.remote_errors,
+            }
+
+    def reset_counters(self) -> None:
+        """Zero every counter atomically (tests, per-sweep profiling)."""
+        with self._stats_lock:
+            self.hits = self.misses = self.puts = 0
+            self.evictions = self.errors = 0
+            self.remote_hits = self.remote_misses = self.remote_errors = 0

@@ -16,7 +16,12 @@ it for ``--quick`` runs; render it with ``python -m repro.obs.report``,
 gate the trajectory with ``python -m repro.obs.bench --check``).
 ``--arch PATH`` additionally collects per-section architectural
 statistics (buffer occupancy, hazard attribution) and writes the summary
-JSON for ``python -m repro.obs.analyze``.
+JSON for ``python -m repro.obs.analyze``.  ``--trace PATH`` (or
+``REPRO_TRACE``) exports driver/job spans as JSONL — for served sweeps
+the client spans carry the trace the server continues, and
+``python -m repro.obs.tracing merge`` renders the combined Chrome
+timeline.  A ``--ledger`` path streams records live for
+``python -m repro.obs.watch``.
 
 ``--server URL`` routes every job through a sweep server
 (``python -m repro.serve``) instead of simulating locally: results are
@@ -37,7 +42,7 @@ import repro.cache as artifact_cache
 from repro.eval.parallel import resolve_workers
 from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR
 from repro.eval.settings import EvalSettings
-from repro.obs import telemetry
+from repro.obs import slog, telemetry, tracing
 from repro.obs.profile import PROFILER
 from repro.sim import fast as fast_dispatch
 from repro.sim import sections
@@ -114,7 +119,18 @@ def main(argv=None) -> int:
                              "(buffer occupancy, hazard attribution) and "
                              "write the summary JSON to PATH; render it "
                              "with python -m repro.obs.analyze")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export request/job spans as JSONL to PATH "
+                             "(default REPRO_TRACE; merge with server "
+                             "spans via python -m repro.obs.tracing merge)")
     args = parser.parse_args(argv)
+
+    if args.trace:
+        tracing.TRACER.enable(service="client" if args.server else "eval",
+                              export_path=args.trace)
+    else:
+        tracing.configure_from_env("client" if args.server else "eval")
+    slog.configure_from_env()
 
     serve_client = None
     if args.server:
@@ -156,6 +172,16 @@ def main(argv=None) -> int:
 
     driver_stats = {}
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    ledger_path = args.ledger
+    if ledger_path is None and not args.quick:
+        ledger_path = _LEDGER_PATH
+    if ledger_path:
+        # Stream records live so `python -m repro.obs.watch PATH` can
+        # follow the sweep; write_jsonl below replaces the stream with
+        # the complete authoritative ledger at the end.
+        telemetry.LEDGER.stream_to(
+            ledger_path, header={"experiments": list(names)}
+        )
     wall_start = time.perf_counter()
     try:
         for name in names:
@@ -163,7 +189,8 @@ def main(argv=None) -> int:
                 f"repro.eval.{name}", fromlist=["run", "render"]
             )
             runs_before = PROFILER.total_sim_runs
-            with PROFILER.phase(name), telemetry.LEDGER.driver_phase(name):
+            with PROFILER.phase(name), telemetry.LEDGER.driver_phase(name), \
+                    tracing.TRACER.span(f"driver {name}"):
                 if args.seeds and name in _SEEDED_DRIVERS:
                     data = module.run(
                         settings, n_workers=n_workers, seeds=args.seeds
@@ -224,9 +251,6 @@ def main(argv=None) -> int:
             if total_rows != len(ledger.records) else ""
         )
         print(f"[ledger: {total_rows} runs{rows_note} — {mix or 'none'}]")
-        ledger_path = args.ledger
-        if ledger_path is None and not args.quick:
-            ledger_path = _LEDGER_PATH
         if ledger_path:
             ledger.write_jsonl(
                 ledger_path,
@@ -311,7 +335,13 @@ def main(argv=None) -> int:
             print(f"[bench entry appended to {_BENCH_PATH}]")
     finally:
         telemetry.LEDGER.disable()
+        telemetry.LEDGER.stop_stream()
         ARCH_COLLECTOR.disable()
+        if tracing.TRACER.enabled:
+            exported = tracing.TRACER.flush()
+            if exported and tracing.TRACER.export_path:
+                print(f"[{exported} spans written to "
+                      f"{tracing.TRACER.export_path}]")
         if serve_client is not None:
             from repro.serve import uninstall
 

@@ -39,6 +39,7 @@ from repro.eval.settings import EvalSettings
 from repro.obs import telemetry
 from repro.obs.analyze import COLLECTOR as ARCH_COLLECTOR
 from repro.obs.profile import PROFILER
+from repro.obs.tracing import TRACER
 from repro.power.schedules import RuntPower
 from repro.runtime.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim import batch as batch_dispatch
@@ -681,10 +682,23 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
     arch_entries: list = []
     if ARCH_COLLECTOR.enabled:
         ARCH_COLLECTOR.capture = arch_entries
+    # Tracing state is inherited across the pool fork; a per-job worker
+    # span ships back in the payload (rootless — the parent re-parents
+    # it under its ambient span when folding).
+    span = None
+    if TRACER.enabled:
+        from repro.obs.tracing import make_span
+
+        span = make_span(
+            f"job {job.workload}", "worker",
+            attrs={"workload": job.workload, "config": job.config},
+        )
     try:
         result, sim_seconds = execute_job(job, _WORKER_SETTINGS)
     finally:
         ARCH_COLLECTOR.capture = None
+        if span is not None:
+            span["t1"] = time.perf_counter()
     # Pool children exit via os._exit (no atexit), so flush newly
     # enumerated artifacts to the shared store now.  Dirty tracking in
     # repro.sim.sections makes this O(maps this job grew) — usually one.
@@ -707,6 +721,7 @@ def _worker_run(item: Tuple[int, SimJob]) -> Tuple[int, dict]:
         "workload": job.workload,
         "result": payload_result,
         "batch": is_batch,
+        "spans": [span] if span is not None else [],
         "sim_runs": max(1, job.n_seeds),
         "batch_stats": {
             "batches": batch_after["batches"] - batch_before["batches"],
@@ -851,7 +866,9 @@ def run_jobs(
     if n_workers <= 1 or len(jobs) <= 1:
         results = []
         for job in jobs:
-            result, sim_seconds = execute_job(job, settings)
+            with TRACER.span(f"job {job.workload}", workload=job.workload,
+                             config=job.config):
+                result, sim_seconds = execute_job(job, settings)
             if settings.profile:
                 PROFILER.record_sim(
                     job.workload, sim_seconds, runs=max(1, job.n_seeds)
@@ -879,23 +896,15 @@ def run_jobs(
         groups.values(),
         key=lambda idxs: (-sum(jobs[i].weight() for i in idxs), idxs[0]),
     )
-    payloads: Dict[int, dict] = {}
-    pool = _make_pool(n_workers, settings)
-    try:
-        for group_payloads in pool.imap_unordered(
-            _worker_run_group,
-            [[(i, jobs[i]) for i in idxs] for idxs in ordered],
-            chunksize=1,
-        ):
-            for idx, payload in group_payloads:
-                payloads[idx] = payload
-    finally:
-        pool.close()
-        pool.join()
+    ambient = TRACER.current() if TRACER.enabled else None
 
-    results = []
-    for i in range(len(jobs)):
-        payload = payloads[i]
+    def _fold(payload: dict):
+        """Merge one payload's stats/provenance and rebuild its result.
+
+        Called in strict submission order — the determinism contract:
+        profiler float sums, ledger indices, and dispatch counters fold
+        in the same order a serial run would produce them.
+        """
         if settings.profile:
             PROFILER.record_sim(
                 payload["workload"], payload["sim_seconds"],
@@ -926,11 +935,44 @@ def run_jobs(
         for rec in payload.get("telemetry", ()):
             telemetry.LEDGER.record(telemetry.RunRecord.from_dict(rec))
         ARCH_COLLECTOR.merge_entries(payload.get("arch", ()))
+        if TRACER.enabled:
+            for span in payload.get("spans", ()):
+                # Worker spans ship rootless; hang them under the span
+                # active when this sweep was dispatched (the driver's).
+                if ambient is not None and not span.get("parent_id"):
+                    span["trace_id"], span["parent_id"] = ambient
+                TRACER.add(span)
         raw = payload["result"]
         if payload.get("batch"):
-            results.append(BatchResult.from_dict(raw))
-        else:
-            results.append(
-                None if raw is None else SimulationResult.from_dict(raw)
-            )
+            return BatchResult.from_dict(raw)
+        return None if raw is None else SimulationResult.from_dict(raw)
+
+    # Payloads are folded *eagerly* over the longest contiguous
+    # submission-order prefix as they arrive, so live observers (a
+    # streaming ledger tailed by ``repro.obs.watch``) see progress
+    # mid-sweep; out-of-order arrivals wait in ``pending``.  Fold order
+    # is unchanged from the all-at-the-end merge, so every downstream
+    # aggregate stays bit-identical.
+    results: List[Union[SimulationResult, BatchResult, None]] = []
+    pending: Dict[int, dict] = {}
+    pool = _make_pool(n_workers, settings)
+    try:
+        for group_payloads in pool.imap_unordered(
+            _worker_run_group,
+            [[(i, jobs[i]) for i in idxs] for idxs in ordered],
+            chunksize=1,
+        ):
+            for idx, payload in group_payloads:
+                pending[idx] = payload
+            while len(results) in pending:
+                results.append(_fold(pending.pop(len(results))))
+    finally:
+        pool.close()
+        pool.join()
+    while len(results) in pending:
+        results.append(_fold(pending.pop(len(results))))
+    if len(results) != len(jobs):
+        raise SimulationError(
+            f"pool returned {len(results)} of {len(jobs)} payloads"
+        )
     return results

@@ -28,6 +28,15 @@ box in between: this package opens it up without slowing it down.
 * :mod:`repro.obs.inspect` — ``python -m repro.obs.inspect run.jsonl``
   summarizes a recorded event log or a run ledger (``--format json`` for
   machine-readable output).
+* :mod:`repro.obs.tracing` — zero-cost-when-off distributed spans
+  (client → server → resolve tier → worker) propagated over HTTP via
+  ``X-Repro-Trace``; ``python -m repro.obs.tracing merge`` renders
+  exports as one Chrome timeline.
+* :mod:`repro.obs.slog` — structured JSON-line request logs with a
+  slow-request threshold (``REPRO_SLOG`` / ``REPRO_SLOG_SLOW_MS``).
+* :mod:`repro.obs.watch` — ``python -m repro.obs.watch`` follows an
+  in-progress sweep (streamed ledger or a server's ``/stats``):
+  rows/sec, engine mix, cache-tier funnel, ETA.
 """
 
 from repro.obs.events import (
@@ -43,7 +52,21 @@ from repro.obs.events import (
     WatchdogHalved,
     event_from_dict,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    ServingMetrics,
+    render_prometheus,
+)
+# repro.obs.tracing, repro.obs.slog, and repro.obs.watch are imported
+# directly by their call sites (and ``python -m``), not re-exported
+# here: tracing and watch double as CLI entry points, and importing
+# them from the package __init__ would shadow their runpy execution.
 from repro.obs.recorder import (
     JsonlRecorder,
     MemoryRecorder,
@@ -88,8 +111,14 @@ __all__ = [
     "live_recorder",
     "read_events",
     "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
     "Histogram",
+    "HistogramFamily",
     "MetricsRegistry",
+    "ServingMetrics",
+    "render_prometheus",
     "to_chrome_trace",
     "write_chrome_trace",
     "sweep_to_chrome_trace",

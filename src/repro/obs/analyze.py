@@ -40,6 +40,7 @@ import sys
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import Event
+from repro.obs.metrics import Histogram
 from repro.obs.recorder import Recorder
 
 #: Summary schema identifier (bump on incompatible changes).
@@ -506,24 +507,23 @@ def _hist_stats(hist: List[int]) -> Dict[str, Any]:
     total = sum(hist)
     if not total:
         return {"count": 0, "mean": 0.0, "p50": 0, "p95": 0, "max": 0}
-
-    def pct(q: float):
-        need = q * total
-        seen = 0
-        for i, n in enumerate(hist):
-            seen += n
-            if seen >= need:
-                return i
-        return HIST_BINS - 1
-
     mean = sum(i * n for i, n in enumerate(hist)) / total
     mx = max(i for i, n in enumerate(hist) if n)
-    label = lambda v: f"{HIST_BINS - 1}+" if v == HIST_BINS - 1 else v
+    # Rehydrate a metrics.Histogram over the unit-width bins 0..63 (the
+    # last slot is its overflow bin) so the percentile walk is the one
+    # shared Histogram.percentile implementation; unit bounds make the
+    # returned bound the exact integer value, and a quantile landing in
+    # the overflow bin reports the tracked max (= HIST_BINS-1 here).
+    h = Histogram(range(HIST_BINS - 1))
+    h.counts = list(hist)
+    h.count = total
+    h.max = mx
+    label = lambda v: f"{HIST_BINS - 1}+" if v == HIST_BINS - 1 else int(v)
     return {
         "count": total,
         "mean": round(mean, 2),
-        "p50": label(pct(0.50)),
-        "p95": label(pct(0.95)),
+        "p50": label(h.percentile(0.50)),
+        "p95": label(h.percentile(0.95)),
         "max": label(mx),
     }
 

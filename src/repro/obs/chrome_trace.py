@@ -318,3 +318,105 @@ def write_sweep_trace(
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh)
     return trace
+
+
+# --------------------------------------------------------------------- #
+# Distributed-trace timelines (repro.obs.tracing span exports).
+# --------------------------------------------------------------------- #
+
+#: Stable viewer ordering for the serving pipeline's hops.
+_SERVICE_ORDER = {"client": 0, "server": 1, "worker": 2, "eval": 3}
+
+
+def spans_to_chrome_trace(spans: Sequence[dict], name: str = "trace") -> dict:
+    """Render :mod:`repro.obs.tracing` spans as a Chrome trace.
+
+    Each ``(service, pid)`` pair becomes one Chrome *process* — a merged
+    client + server + worker export of a loopback served sweep shows the
+    whole causal pipeline stacked in one viewer.  Within a process,
+    spans are laid out so nesting is visible: each top-level span (no
+    same-process ancestor) claims the first lane that is free at its
+    start time, and its same-process descendants ride that lane, where
+    Chrome nests them by time containment.  Timestamps are normalized to
+    the earliest span, which is only meaningful when every process
+    shares a clock (``perf_counter`` is system-wide ``CLOCK_MONOTONIC``
+    on Linux — the loopback case this repo benchmarks).
+    """
+    spans = [s for s in spans if s.get("t0") is not None]
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms",
+                "otherData": {"source": "repro.obs.tracing", "spans": 0}}
+
+    by_id = {s["span_id"]: s for s in spans}
+    t_min = min(s["t0"] for s in spans)
+    t_max = max(s["t1"] if s.get("t1") is not None else s["t0"] for s in spans)
+
+    def group_of(span: dict):
+        return (str(span.get("service") or "eval"), span.get("pid") or 0)
+
+    def local_root(span: dict) -> dict:
+        # Topmost ancestor living in the same (service, pid) group; hops
+        # to a different process (client span parenting a server span)
+        # end the walk — the child anchors its own lane over there.
+        seen = {span["span_id"]}
+        while True:
+            parent = by_id.get(span.get("parent_id"))
+            if (parent is None or group_of(parent) != group_of(span)
+                    or parent["span_id"] in seen):
+                return span
+            seen.add(parent["span_id"])
+            span = parent
+
+    groups = sorted(
+        {group_of(s) for s in spans},
+        key=lambda g: (_SERVICE_ORDER.get(g[0], 99), g[0], g[1]),
+    )
+    pid_of = {g: i for i, g in enumerate(groups, start=1)}
+
+    out: List[dict] = []
+    for (service, ospid), pid in pid_of.items():
+        out.append({"name": "process_name", "ph": "M", "pid": pid,
+                    "args": {"name": f"{service} (pid {ospid})"}})
+        out.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                    "args": {"sort_index": pid}})
+
+    # Greedy lane packing per group: a top-level span takes the first
+    # lane whose previous occupant ended before it starts.
+    lane_ends: dict = {g: [] for g in groups}  # group -> [last t1 per lane]
+    lane_of_root: dict = {}  # span_id of local root -> tid
+    for span in sorted(spans, key=lambda s: (s["t0"], s["span_id"])):
+        group = group_of(span)
+        root = local_root(span)
+        tid = lane_of_root.get(root["span_id"])
+        if tid is None:
+            ends = lane_ends[group]
+            end = root["t1"] if root.get("t1") is not None else t_max
+            for i, busy_until in enumerate(ends):
+                if busy_until <= root["t0"]:
+                    ends[i] = end
+                    tid = i + 1
+                    break
+            else:
+                ends.append(end)
+                tid = len(ends)
+            lane_of_root[root["span_id"]] = tid
+        t1 = span["t1"] if span.get("t1") is not None else t_max
+        args = dict(span.get("attrs") or {})
+        args["trace_id"] = span.get("trace_id")
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        ev = _span(str(span.get("name", "span")), (span["t0"] - t_min) * 1e6,
+                   max(1.0, (t1 - span["t0"]) * 1e6), tid, args)
+        ev["pid"] = pid_of[group]
+        out.append(ev)
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs.tracing",
+            "spans": len(spans),
+            "name": name,
+        },
+    }

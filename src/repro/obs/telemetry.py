@@ -181,6 +181,7 @@ class RunLedger:
         self.driver: Optional[str] = None
         self.driver_marks: List[dict] = []
         self.epoch = time.perf_counter()
+        self._stream = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -197,11 +198,43 @@ class RunLedger:
         self.driver_marks.clear()
         self.driver = None
         self.epoch = time.perf_counter()
+        self.stop_stream()
 
     def now(self) -> float:
         """Seconds since the ledger epoch (fork-safe: children inherit
         the epoch and ``perf_counter`` is system-wide on Linux)."""
         return time.perf_counter() - self.epoch
+
+    # -- live streaming ------------------------------------------------
+
+    def stream_to(self, path: str, header: Optional[dict] = None) -> None:
+        """Append every subsequent record to ``path`` as it lands.
+
+        The stream is a live, *incomplete* view for ``python -m
+        repro.obs.watch`` to tail — a ``sweep_start`` line then one
+        ``run`` line per record, flushed per record so a follower sees
+        them mid-sweep.  :meth:`write_jsonl` to the same path at sweep
+        end replaces it with the complete authoritative ledger (driver
+        marks, footer aggregates).
+        """
+        self.stop_stream()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        head = {"type": "sweep_start", "version": 1, "streaming": True}
+        head.update(header or {})
+        self._stream = open(path, "w", encoding="utf-8")
+        self._stream.write(json.dumps(head) + "\n")
+        self._stream.flush()
+
+    def stop_stream(self) -> None:
+        """Close the live stream, if any (idempotent)."""
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
 
     # -- recording -----------------------------------------------------
 
@@ -216,6 +249,9 @@ class RunLedger:
             return
         rec.index = len(self.records)
         self.records.append(rec)
+        if self._stream is not None:
+            self._stream.write(json.dumps(rec.to_dict()) + "\n")
+            self._stream.flush()
 
     @contextmanager
     def driver_phase(self, name: str):
@@ -289,6 +325,9 @@ class RunLedger:
             "result_cache": self.result_cache_counts(),
         }
         tail.update(footer or {})
+        # The complete ledger supersedes any live stream (possibly to
+        # this very path) — close it before rewriting.
+        self.stop_stream()
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)

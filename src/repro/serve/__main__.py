@@ -6,12 +6,19 @@ Set ``REPRO_CACHE_DIR`` to give the server a persistent artifact store
 — without it only the in-memory and coalescing tiers dedupe — and
 ``REPRO_CACHE_REMOTE`` to read through to another server's
 ``/artifact`` endpoint.
+
+Observability: ``--trace PATH`` (or ``REPRO_TRACE``) exports server-side
+request/resolve/worker spans as JSONL, flushed after every request;
+``--slog SINK`` (or ``REPRO_SLOG``, ``stderr`` or a path) emits
+structured JSON request logs with ``REPRO_SLOG_SLOW_MS`` escalation;
+``GET /metrics`` and ``GET /healthz`` are always on.
 """
 
 import argparse
 import asyncio
 import sys
 
+from repro.obs import slog, tracing
 from repro.serve.server import SweepServer
 
 
@@ -31,7 +38,22 @@ def main(argv=None) -> int:
     parser.add_argument("--memory", type=int, default=None,
                         help="in-memory payload LRU entries "
                         "(default REPRO_SERVE_MEMORY or 4096; 0 disables)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="export request/resolve/worker spans as JSONL "
+                        "to PATH (default REPRO_TRACE; off without either)")
+    parser.add_argument("--slog", default=None, metavar="SINK",
+                        help="structured JSON request logs to SINK "
+                        "('stderr' or a path; default REPRO_SLOG)")
     args = parser.parse_args(argv)
+
+    if args.trace:
+        tracing.TRACER.enable(service="server", export_path=args.trace)
+    else:
+        tracing.configure_from_env("server")
+    if args.slog:
+        slog.SLOG.enable(args.slog)
+    else:
+        slog.configure_from_env()
 
     server = SweepServer(
         host=args.host, port=args.port, jobs=args.jobs,
@@ -44,7 +66,8 @@ def main(argv=None) -> int:
         print(f"serving on {server.url}", flush=True)
         print(
             f"  workers={server.n_workers}  "
-            f"POST /jobs | GET /artifact/{{kind}}/{{key}} | GET /stats",
+            f"POST /jobs | GET /artifact/{{kind}}/{{key}} | GET /stats "
+            f"| GET /metrics | GET /healthz",
             flush=True,
         )
         loop.run_until_complete(server.serve_forever())
@@ -53,6 +76,7 @@ def main(argv=None) -> int:
     finally:
         loop.run_until_complete(server.aclose())
         loop.close()
+        tracing.TRACER.flush()
     return 0
 
 

@@ -27,12 +27,15 @@ check that did not execute in this process (DESIGN decision 13).
 
 import json
 import os
+import time
 import urllib.error
 import urllib.request
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs import telemetry
 from repro.obs.profile import PROFILER
+from repro.obs.slog import SLOG
+from repro.obs.tracing import TRACE_HEADER, TRACER, format_traceparent
 from repro.serve import jsonio
 from repro.sim.batch import BatchResult
 from repro.sim.result import SimulationResult
@@ -95,14 +98,26 @@ class ServeClient:
         ) as resp:
             return json.loads(resp.read().decode("utf-8"))
 
-    def _stream_batch(self, payload: dict, n_jobs: int) -> List[dict]:
+    def _stream_batch(
+        self,
+        payload: dict,
+        n_jobs: int,
+        headers: Optional[Dict[str, str]] = None,
+        on_event=None,
+    ) -> List[dict]:
         """POST one batch; return its ``result`` events by submission
         index, raising :class:`ServeError` on rejection, a job-level
-        server error, or a truncated stream."""
+        server error, or a truncated stream.
+
+        ``headers`` rides extra request headers (the trace-context
+        header); ``on_event`` is called with each result event as it
+        arrives — the hook that lets ``run_jobs`` close a job's client
+        span at the moment its event lands, not when the batch ends.
+        """
         req = urllib.request.Request(
             self.url + "/jobs",
             data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
             method="POST",
         )
         events: List[Optional[dict]] = [None] * n_jobs
@@ -124,6 +139,8 @@ class ServeClient:
                                 f"{event.get('idx')}: {event['error']}"
                             )
                         events[event["idx"]] = event
+                        if on_event is not None:
+                            on_event(event)
         except urllib.error.HTTPError as exc:
             detail = ""
             try:
@@ -156,7 +173,61 @@ class ServeClient:
             "settings": jsonio.settings_to_dict(settings),
             "jobs": [jsonio.job_to_dict(job) for job in jobs],
         }
-        events = self._stream_batch(payload, len(jobs))
+        headers: Dict[str, str] = {}
+        batch_span = None
+        job_spans: List[Optional[dict]] = [None] * len(jobs)
+        on_event = None
+        if TRACER.enabled:
+            batch_span = TRACER.start(
+                "serve.batch", service="client",
+                attrs={"jobs": len(jobs), "url": self.url},
+            )
+            trace_id = batch_span["trace_id"]
+            parent = (trace_id, batch_span["span_id"])
+            for i, job in enumerate(jobs):
+                job_spans[i] = TRACER.start(
+                    f"job {job.workload}", parent=parent, service="client",
+                    attrs={"workload": job.workload, "config": job.config,
+                           "idx": i},
+                )
+            # Header carries the batch context; the body's trace block
+            # names each job's own client span so server resolve spans
+            # nest under the exact span awaiting their event.
+            headers[TRACE_HEADER] = format_traceparent(trace_id, parent[1])
+            payload["trace"] = {
+                "trace_id": trace_id,
+                "parent": parent[1],
+                "jobs": [s["span_id"] for s in job_spans],
+            }
+
+            def on_event(event, _spans=job_spans):
+                span = _spans[event["idx"]]
+                if span is not None:
+                    TRACER.finish(span, tier=event.get("tier"))
+                    _spans[event["idx"]] = None
+
+        t0 = time.perf_counter()
+        try:
+            events = self._stream_batch(
+                payload, len(jobs), headers=headers, on_event=on_event
+            )
+        except ServeError as exc:
+            if batch_span is not None:
+                TRACER.finish(batch_span, error=type(exc).__name__)
+            if SLOG.enabled:
+                SLOG.log(
+                    "client.batch_failed", level="error", url=self.url,
+                    jobs=len(jobs), error=str(exc),
+                )
+            raise
+        if batch_span is not None:
+            TRACER.finish(batch_span)
+        if SLOG.enabled:
+            SLOG.request(
+                "client.batch", (time.perf_counter() - t0) * 1000.0,
+                req_id=(batch_span["trace_id"] if batch_span else None),
+                url=self.url, jobs=len(jobs),
+            )
         self.batches += 1
         self.jobs_served += len(jobs)
         ledger = telemetry.LEDGER

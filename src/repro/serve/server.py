@@ -9,8 +9,15 @@ One :class:`SweepServer` owns three layers:
   the job's submission index, dedupe tier, result payload, and the
   server-side :class:`RunRecord` ledger lines), ``GET /artifact/{kind}/
   {key}`` serves raw artifact-store bytes to read-through peers
-  (``REPRO_CACHE_REMOTE``), and ``GET /stats`` reports the dedupe
-  funnel plus :func:`repro.cache.cache_stats`.
+  (``REPRO_CACHE_REMOTE``), ``GET /stats`` reports the dedupe
+  funnel plus :func:`repro.cache.cache_stats`, ``GET /metrics`` exposes
+  Prometheus-text latency histograms (per-endpoint requests, per-tier
+  resolves, SSE stream durations) and gauges, and ``GET /healthz`` is
+  the liveness probe.  Requests carrying an ``X-Repro-Trace`` header
+  (plus an optional per-job ``trace`` block in the batch body) get their
+  server-side spans parented under the caller's trace
+  (:mod:`repro.obs.tracing`), and structured request logs flow through
+  :mod:`repro.obs.slog` when enabled.
 * **A dedupe front** addressed by :func:`repro.eval.parallel.result_key`
   — the same content hash the local result cache uses, so "identical
   request" is decided by simulation inputs, never by client identity.
@@ -39,6 +46,7 @@ import json
 import os
 import re
 import threading
+import time
 import urllib.request
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -46,6 +54,9 @@ from typing import Dict, Optional, Tuple
 
 import repro.cache as artifact_cache
 from repro.obs import telemetry
+from repro.obs.metrics import ServingMetrics
+from repro.obs.slog import SLOG, new_request_id
+from repro.obs.tracing import TRACER, make_span, parse_traceparent
 from repro.serve import jsonio
 
 __all__ = ["ServerHandle", "SweepServer", "start_in_background"]
@@ -74,7 +85,9 @@ def _job_key(job_d: dict, settings_d: dict) -> str:
     )[1]
 
 
-def _pool_run(job_d: dict, settings_d: dict) -> dict:
+def _pool_run(
+    job_d: dict, settings_d: dict, trace_parent: Optional[Tuple[str, str]] = None
+) -> dict:
     """Execute one wire-format job; runs in a fork-pool worker (or a
     bridge thread under ``--jobs 1``).
 
@@ -82,13 +95,24 @@ def _pool_run(job_d: dict, settings_d: dict) -> dict:
     the local sweep engine runs, so served results are byte-identical —
     and captures the provenance records it appends, the disk-tier
     counters it moves, and the payload ``to_dict`` forms the fork pool
-    already uses.
+    already uses.  When the server hands over a ``trace_parent``
+    context, the simulation is wrapped in a worker span shipped back in
+    the payload (fork children cannot share the parent's tracer buffer;
+    the explicit context also survives the ``run_in_executor`` hop,
+    which does not copy contextvars).
     """
     from repro.eval.parallel import execute_job
     from repro.sim.batch import BatchResult
 
     job = jsonio.job_from_dict(job_d)
     settings = jsonio.settings_from_dict(settings_d)
+    span = None
+    if trace_parent is not None:
+        span = make_span(
+            "simulate", "worker", trace_id=trace_parent[0],
+            parent_id=trace_parent[1],
+            attrs={"workload": job.workload, "config": job.config},
+        )
     ledger = telemetry.LEDGER
     was_enabled = ledger.enabled
     before = len(ledger.records)
@@ -98,6 +122,8 @@ def _pool_run(job_d: dict, settings_d: dict) -> dict:
         result, seconds = execute_job(job, settings)
     finally:
         ledger.enabled = was_enabled
+        if span is not None:
+            span["t1"] = time.perf_counter()
     records = [rec.to_dict() for rec in ledger.records[before:]]
     # The records travel in the payload, not in process state: this
     # keeps a long-lived server bounded, and keeps an *embedded* server
@@ -128,7 +154,7 @@ def _pool_run(job_d: dict, settings_d: dict) -> dict:
         tier = "remote" if remote_delta else "disk"
     else:
         tier = "computed"
-    return {
+    payload = {
         "batch": is_batch,
         "result": payload_result,
         "stalled": stalled,
@@ -137,6 +163,10 @@ def _pool_run(job_d: dict, settings_d: dict) -> dict:
         "rows": max(1, job.n_seeds),
         "tier": tier,
     }
+    if span is not None:
+        span["attrs"]["tier"] = tier
+        payload["spans"] = [span]
+    return payload
 
 
 class SweepServer:
@@ -198,6 +228,33 @@ class SweepServer:
             "memory": 0, "coalesced": 0, "disk": 0, "remote": 0,
             "computed": 0,
         }
+        self.metrics = ServingMetrics()
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total", "HTTP requests by endpoint and status"
+        )
+        self._m_request_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall time per HTTP request by endpoint",
+        )
+        self._m_resolve_seconds = self.metrics.histogram(
+            "repro_resolve_seconds",
+            "Per-job dedupe-funnel resolve latency by tier "
+            "(one observation per served job)",
+        )
+        self._m_sse_seconds = self.metrics.histogram(
+            "repro_sse_stream_seconds",
+            "SSE stream duration per /jobs batch",
+        )
+        self._m_jobs_in_flight = self.metrics.gauge(
+            "repro_jobs_in_flight", "Jobs currently inside the dedupe funnel"
+        )
+        self._m_inflight_keys = self.metrics.gauge(
+            "repro_inflight_keys",
+            "Distinct keys currently executing (single-flight table size)",
+        )
+        self._m_memory_entries = self.metrics.gauge(
+            "repro_memory_entries", "Payloads held by the in-memory LRU tier"
+        )
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -247,15 +304,21 @@ class SweepServer:
         while len(self._memory) > self._memory_cap:
             self._memory.popitem(last=False)
 
-    def _execute(self, job_d: dict, settings_d: dict) -> dict:
+    def _execute(
+        self, job_d: dict, settings_d: dict,
+        trace_parent: Optional[Tuple[str, str]],
+    ) -> dict:
         """Bridge-thread entry: run the job in the fork pool, or inline
         when the server is single-worker."""
         if self._pool is not None:
-            return self._pool.apply(_pool_run, (job_d, settings_d))
-        return _pool_run(job_d, settings_d)
+            return self._pool.apply(
+                _pool_run, (job_d, settings_d, trace_parent)
+            )
+        return _pool_run(job_d, settings_d, trace_parent)
 
     async def _resolve(
-        self, key: str, job_d: dict, settings_d: dict
+        self, key: str, job_d: dict, settings_d: dict,
+        trace_parent: Optional[Tuple[str, str]] = None,
     ) -> Tuple[str, dict]:
         """One job through the dedupe funnel; returns ``(tier, payload)``.
 
@@ -275,15 +338,23 @@ class SweepServer:
         loop = asyncio.get_running_loop()
         fut = loop.create_future()
         self._inflight[key] = fut
+        self._m_inflight_keys.set(len(self._inflight))
         try:
             payload = await loop.run_in_executor(
-                self._bridge, self._execute, job_d, settings_d
+                self._bridge, self._execute, job_d, settings_d, trace_parent
             )
         except BaseException as exc:
             fut.set_exception(exc)
             fut.exception()  # consumed: no-waiter futures must not warn
             raise
         else:
+            # Worker spans ride the payload exactly once: absorb them
+            # into the server tracer *before* the payload is shared with
+            # coalesced waiters and the memory LRU, so replays of the
+            # payload never duplicate spans.
+            spans = payload.pop("spans", None)
+            if spans and TRACER.enabled:
+                TRACER.add_all(spans)
             fut.set_result(payload)
             tier = payload["tier"]
             self.tiers[tier] += 1
@@ -291,22 +362,53 @@ class SweepServer:
             return tier, payload
         finally:
             self._inflight.pop(key, None)
+            self._m_inflight_keys.set(len(self._inflight))
 
-    async def _job_event(self, idx: int, job_d: dict, settings_d: dict) -> dict:
-        """Resolve one job into its SSE event dict (never raises)."""
+    async def _job_event(
+        self, idx: int, job_d: dict, settings_d: dict,
+        parent: Optional[Tuple[str, str]] = None,
+    ) -> dict:
+        """Resolve one job into its SSE event dict (never raises).
+
+        ``parent`` is the client-side span context for *this job* (from
+        the batch body's trace block, falling back to the request
+        header), so the resolve span nests under the exact client span
+        awaiting this event.
+        """
         loop = asyncio.get_running_loop()
+        span = TRACER.start("resolve", parent=parent, service="server") \
+            if TRACER.enabled else None
+        self._m_jobs_in_flight.inc()
+        t0 = time.perf_counter()
         try:
             key = await loop.run_in_executor(
                 self._bridge, _job_key, job_d, settings_d
             )
-            tier, payload = await self._resolve(key, job_d, settings_d)
+            trace_parent = (
+                (span["trace_id"], span["span_id"]) if span else None
+            )
+            tier, payload = await self._resolve(
+                key, job_d, settings_d, trace_parent
+            )
         except Exception as exc:
             self.counters["errors"] += 1
+            if span is not None:
+                TRACER.finish(span, error=type(exc).__name__)
             return {
                 "type": "result",
                 "idx": idx,
                 "error": f"{type(exc).__name__}: {exc}",
             }
+        finally:
+            self._m_jobs_in_flight.dec()
+        # One observation per served job — the reconciliation invariant:
+        # summed across tiers, this histogram's count equals the number
+        # of jobs the ledger records as engine="served".
+        self._m_resolve_seconds.observe(
+            time.perf_counter() - t0, tier=tier
+        )
+        if span is not None:
+            TRACER.finish(span, tier=tier, key=key[:12])
         event = {"type": "result", "idx": idx, "key": key, "tier": tier}
         event.update(payload)
         # Coalesced/memory replies reuse the original payload, whose
@@ -331,9 +433,28 @@ class SweepServer:
             "cache": artifact_cache.cache_stats(),
         }
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``: the labeled
+        serving families plus point-in-time gauges and the process-wide
+        funnel / cache counters."""
+        self._m_inflight_keys.set(len(self._inflight))
+        self._m_memory_entries.set(len(self._memory))
+        extra = {
+            f"repro_server_{name}": value
+            for name, value in self.counters.items()
+        }
+        for tier, n in self.tiers.items():
+            extra[f"repro_resolve_tier_total_{tier}"] = n
+        for name, value in artifact_cache.cache_stats().items():
+            extra[f"repro_cache_{name}"] = value
+        return self.metrics.render(extra_counters=extra)
+
     # -- HTTP ---------------------------------------------------------- #
 
     async def _handle(self, reader, writer) -> None:
+        endpoint = status = None
+        t0 = time.perf_counter()
+        req_ctx = None
         try:
             try:
                 head = await reader.readuntil(b"\r\n\r\n")
@@ -353,24 +474,52 @@ class SweepServer:
             length = int(headers.get("content-length", 0) or 0)
             if length:
                 body = await reader.readexactly(length)
+            req_ctx = parse_traceparent(headers.get("x-repro-trace"))
 
             if method == "GET" and path == "/healthz":
-                self._plain(writer, 200, b'{"ok": true}')
+                endpoint = "/healthz"
+                status = self._plain(writer, 200, b'{"ok": true}')
+            elif method == "GET" and path == "/metrics":
+                endpoint = "/metrics"
+                status = self._plain(
+                    writer, 200, self.metrics_text().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             elif method == "GET" and path == "/stats":
+                endpoint = "/stats"
                 blob = json.dumps(
                     self.stats_snapshot(), indent=2, sort_keys=True
                 ).encode("utf-8")
-                self._plain(writer, 200, blob)
+                status = self._plain(writer, 200, blob)
             elif method == "GET" and _ARTIFACT_RE.match(path):
-                self._handle_artifact(writer, path)
+                endpoint = "/artifact"
+                status = self._handle_artifact(writer, path)
             elif method == "POST" and path == "/jobs":
-                await self._handle_jobs(writer, body)
+                endpoint = "/jobs"
+                status = await self._handle_jobs(writer, body, req_ctx)
             else:
-                self._plain(writer, 404, b'{"error": "not found"}')
+                endpoint = "other"
+                status = self._plain(writer, 404, b'{"error": "not found"}')
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
+            if endpoint is not None:
+                wall = time.perf_counter() - t0
+                # ``status`` is None when the client hung up mid-handler.
+                self._m_requests.inc(
+                    endpoint=endpoint,
+                    status=str(status) if status else "hup",
+                )
+                self._m_request_seconds.observe(wall, endpoint=endpoint)
+                if SLOG.enabled:
+                    SLOG.request(
+                        "http.request", wall * 1000.0,
+                        req_id=(req_ctx[0] if req_ctx else new_request_id()),
+                        endpoint=endpoint, status=status,
+                    )
+            if TRACER.enabled:
+                TRACER.flush()
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -381,7 +530,7 @@ class SweepServer:
     def _plain(
         writer, status: int, body: bytes,
         content_type: str = "application/json",
-    ) -> None:
+    ) -> int:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
             status, "Error"
         )
@@ -394,8 +543,9 @@ class SweepServer:
             ).encode("latin-1")
             + body
         )
+        return status
 
-    def _handle_artifact(self, writer, path: str) -> None:
+    def _handle_artifact(self, writer, path: str) -> int:
         """Serve one artifact's raw pickled bytes to a read-through peer."""
         self.counters["artifact_requests"] += 1
         match = _ARTIFACT_RE.match(path)
@@ -409,33 +559,60 @@ class SweepServer:
             except OSError:
                 blob = None
         if blob is None:
-            self._plain(writer, 404, b'{"error": "artifact not found"}')
-            return
+            return self._plain(writer, 404, b'{"error": "artifact not found"}')
         self.counters["artifact_hits"] += 1
-        self._plain(writer, 200, blob, content_type="application/octet-stream")
+        return self._plain(
+            writer, 200, blob, content_type="application/octet-stream"
+        )
 
-    async def _handle_jobs(self, writer, body: bytes) -> None:
-        """``POST /jobs``: resolve a batch, streaming SSE as jobs land."""
+    async def _handle_jobs(
+        self, writer, body: bytes,
+        req_ctx: Optional[Tuple[str, str]] = None,
+    ) -> int:
+        """``POST /jobs``: resolve a batch, streaming SSE as jobs land.
+
+        ``req_ctx`` is the parsed ``X-Repro-Trace`` header — the client's
+        batch span.  The optional body ``trace`` block refines it with
+        per-job client span ids, so each resolve span parents under the
+        exact client span awaiting its event::
+
+            {"trace": {"trace_id": "...", "jobs": ["<span_id>", ...]}}
+        """
         try:
             req = json.loads(body.decode("utf-8"))
             settings_d = dict(req["settings"])
             job_dicts = list(req["jobs"])
             jsonio.settings_from_dict(settings_d)  # validate field names
         except Exception as exc:
-            self._plain(
+            return self._plain(
                 writer, 400,
                 json.dumps({"error": f"bad batch: {exc}"}).encode("utf-8"),
             )
-            return
         if settings_d.get("verify"):
-            self._plain(
+            return self._plain(
                 writer, 400,
                 b'{"error": "served results cannot claim --verify; '
                 b'run verification locally"}',
             )
-            return
+        job_parents = [req_ctx] * len(job_dicts)
+        trace_block = req.get("trace")
+        if isinstance(trace_block, dict):
+            trace_id = trace_block.get("trace_id") or (
+                req_ctx[0] if req_ctx else None
+            )
+            job_span_ids = trace_block.get("jobs") or []
+            if trace_id:
+                for i, span_id in enumerate(job_span_ids[:len(job_dicts)]):
+                    if span_id:
+                        job_parents[i] = (trace_id, span_id)
         self.counters["batches"] += 1
         self.counters["jobs"] += len(job_dicts)
+        batch_span = (
+            TRACER.start("/jobs", parent=req_ctx, service="server",
+                         attrs={"jobs": len(job_dicts)})
+            if TRACER.enabled else None
+        )
+        t0 = time.perf_counter()
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -443,7 +620,9 @@ class SweepServer:
             b"Connection: close\r\n\r\n"
         )
         tasks = [
-            asyncio.ensure_future(self._job_event(i, jd, settings_d))
+            asyncio.ensure_future(
+                self._job_event(i, jd, settings_d, job_parents[i])
+            )
             for i, jd in enumerate(job_dicts)
         ]
         broken = False
@@ -470,6 +649,17 @@ class SweepServer:
                 .encode("utf-8")
                 + b"\n\n"
             )
+        stream_s = time.perf_counter() - t0
+        self._m_sse_seconds.observe(stream_s)
+        if batch_span is not None:
+            TRACER.finish(batch_span, broken=broken)
+        if SLOG.enabled:
+            SLOG.request(
+                "serve.batch", stream_s * 1000.0,
+                req_id=(req_ctx[0] if req_ctx else new_request_id()),
+                jobs=len(job_dicts), broken=broken,
+            )
+        return 200
 
 
 # --------------------------------------------------------------------- #

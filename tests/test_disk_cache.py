@@ -100,6 +100,38 @@ class TestStoreBasics:
         artifact_cache.reset_for_tests()
         assert artifact_cache.store() is None
 
+    def test_counters_exact_under_thread_hammer(self, tmp_path):
+        """The sweep server's pool-bridge threads bump one store's
+        counters concurrently; the stats lock must keep them exact
+        (bare ``+=`` on the attributes loses updates under the GIL)."""
+        import threading
+
+        st = CacheStore(str(tmp_path), 1 << 30)
+        st.put("k", "ab" * 32, {"seed": 1})
+        st.reset_counters()
+        n_threads, n_ops = 8, 300
+
+        def hammer(slot):
+            for i in range(n_ops):
+                st.get("k", "ab" * 32)                 # hit
+                st.get("k", "cd" * 32)                 # miss
+                st.put("k", f"{slot:02x}{i:04x}" * 8 + "ab" * 8,
+                       {"slot": slot, "i": i})         # put
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = st.stats()
+        assert snap["hits"] == n_threads * n_ops
+        assert snap["misses"] == n_threads * n_ops
+        assert snap["puts"] == n_threads * n_ops
+        assert snap["errors"] == 0
+        st.reset_counters()
+        assert all(v == 0 for v in st.stats().values())
+
 
 class TestCorruption:
     def test_corrupt_entry_is_a_miss_and_is_repaired(self, tmp_path):

@@ -340,3 +340,41 @@ class TestStatsEndpoint:
     def test_healthz(self, server):
         assert ServeClient(server.url).healthz()
         assert not ServeClient("http://127.0.0.1:9", timeout=0.2).healthz()
+
+    def test_metrics_endpoint_parses_and_reconciles(self, server):
+        """/metrics is valid Prometheus text whose per-tier resolve
+        histogram totals exactly the jobs the server answered."""
+        jobs = GRID[:3] + GRID[:3]  # repeats exercise a second tier
+        ServeClient(server.url).run_jobs(jobs, SETTINGS)
+        with urllib.request.urlopen(
+            server.url + "/metrics", timeout=10
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            text = resp.read().decode("utf-8")
+
+        series = {}
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            series[name] = float(value)
+
+        resolve_counts = {
+            name: v for name, v in series.items()
+            if name.startswith("repro_resolve_seconds_count")
+        }
+        assert sum(resolve_counts.values()) == len(jobs)
+        assert series['repro_http_requests_total'
+                      '{endpoint="/jobs",status="200"}'] >= 1
+        assert series['repro_http_request_seconds_count'
+                      '{endpoint="/jobs"}'] >= 1
+        # Cumulative buckets: each tier's +Inf bucket equals its _count.
+        for name, v in series.items():
+            if 'le="+Inf"' in name and name.startswith(
+                    "repro_resolve_seconds_bucket"):
+                count_name = name.replace("_bucket", "_count").replace(
+                    ',le="+Inf"', "").replace('le="+Inf"', "")
+                assert series[count_name] == v
+        # The cache stats ride along as unlabeled extra counters.
+        assert "repro_cache_hits" in series
